@@ -1,0 +1,39 @@
+# OFence-Go build and evaluation targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench eval eval-json corpus clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation as text.
+eval:
+	$(GO) run ./cmd/ofence-eval
+
+# Machine-readable evaluation; exits nonzero if any correctness gate fails.
+eval-json:
+	$(GO) run ./cmd/ofence-eval -json
+
+# Write a synthetic labelled corpus to ./corpus-out.
+corpus:
+	$(GO) run ./cmd/ofence-corpus -seed 42 -truth corpus-out
+
+clean:
+	rm -rf corpus-out
+	$(GO) clean ./...

@@ -1,0 +1,113 @@
+package ofence_test
+
+import (
+	"strings"
+	"testing"
+
+	ofence "ofence"
+)
+
+// The public facade must carry a full detect → patch → validate round trip
+// without touching internal packages.
+
+const apiSrc = `
+#include <asm/barrier.h>
+struct pkt { int len; int ready; };
+void pkt_publish(struct pkt *p) {
+	p->len = 100;
+	smp_wmb();
+	p->ready = 1;
+}
+void pkt_consume(struct pkt *p) {
+	smp_rmb();
+	if (!p->ready)
+		return;
+	use(p->len);
+}`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	proj := ofence.NewProject()
+	ofence.RegisterKernelHeaders(proj)
+	fu := proj.AddSource("net/pkt.c", apiSrc)
+	for _, err := range fu.Errs {
+		t.Fatalf("parse: %v", err)
+	}
+	res := proj.Analyze(ofence.DefaultOptions())
+	if len(res.Pairings) != 1 {
+		t.Fatalf("pairings = %d", len(res.Pairings))
+	}
+
+	var misplaced *ofence.Finding
+	for _, f := range res.Findings {
+		if f.Kind == ofence.MisplacedAccess {
+			misplaced = f
+		}
+	}
+	if misplaced == nil {
+		t.Fatalf("no misplaced finding: %v", res.Findings)
+	}
+
+	p, err := ofence.GeneratePatch(misplaced)
+	if err != nil {
+		t.Fatalf("GeneratePatch: %v", err)
+	}
+	if !strings.Contains(p.Diff, "smp_rmb") {
+		t.Errorf("patch diff:\n%s", p.Diff)
+	}
+
+	v, err := ofence.ValidateFinding(misplaced)
+	if err != nil {
+		t.Fatalf("ValidateFinding: %v", err)
+	}
+	if !v.Confirmed {
+		t.Errorf("finding not litmus-confirmed: %v", v)
+	}
+
+	// JSON view.
+	view := res.View()
+	if view.Sites != 2 || len(view.Findings) == 0 {
+		t.Errorf("view = %+v", view)
+	}
+}
+
+func TestPublicAPIBatchHelpers(t *testing.T) {
+	proj := ofence.NewProject()
+	proj.AddSource("x.c", apiSrc)
+	res := proj.Analyze(ofence.DefaultOptions())
+	patches, failed := ofence.GeneratePatches(res.Findings)
+	if len(patches) == 0 {
+		t.Error("no patches")
+	}
+	_ = failed
+	verdicts := ofence.ValidateFindings(res.Findings)
+	if len(verdicts) == 0 {
+		t.Error("no verdicts")
+	}
+	for _, v := range verdicts {
+		if !v.Confirmed {
+			t.Errorf("unconfirmed: %v", v)
+		}
+	}
+}
+
+func TestPublicAPIIncremental(t *testing.T) {
+	proj := ofence.NewProject()
+	proj.AddSource("x.c", apiSrc)
+	opts := ofence.DefaultOptions()
+	res := proj.Analyze(opts)
+	before := len(res.Findings)
+	if before == 0 {
+		t.Fatal("no findings before fix")
+	}
+	fixed := strings.Replace(apiSrc, "smp_rmb();\n\tif (!p->ready)\n\t\treturn;", "if (!p->ready)\n\t\treturn;\n\tsmp_rmb();", 1)
+	if fixed == apiSrc {
+		t.Fatal("fixture replace failed")
+	}
+	proj.ReplaceSource("x.c", fixed)
+	res = proj.Analyze(opts)
+	for _, f := range res.Findings {
+		if f.Kind == ofence.MisplacedAccess {
+			t.Errorf("fixed source still flagged: %v", f)
+		}
+	}
+}

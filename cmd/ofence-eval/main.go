@@ -1,0 +1,90 @@
+// Command ofence-eval regenerates every table and figure of the paper's
+// evaluation section (see EXPERIMENTS.md for the paper-vs-measured record).
+//
+// Usage:
+//
+//	ofence-eval [-seed N] [-section name]
+//
+// Sections: table1 table2 table3 fixtures figure6 figure7 coverage litmus
+// runtime all (default all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ofence/internal/corpus"
+	"ofence/internal/ofence"
+	"ofence/internal/report"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 42, "corpus seed")
+		section = flag.String("section", "all", "which section to print")
+		jsonOut = flag.Bool("json", false, "emit the machine-readable evaluation summary")
+	)
+	flag.Parse()
+
+	if *jsonOut {
+		sum := report.Summarize(*seed)
+		data, err := sum.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ofence-eval: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		if ok, problems := sum.Healthy(); !ok {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "ofence-eval: UNHEALTHY: %s\n", p)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *section == "all" {
+		fmt.Print(report.Everything(*seed))
+		return
+	}
+
+	opts := ofence.DefaultOptions()
+	lazyCorpus := func() *corpus.Corpus { return corpus.Generate(corpus.DefaultConfig(*seed)) }
+
+	switch *section {
+	case "table1":
+		fmt.Print(report.Table1())
+	case "table2":
+		fmt.Print(report.Table2())
+	case "table3":
+		ev := report.RunCorpus(lazyCorpus(), opts)
+		fmt.Print(report.RenderTable3(report.Table3(ev)))
+	case "fixtures":
+		fmt.Print(report.RenderFixtures(report.RunFixtures(opts)))
+	case "figure6":
+		fmt.Print(report.RenderFigure6(report.Figure6(lazyCorpus(), []int{0, 1, 2, 3, 4, 5, 6, 8, 10}, opts)))
+	case "figure7":
+		ev := report.RunCorpus(lazyCorpus(), opts)
+		fmt.Print(report.RenderFigure7(report.Figure7(ev)))
+	case "coverage":
+		ev := report.RunCorpus(lazyCorpus(), opts)
+		fmt.Print(report.RenderCoverage(report.Coverage(ev)))
+	case "litmus":
+		fmt.Print(report.RenderFigure23(report.Figure23()))
+	case "validation":
+		ev := report.RunCorpus(lazyCorpus(), opts)
+		fmt.Print(report.RenderValidation(report.Validation(ev)))
+	case "census":
+		ev := report.RunCorpus(lazyCorpus(), opts)
+		fmt.Print(report.RenderCensus(report.Census(ev)))
+	case "baseline":
+		ev := report.RunCorpus(lazyCorpus(), opts)
+		fmt.Print(report.RenderBaseline(report.Baseline(ev)))
+	case "runtime":
+		fmt.Print(report.RenderRuntime(report.Runtime(lazyCorpus(), opts)))
+	default:
+		fmt.Fprintf(os.Stderr, "ofence-eval: unknown section %q\n", *section)
+		os.Exit(2)
+	}
+}

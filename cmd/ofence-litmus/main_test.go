@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"ofence/internal/litmus"
+)
+
+func TestFenceOps(t *testing.T) {
+	for name, wantLen := range map[string]int{"none": 0, "": 0, "rmb": 1, "wmb": 1, "mb": 1} {
+		ops, ok := fenceOps(name)
+		if !ok {
+			t.Errorf("fenceOps(%q) not ok", name)
+		}
+		if len(ops) != wantLen {
+			t.Errorf("fenceOps(%q) = %d ops", name, len(ops))
+		}
+	}
+	if _, ok := fenceOps("bogus"); ok {
+		t.Error("bogus fence accepted")
+	}
+}
+
+func TestFenceKinds(t *testing.T) {
+	ops, _ := fenceOps("rmb")
+	if ops[0].Fence != litmus.FenceRead {
+		t.Errorf("rmb = %v", ops[0].Fence)
+	}
+	ops, _ = fenceOps("wmb")
+	if ops[0].Fence != litmus.FenceWrite {
+		t.Errorf("wmb = %v", ops[0].Fence)
+	}
+	ops, _ = fenceOps("mb")
+	if ops[0].Fence != litmus.FenceFull {
+		t.Errorf("mb = %v", ops[0].Fence)
+	}
+}

@@ -1,0 +1,166 @@
+// Command ofence analyzes a directory of C files for barrier-pairing
+// concurrency bugs, mirroring the paper's tool: it reports the inferred
+// pairings, the ordering deviations, and (with -patch) the generated fixes.
+//
+// Usage:
+//
+//	ofence [flags] <dir-or-file.c>...
+//
+// Flags:
+//
+//	-patch            print generated patches for each finding
+//	-pairings         print the inferred pairings
+//	-once             report missing READ_ONCE/WRITE_ONCE annotations (§7)
+//	-write-window N   statements explored around write barriers (default 5)
+//	-read-window N    statements explored around read barriers (default 50)
+//	-workers N        parallel file workers (default GOMAXPROCS)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ofence/internal/kernelhdr"
+	"ofence/internal/ofence"
+	"ofence/internal/patch"
+	"ofence/internal/validate"
+)
+
+func main() {
+	var (
+		showPatch    = flag.Bool("patch", false, "print generated patches")
+		showPairings = flag.Bool("pairings", false, "print inferred pairings")
+		explain      = flag.Bool("explain", false, "print the full pairing audit trail")
+		checkOnce    = flag.Bool("once", false, "report missing READ_ONCE/WRITE_ONCE annotations")
+		doValidate   = flag.Bool("validate", false, "litmus-check each finding under the weak memory model")
+		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		writeWindow  = flag.Int("write-window", 5, "statements explored around write barriers")
+		readWindow   = flag.Int("read-window", 50, "statements explored around read barriers")
+		workers      = flag.Int("workers", 0, "parallel file workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ofence [flags] <dir-or-file.c>...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := ofence.DefaultOptions()
+	opts.Access.WriteWindow = *writeWindow
+	opts.Access.ReadWindow = *readWindow
+	opts.Workers = *workers
+	opts.CheckOnce = *checkOnce
+
+	proj := ofence.NewProject()
+	kernelhdr.Register(proj)
+	files := 0
+	for _, arg := range flag.Args() {
+		if err := addPath(proj, arg, &files); err != nil {
+			fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if files == 0 {
+		fmt.Fprintln(os.Stderr, "ofence: no .c files found")
+		os.Exit(1)
+	}
+
+	res := proj.Analyze(opts)
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(res.View(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+
+	fmt.Printf("ofence: %d files, %d barrier sites, %d pairings, %d unpaired, %d implicit-IPC\n",
+		files, len(res.Sites), len(res.Pairings), len(res.Unpaired), len(res.ImplicitIPC))
+	fmt.Printf("ofence: extract %v, pair %v, check %v\n",
+		res.Timing.Extract.Round(time.Microsecond),
+		res.Timing.Pair.Round(time.Microsecond),
+		res.Timing.Check.Round(time.Microsecond))
+
+	if *explain {
+		fmt.Print(ofence.ExplainResult(res))
+	} else if *showPairings {
+		for _, pg := range res.Pairings {
+			fmt.Printf("  %s\n", pg)
+			for _, o := range pg.Common {
+				fmt.Printf("    shared %s\n", o)
+			}
+		}
+	}
+
+	if len(res.Findings) == 0 {
+		fmt.Println("no deviations found")
+		return
+	}
+	for _, f := range res.Findings {
+		fmt.Printf("%s\n", f)
+		if *doValidate {
+			v, err := validate.Check(f)
+			if err != nil {
+				fmt.Printf("  (not litmus-checkable: %v)\n", err)
+			} else {
+				fmt.Printf("  litmus: %s\n", v)
+			}
+		}
+		if *showPatch {
+			p, err := patch.Generate(f)
+			if err != nil {
+				fmt.Printf("  (no mechanical patch: %v)\n", err)
+				continue
+			}
+			fmt.Println(indent(p.String(), "  "))
+		}
+	}
+	if n := len(res.ParseErrors); n > 0 {
+		fmt.Fprintf(os.Stderr, "ofence: %d parse diagnostics (files analyzed best-effort)\n", n)
+	}
+}
+
+func addPath(proj *ofence.Project, path string, files *int) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return addFile(proj, path, files)
+	}
+	return filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(p, ".c") {
+			return addFile(proj, p, files)
+		}
+		return nil
+	})
+}
+
+func addFile(proj *ofence.Project, path string, files *int) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	proj.AddSource(path, string(src))
+	*files++
+	return nil
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pad + l
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ofence/internal/ofence"
+)
+
+const testSrc = `
+struct s { int flag; int data; };
+void w(struct s *p) {
+	p->data = 1;
+	smp_wmb();
+	p->flag = 1;
+}
+void r(struct s *p) {
+	smp_rmb();
+	if (!p->flag)
+		return;
+	use(p->data);
+}`
+
+func writeTree(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.c"), []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "b.c"), []byte("int unused;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not C"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestAddPathWalksTree(t *testing.T) {
+	dir := writeTree(t)
+	proj := ofence.NewProject()
+	files := 0
+	if err := addPath(proj, dir, &files); err != nil {
+		t.Fatal(err)
+	}
+	if files != 2 {
+		t.Errorf("files = %d, want 2 (.txt skipped)", files)
+	}
+}
+
+func TestAddPathSingleFile(t *testing.T) {
+	dir := writeTree(t)
+	proj := ofence.NewProject()
+	files := 0
+	if err := addPath(proj, filepath.Join(dir, "a.c"), &files); err != nil {
+		t.Fatal(err)
+	}
+	if files != 1 {
+		t.Errorf("files = %d", files)
+	}
+	res := proj.Analyze(ofence.DefaultOptions())
+	if len(res.Pairings) != 1 {
+		t.Errorf("pairings = %d", len(res.Pairings))
+	}
+	misplaced := false
+	for _, f := range res.Findings {
+		if f.Kind == ofence.MisplacedAccess {
+			misplaced = true
+		}
+	}
+	if !misplaced {
+		t.Error("misplaced access not found through CLI path")
+	}
+}
+
+func TestAddPathMissing(t *testing.T) {
+	proj := ofence.NewProject()
+	files := 0
+	if err := addPath(proj, "/nonexistent/path.c", &files); err == nil {
+		t.Error("expected error for missing path")
+	}
+}
+
+func TestIndent(t *testing.T) {
+	got := indent("a\nb\n", "  ")
+	if got != "  a\n  b" {
+		t.Errorf("indent = %q", got)
+	}
+	if !strings.HasPrefix(indent("x", "\t"), "\t") {
+		t.Error("single line not indented")
+	}
+}

@@ -1,0 +1,3 @@
+module ofence
+
+go 1.22

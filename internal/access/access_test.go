@@ -1,0 +1,670 @@
+package access
+
+import (
+	"testing"
+
+	"ofence/internal/cparser"
+	"ofence/internal/cpp"
+	"ofence/internal/ctypes"
+	"ofence/internal/memmodel"
+)
+
+func extract(t *testing.T, src, fnName string) []*Site {
+	t.Helper()
+	f, errs := cparser.ParseSource("test.c", src, cpp.Options{})
+	for _, err := range errs {
+		t.Fatalf("parse error: %v", err)
+	}
+	tbl := ctypes.NewTable(f)
+	ex := NewExtractor("test.c", tbl, Defaults())
+	if fnName == "" {
+		return ex.ExtractFile(f)
+	}
+	fn := f.Function(fnName)
+	if fn == nil {
+		t.Fatalf("function %s not found", fnName)
+	}
+	return ex.ExtractFn(fn)
+}
+
+const listing1 = `
+struct my_struct { int init; int y; };
+void reader(struct my_struct *a) {
+	if (!a->init)
+		return;
+	smp_rmb();
+	f(a->y);
+}
+void writer(struct my_struct *b) {
+	b->y = 1;
+	smp_wmb();
+	b->init = 1;
+}`
+
+func TestWriterSite(t *testing.T) {
+	sites := extract(t, listing1, "writer")
+	if len(sites) != 1 {
+		t.Fatalf("got %d sites", len(sites))
+	}
+	s := sites[0]
+	if s.Name != "smp_wmb" || s.Kind != memmodel.WriteBarrier {
+		t.Errorf("site = %v", s)
+	}
+	if len(s.Before) != 1 || s.Before[0].Object != (Object{"my_struct", "y"}) || s.Before[0].Kind != Store {
+		t.Errorf("before = %+v", s.Before)
+	}
+	if s.Before[0].Distance != 1 {
+		t.Errorf("before distance = %d", s.Before[0].Distance)
+	}
+	if len(s.After) != 1 || s.After[0].Object != (Object{"my_struct", "init"}) || s.After[0].Kind != Store {
+		t.Errorf("after = %+v", s.After)
+	}
+}
+
+func TestReaderSite(t *testing.T) {
+	sites := extract(t, listing1, "reader")
+	if len(sites) != 1 {
+		t.Fatalf("got %d sites", len(sites))
+	}
+	s := sites[0]
+	if s.Name != "smp_rmb" || s.Kind != memmodel.ReadBarrier {
+		t.Errorf("site = %v", s)
+	}
+	// Before: load of init (the if condition). Return has no accesses.
+	if len(s.Before) != 1 || s.Before[0].Object != (Object{"my_struct", "init"}) || s.Before[0].Kind != Load {
+		t.Errorf("before = %+v", s.Before)
+	}
+	if len(s.After) != 1 || s.After[0].Object != (Object{"my_struct", "y"}) || s.After[0].Kind != Load {
+		t.Errorf("after = %+v", s.After)
+	}
+}
+
+func TestOrders(t *testing.T) {
+	sites := extract(t, listing1, "writer")
+	s := sites[0]
+	y := Object{"my_struct", "y"}
+	init := Object{"my_struct", "init"}
+	if !s.Orders(y, init) || !s.Orders(init, y) {
+		t.Error("writer should order (y, init)")
+	}
+	if s.Orders(y, Object{"my_struct", "zzz"}) {
+		t.Error("ordering with absent object")
+	}
+}
+
+func TestObjectsMinDistance(t *testing.T) {
+	src := `
+struct s { int a; int b; };
+void w(struct s *p) {
+	p->a = 1;
+	p->a = 2;
+	smp_wmb();
+	p->b = 1;
+}`
+	sites := extract(t, src, "w")
+	objs := sites[0].Objects()
+	if d := objs[Object{"s", "a"}]; d != 1 {
+		t.Errorf("min distance of a = %d, want 1", d)
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	src := `
+struct s { int a; int b; int far; };
+void w(struct s *p) {
+	p->far = 9;
+	x1(); x2(); x3(); x4(); x5();
+	p->a = 1;
+	smp_wmb();
+	p->b = 1;
+}`
+	f, _ := cparser.ParseSource("t.c", src, cpp.Options{})
+	tbl := ctypes.NewTable(f)
+	ex := NewExtractor("t.c", tbl, Options{WriteWindow: 3, ReadWindow: 50, InlineDepth: 0})
+	sites := ex.ExtractFn(f.Function("w"))
+	s := sites[0]
+	for _, a := range s.Before {
+		if a.Object.Field == "far" {
+			t.Error("access beyond write window captured")
+		}
+	}
+	// Widen the window: far becomes visible.
+	ex = NewExtractor("t.c", tbl, Options{WriteWindow: 10, ReadWindow: 50, InlineDepth: 0})
+	s = ex.ExtractFn(f.Function("w"))[0]
+	found := false
+	for _, a := range s.Before {
+		if a.Object.Field == "far" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("access within widened window missed")
+	}
+}
+
+func TestExplorationStopsAtBarrier(t *testing.T) {
+	src := `
+struct s { int a; int b; int c; };
+void w(struct s *p) {
+	p->a = 1;
+	smp_wmb();
+	p->b = 2;
+	smp_wmb();
+	p->c = 3;
+}`
+	sites := extract(t, src, "w")
+	if len(sites) != 2 {
+		t.Fatalf("got %d sites", len(sites))
+	}
+	first := sites[0]
+	// First barrier's forward exploration stops at the second barrier:
+	// it must see b but not c.
+	for _, a := range first.After {
+		if a.Object.Field == "c" {
+			t.Error("first barrier saw past the second barrier")
+		}
+	}
+	if first.NextBarrierAfter != 2 {
+		t.Errorf("NextBarrierAfter = %d, want 2", first.NextBarrierAfter)
+	}
+	if first.NextBarrierName != "smp_wmb" {
+		t.Errorf("NextBarrierName = %q", first.NextBarrierName)
+	}
+}
+
+func TestExplorationStopsAtAtomicWithSemantics(t *testing.T) {
+	src := `
+struct s { int a; int b; int c; };
+void w(struct s *p) {
+	p->a = 1;
+	smp_wmb();
+	p->b = 2;
+	atomic_inc_and_test(&p->cnt);
+	p->c = 3;
+}`
+	sites := extract(t, src, "w")
+	s := sites[0]
+	for _, a := range s.After {
+		if a.Object.Field == "c" {
+			t.Error("exploration crossed atomic with barrier semantics")
+		}
+	}
+	// atomic_inc (no semantics) must NOT stop exploration.
+	src2 := `
+struct s { int a; int b; int c; };
+void w(struct s *p) {
+	p->a = 1;
+	smp_wmb();
+	p->b = 2;
+	atomic_inc(&p->cnt);
+	p->c = 3;
+}`
+	s2 := extract(t, src2, "w")[0]
+	found := false
+	for _, a := range s2.After {
+		if a.Object.Field == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("atomic_inc wrongly stopped exploration")
+	}
+}
+
+func TestStoreReleaseCombinedAccess(t *testing.T) {
+	src := `
+struct s { int flag; int data; };
+void w(struct s *p) {
+	p->data = 42;
+	smp_store_release(&p->flag, 1);
+}`
+	sites := extract(t, src, "w")
+	if len(sites) != 1 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	s := sites[0]
+	// The store to flag is the barrier's own access, after the barrier.
+	foundFlag := false
+	for _, a := range s.After {
+		if a.Object == (Object{"s", "flag"}) && a.Kind == Store && a.Distance == 0 {
+			foundFlag = true
+		}
+	}
+	if !foundFlag {
+		t.Errorf("combined store not recorded: %+v", s.After)
+	}
+	foundData := false
+	for _, a := range s.Before {
+		if a.Object == (Object{"s", "data"}) && a.Kind == Store {
+			foundData = true
+		}
+	}
+	if !foundData {
+		t.Errorf("data store missing before: %+v", s.Before)
+	}
+}
+
+func TestLoadAcquireCombinedAccess(t *testing.T) {
+	src := `
+struct s { int flag; int data; };
+void r(struct s *p) {
+	int f = smp_load_acquire(&p->flag);
+	if (f)
+		use(p->data);
+}`
+	sites := extract(t, src, "r")
+	if len(sites) != 1 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	s := sites[0]
+	foundFlag := false
+	for _, a := range s.Before {
+		if a.Object == (Object{"s", "flag"}) && a.Kind == Load && a.Distance == 0 {
+			foundFlag = true
+		}
+	}
+	if !foundFlag {
+		t.Errorf("combined load not recorded: %+v", s.Before)
+	}
+	foundData := false
+	for _, a := range s.After {
+		if a.Object == (Object{"s", "data"}) && a.Kind == Load {
+			foundData = true
+		}
+	}
+	if !foundData {
+		t.Errorf("data load missing after: %+v", s.After)
+	}
+}
+
+func TestWakeUpDetection(t *testing.T) {
+	src := `
+struct d { int got_token; struct task_struct *task; };
+void rq_qos_wake_function(struct d *data) {
+	data->got_token = 1;
+	smp_wmb();
+	wake_up_process(data->task);
+}`
+	sites := extract(t, src, "rq_qos_wake_function")
+	s := sites[0]
+	if s.WakeUpAfter != 1 {
+		t.Errorf("WakeUpAfter = %d, want 1", s.WakeUpAfter)
+	}
+	if s.NextBarrierAfter != 1 || s.NextBarrierName != "wake_up_process" {
+		t.Errorf("next barrier = %d %q", s.NextBarrierAfter, s.NextBarrierName)
+	}
+}
+
+func TestCompoundAssignBothKinds(t *testing.T) {
+	src := `
+struct s { int cnt; int x; };
+void w(struct s *p) {
+	p->cnt += 2;
+	smp_wmb();
+	p->x = 1;
+}`
+	s := extract(t, src, "w")[0]
+	var load, store bool
+	for _, a := range s.Before {
+		if a.Object.Field == "cnt" {
+			if a.Kind == Load {
+				load = true
+			} else {
+				store = true
+			}
+		}
+	}
+	if !load || !store {
+		t.Errorf("compound assign: load=%v store=%v", load, store)
+	}
+}
+
+func TestIncrementBothKinds(t *testing.T) {
+	src := `
+struct s { int num; int x; };
+void w(struct s *p) {
+	p->x = 1;
+	smp_wmb();
+	p->num++;
+}`
+	s := extract(t, src, "w")[0]
+	var load, store bool
+	for _, a := range s.After {
+		if a.Object.Field == "num" {
+			if a.Kind == Load {
+				load = true
+			} else {
+				store = true
+			}
+		}
+	}
+	if !load || !store {
+		t.Errorf("increment: load=%v store=%v", load, store)
+	}
+}
+
+func TestIndexedStoreClassification(t *testing.T) {
+	// Patch 3 shape: reuse->socks[reuse->num_socks] = sk.
+	src := `
+struct sock_reuse { struct sock *socks[16]; int num_socks; };
+void reuseport_add_sock(struct sock_reuse *reuse, struct sock *sk) {
+	reuse->socks[reuse->num_socks] = sk;
+	smp_wmb();
+	reuse->num_socks++;
+}`
+	s := extract(t, src, "reuseport_add_sock")[0]
+	var socksStore, numLoad bool
+	for _, a := range s.Before {
+		if a.Object == (Object{"sock_reuse", "socks"}) && a.Kind == Store {
+			socksStore = true
+		}
+		if a.Object == (Object{"sock_reuse", "num_socks"}) && a.Kind == Load {
+			numLoad = true
+		}
+	}
+	if !socksStore {
+		t.Errorf("socks store missing: %+v", s.Before)
+	}
+	if !numLoad {
+		t.Errorf("num_socks index load missing: %+v", s.Before)
+	}
+}
+
+func TestOnceAnnotationsDetected(t *testing.T) {
+	src := `
+struct s { int triggered; int x; };
+void w(struct s *p) {
+	WRITE_ONCE(p->triggered, 1);
+	smp_wmb();
+	p->x = 2;
+}
+void r(struct s *p) {
+	int v = READ_ONCE(p->triggered);
+	smp_rmb();
+	use(v, p->x);
+}`
+	sw := extract(t, src, "w")[0]
+	found := false
+	for _, a := range sw.Before {
+		if a.Object.Field == "triggered" && a.Kind == Store && a.Once {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("WRITE_ONCE store not marked: %+v", sw.Before)
+	}
+	sr := extract(t, src, "r")[0]
+	found = false
+	for _, a := range sr.Before {
+		if a.Object.Field == "triggered" && a.Kind == Load && a.Once {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("READ_ONCE load not marked: %+v", sr.Before)
+	}
+}
+
+func TestInlinedCalleeAccesses(t *testing.T) {
+	src := `
+struct s { int a; int b; };
+static void init_part(struct s *p) {
+	p->a = 1;
+}
+void w(struct s *p) {
+	init_part(p);
+	smp_wmb();
+	p->b = 1;
+}`
+	s := extract(t, src, "w")[0]
+	found := false
+	for _, a := range s.Before {
+		if a.Object == (Object{"s", "a"}) && a.Kind == Store {
+			found = true
+			if a.Unit.InlinedFrom != "init_part" {
+				t.Error("inlined access not marked")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("callee access missing: %+v", s.Before)
+	}
+}
+
+func TestBarrierInCalleeSeenFromCaller(t *testing.T) {
+	// The caller direction of §4.2: a barrier inside a same-file wrapper is
+	// seen in each caller's stream with the caller's accesses around it.
+	src := `
+struct s { int a; int b; };
+static void publish(struct s *p) {
+	smp_wmb();
+}
+void w(struct s *p) {
+	p->a = 1;
+	publish(p);
+	p->b = 1;
+}`
+	f, _ := cparser.ParseSource("t.c", src, cpp.Options{})
+	tbl := ctypes.NewTable(f)
+	ex := NewExtractor("t.c", tbl, Defaults())
+	sites := ex.ExtractFile(f)
+	// One canonical barrier; the caller's view (with a and b) must win.
+	if len(sites) != 1 {
+		t.Fatalf("got %d sites after dedupe", len(sites))
+	}
+	s := sites[0]
+	if s.Fn.Name != "w" {
+		t.Errorf("site owner = %s, want w (richer view)", s.Fn.Name)
+	}
+	if len(s.Before) == 0 || len(s.After) == 0 {
+		t.Errorf("caller accesses missing: %v", s)
+	}
+}
+
+func TestSeqcountAPISites(t *testing.T) {
+	src := `
+struct c { u64 bcnt; u64 pcnt; };
+void get_counters(struct c *tmp, seqcount_t *s) {
+	unsigned v;
+	u64 bcnt, pcnt;
+	do {
+		v = read_seqcount_begin(s);
+		bcnt = tmp->bcnt;
+		pcnt = tmp->pcnt;
+	} while (read_seqcount_retry(s, v));
+	use(bcnt, pcnt);
+}`
+	sites := extract(t, src, "get_counters")
+	if len(sites) != 2 {
+		t.Fatalf("got %d sites, want 2 (begin, retry)", len(sites))
+	}
+	for _, s := range sites {
+		if !s.Seq || s.Kind != memmodel.ReadBarrier {
+			t.Errorf("seqcount site = %v", s)
+		}
+	}
+	// begin's forward window sees bcnt/pcnt loads.
+	begin := sites[0]
+	objs := begin.Objects()
+	if _, ok := objs[Object{"c", "bcnt"}]; !ok {
+		t.Errorf("begin did not see bcnt: %v", objs)
+	}
+}
+
+func TestSizeofOperandNotAccessed(t *testing.T) {
+	src := `
+struct s { int a; int b; };
+void w(struct s *p) {
+	memset(p, 0, sizeof *p);
+	p->a = 1;
+	smp_wmb();
+	p->b = 1;
+}`
+	s := extract(t, src, "w")[0]
+	for _, a := range s.Before {
+		if a.Expr == nil {
+			t.Error("synthesized access unexpected here")
+		}
+	}
+}
+
+func TestEmptyFunctionNoSites(t *testing.T) {
+	sites := extract(t, "void empty(void) { }", "empty")
+	if len(sites) != 0 {
+		t.Errorf("sites = %d", len(sites))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Error("Kind.String broken")
+	}
+	o := Object{"s", "f"}
+	if o.String() != "(s, f)" {
+		t.Errorf("Object.String = %q", o.String())
+	}
+}
+
+func TestStoreMBCombinedAccess(t *testing.T) {
+	// smp_store_mb writes the variable and THEN issues the barrier: the
+	// store belongs before the barrier.
+	src := `
+struct s { long state; int waiters; };
+void sleeper(struct s *p) {
+	smp_store_mb(&p->state, 1);
+	use(p->waiters);
+}`
+	sites := extract(t, src, "sleeper")
+	if len(sites) != 1 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	s := sites[0]
+	if s.Kind != memmodel.FullBarrier {
+		t.Errorf("kind = %v", s.Kind)
+	}
+	found := false
+	for _, a := range s.Before {
+		if a.Object == (Object{"s", "state"}) && a.Kind == Store && a.Distance == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("store_mb access not before barrier: %+v", s.Before)
+	}
+	foundAfter := false
+	for _, a := range s.After {
+		if a.Object == (Object{"s", "waiters"}) && a.Kind == Load {
+			foundAfter = true
+		}
+	}
+	if !foundAfter {
+		t.Errorf("following load missing: %+v", s.After)
+	}
+}
+
+func TestBeforeAfterAtomicBarriers(t *testing.T) {
+	// smp_mb__before_atomic turns the following void atomic into a
+	// barrier; both the helper and the atomic's own access are visible.
+	src := `
+struct s { int refs; long data; };
+void drop(struct s *p) {
+	p->data = 0;
+	smp_mb__before_atomic();
+	atomic_inc(&p->refs);
+}`
+	sites := extract(t, src, "drop")
+	if len(sites) != 1 {
+		t.Fatalf("sites = %v", sites)
+	}
+	s := sites[0]
+	if s.Name != "smp_mb__before_atomic" || s.Kind != memmodel.FullBarrier {
+		t.Errorf("site = %v", s)
+	}
+	var dataBefore, refsAfter bool
+	for _, a := range s.Before {
+		if a.Object == (Object{"s", "data"}) && a.Kind == Store {
+			dataBefore = true
+		}
+	}
+	for _, a := range s.After {
+		if a.Object == (Object{"s", "refs"}) {
+			refsAfter = true
+		}
+	}
+	if !dataBefore || !refsAfter {
+		t.Errorf("before=%v after=%v (data=%v refs=%v)", s.Before, s.After, dataBefore, refsAfter)
+	}
+}
+
+func TestAtomicWithSemanticsIsNotASite(t *testing.T) {
+	// atomic_inc_and_test has barrier semantics but is not itself a
+	// pairing site (Table 1 primitives and seqcount APIs are).
+	src := `
+struct s { int cnt; long data; };
+void f(struct s *p) {
+	p->data = 1;
+	if (atomic_inc_and_test(&p->cnt))
+		use(p);
+}`
+	sites := extract(t, src, "f")
+	if len(sites) != 0 {
+		t.Errorf("atomic created sites: %v", sites)
+	}
+}
+
+func TestExtraWakeUpsOption(t *testing.T) {
+	// A custom IPC primitive registered via ExtraWakeUps acts exactly like
+	// wake_up_process: implicit read barrier, bounds exploration.
+	src := `
+struct d { int ready; struct worker *w; };
+void publish(struct d *p) {
+	p->ready = 1;
+	smp_wmb();
+	my_custom_notify(p->w);
+}`
+	f, _ := cparser.ParseSource("t.c", src, cpp.Options{})
+	tbl := ctypes.NewTable(f)
+
+	// Without the extension: no wake-up detected.
+	plain := NewExtractor("t.c", tbl, Defaults())
+	s := plain.ExtractFn(f.Function("publish"))[0]
+	if s.WakeUpAfter != -1 {
+		t.Errorf("unknown call detected as wake-up: %v", s)
+	}
+
+	// With the extension: the custom notify is the implicit barrier.
+	opts := Defaults()
+	opts.ExtraWakeUps = []string{"my_custom_notify"}
+	ext := NewExtractor("t.c", tbl, opts)
+	s = ext.ExtractFn(f.Function("publish"))[0]
+	if s.WakeUpAfter != 1 {
+		t.Errorf("custom wake-up missed: %v", s)
+	}
+	if s.NextBarrierAfter != 1 || s.NextBarrierName != "my_custom_notify" {
+		t.Errorf("custom wake-up does not bound exploration: %v", s)
+	}
+}
+
+func TestExtraBarrierSemanticsOption(t *testing.T) {
+	src := `
+struct s { int a; int b; int c; };
+void w(struct s *p) {
+	p->a = 1;
+	smp_wmb();
+	p->b = 2;
+	my_fenced_op(p);
+	p->c = 3;
+}`
+	f, _ := cparser.ParseSource("t.c", src, cpp.Options{})
+	tbl := ctypes.NewTable(f)
+
+	opts := Defaults()
+	opts.ExtraBarrierSemantics = []string{"my_fenced_op"}
+	ext := NewExtractor("t.c", tbl, opts)
+	s := ext.ExtractFn(f.Function("w"))[0]
+	for _, a := range s.After {
+		if a.Object.Field == "c" {
+			t.Error("exploration crossed the registered barrier-semantics call")
+		}
+	}
+}

@@ -1,0 +1,475 @@
+// Package cast defines the abstract syntax tree for the C subset parsed by
+// internal/cparser, plus a visitor and a source printer.
+//
+// The tree deliberately models what OFence's analysis consumes: function
+// bodies as statement lists with positions (for the statement-distance
+// metric), struct/typedef declarations (for shared-object typing), and
+// expressions rich enough to classify loads and stores to struct fields.
+package cast
+
+import (
+	"ofence/internal/ctoken"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() ctoken.Position
+}
+
+// ---------------------------------------------------------------------------
+// Types (syntactic type expressions; semantic resolution is in internal/ctypes)
+
+// TypeExpr is a syntactic type: base name(s), struct/union reference,
+// pointer depth, array dimensions.
+type TypeExpr struct {
+	Position ctoken.Position
+	// Name is the flattened base type: "int", "unsigned long", "u32",
+	// "struct foo", "union bar", "enum baz", or a typedef name.
+	Name string
+	// Struct is non-empty when the type is "struct X" / "union X"; it holds X.
+	Struct string
+	// Union marks "union X" (Struct still holds the tag).
+	Union bool
+	// Pointers is the number of '*' levels.
+	Pointers int
+	// ArrayDims counts array dimensions ("[]", "[N]").
+	ArrayDims int
+	// Qualifiers such as const/volatile are dropped except for record keeping.
+	Const    bool
+	Volatile bool
+}
+
+func (t *TypeExpr) Pos() ctoken.Position { return t.Position }
+
+// String renders the type compactly.
+func (t *TypeExpr) String() string {
+	s := t.Name
+	for i := 0; i < t.Pointers; i++ {
+		s += "*"
+	}
+	for i := 0; i < t.ArrayDims; i++ {
+		s += "[]"
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// File is one translation unit after preprocessing.
+type File struct {
+	Name     string
+	Decls    []Decl
+	Position ctoken.Position
+}
+
+func (f *File) Pos() ctoken.Position { return f.Position }
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// StructDecl declares struct/union X { fields }.
+type StructDecl struct {
+	Position ctoken.Position
+	Tag      string // struct tag; may be "" for anonymous (then TypedefAs set)
+	Union    bool
+	Fields   []*FieldDecl
+}
+
+func (*StructDecl) declNode()              {}
+func (d *StructDecl) Pos() ctoken.Position { return d.Position }
+
+// FieldDecl is one field of a struct/union.
+type FieldDecl struct {
+	Position ctoken.Position
+	Name     string
+	Type     *TypeExpr
+	BitField bool // declared with ":width"
+}
+
+func (d *FieldDecl) Pos() ctoken.Position { return d.Position }
+
+// TypedefDecl declares "typedef <type> Name;". When the underlying type is an
+// anonymous or tagged struct, Struct points at its declaration.
+type TypedefDecl struct {
+	Position ctoken.Position
+	Name     string
+	Type     *TypeExpr
+	Struct   *StructDecl // non-nil when typedef of struct { ... }
+}
+
+func (*TypedefDecl) declNode()              {}
+func (d *TypedefDecl) Pos() ctoken.Position { return d.Position }
+
+// EnumDecl declares "enum X { A, B = 2, ... };". Enumerators are recorded as
+// names only; OFence treats them as integer constants.
+type EnumDecl struct {
+	Position ctoken.Position
+	Tag      string
+	Names    []string
+}
+
+func (*EnumDecl) declNode()              {}
+func (d *EnumDecl) Pos() ctoken.Position { return d.Position }
+
+// VarDecl is a file-scope variable declaration (or extern).
+type VarDecl struct {
+	Position ctoken.Position
+	Name     string
+	Type     *TypeExpr
+	Init     Expr // may be nil
+	Extern   bool
+	Static   bool
+}
+
+func (*VarDecl) declNode()              {}
+func (d *VarDecl) Pos() ctoken.Position { return d.Position }
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	Position ctoken.Position
+	Name     string // may be "" in prototypes
+	Type     *TypeExpr
+}
+
+func (d *ParamDecl) Pos() ctoken.Position { return d.Position }
+
+// FuncDecl is a function definition or prototype.
+type FuncDecl struct {
+	Position ctoken.Position
+	Name     string
+	Result   *TypeExpr
+	Params   []*ParamDecl
+	Variadic bool
+	Body     *BlockStmt // nil for prototypes
+	Static   bool
+	Inline   bool
+}
+
+func (*FuncDecl) declNode()              {}
+func (d *FuncDecl) Pos() ctoken.Position { return d.Position }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is "{ ... }".
+type BlockStmt struct {
+	Position ctoken.Position
+	Stmts    []Stmt
+}
+
+func (*BlockStmt) stmtNode()              {}
+func (s *BlockStmt) Pos() ctoken.Position { return s.Position }
+
+// DeclStmt is a local declaration, possibly with an initializer.
+type DeclStmt struct {
+	Position ctoken.Position
+	Name     string
+	Type     *TypeExpr
+	Init     Expr // may be nil
+}
+
+func (*DeclStmt) stmtNode()              {}
+func (s *DeclStmt) Pos() ctoken.Position { return s.Position }
+
+// ExprStmt is "expr;".
+type ExprStmt struct {
+	Position ctoken.Position
+	X        Expr
+}
+
+func (*ExprStmt) stmtNode()              {}
+func (s *ExprStmt) Pos() ctoken.Position { return s.Position }
+
+// IfStmt is "if (Cond) Then else Else".
+type IfStmt struct {
+	Position ctoken.Position
+	Cond     Expr
+	Then     Stmt
+	Else     Stmt // may be nil
+}
+
+func (*IfStmt) stmtNode()              {}
+func (s *IfStmt) Pos() ctoken.Position { return s.Position }
+
+// ForStmt is "for (Init; Cond; Post) Body". Init may be a DeclStmt or
+// ExprStmt; any of the three clauses may be nil.
+type ForStmt struct {
+	Position ctoken.Position
+	Init     Stmt
+	Cond     Expr
+	Post     Expr
+	Body     Stmt
+}
+
+func (*ForStmt) stmtNode()              {}
+func (s *ForStmt) Pos() ctoken.Position { return s.Position }
+
+// WhileStmt is "while (Cond) Body".
+type WhileStmt struct {
+	Position ctoken.Position
+	Cond     Expr
+	Body     Stmt
+}
+
+func (*WhileStmt) stmtNode()              {}
+func (s *WhileStmt) Pos() ctoken.Position { return s.Position }
+
+// DoWhileStmt is "do Body while (Cond);".
+type DoWhileStmt struct {
+	Position ctoken.Position
+	Body     Stmt
+	Cond     Expr
+}
+
+func (*DoWhileStmt) stmtNode()              {}
+func (s *DoWhileStmt) Pos() ctoken.Position { return s.Position }
+
+// SwitchStmt is "switch (Tag) Body" where Body contains CaseStmt labels.
+type SwitchStmt struct {
+	Position ctoken.Position
+	Tag      Expr
+	Body     *BlockStmt
+}
+
+func (*SwitchStmt) stmtNode()              {}
+func (s *SwitchStmt) Pos() ctoken.Position { return s.Position }
+
+// CaseStmt is "case X:" or "default:".
+type CaseStmt struct {
+	Position ctoken.Position
+	Value    Expr // nil for default
+}
+
+func (*CaseStmt) stmtNode()              {}
+func (s *CaseStmt) Pos() ctoken.Position { return s.Position }
+
+// ReturnStmt is "return [expr];".
+type ReturnStmt struct {
+	Position ctoken.Position
+	Value    Expr // may be nil
+}
+
+func (*ReturnStmt) stmtNode()              {}
+func (s *ReturnStmt) Pos() ctoken.Position { return s.Position }
+
+// BreakStmt is "break;".
+type BreakStmt struct{ Position ctoken.Position }
+
+func (*BreakStmt) stmtNode()              {}
+func (s *BreakStmt) Pos() ctoken.Position { return s.Position }
+
+// ContinueStmt is "continue;".
+type ContinueStmt struct{ Position ctoken.Position }
+
+func (*ContinueStmt) stmtNode()              {}
+func (s *ContinueStmt) Pos() ctoken.Position { return s.Position }
+
+// GotoStmt is "goto Label;".
+type GotoStmt struct {
+	Position ctoken.Position
+	Label    string
+}
+
+func (*GotoStmt) stmtNode()              {}
+func (s *GotoStmt) Pos() ctoken.Position { return s.Position }
+
+// LabelStmt is "Label:".
+type LabelStmt struct {
+	Position ctoken.Position
+	Name     string
+}
+
+func (*LabelStmt) stmtNode()              {}
+func (s *LabelStmt) Pos() ctoken.Position { return s.Position }
+
+// EmptyStmt is ";".
+type EmptyStmt struct{ Position ctoken.Position }
+
+func (*EmptyStmt) stmtNode()              {}
+func (s *EmptyStmt) Pos() ctoken.Position { return s.Position }
+
+// AsmStmt is inline assembly; its contents are opaque to the analysis.
+type AsmStmt struct {
+	Position ctoken.Position
+	Text     string
+}
+
+func (*AsmStmt) stmtNode()              {}
+func (s *AsmStmt) Pos() ctoken.Position { return s.Position }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a name use.
+type Ident struct {
+	Position ctoken.Position
+	Name     string
+}
+
+func (*Ident) exprNode()              {}
+func (e *Ident) Pos() ctoken.Position { return e.Position }
+
+// Lit is an integer, float, char, or string literal.
+type Lit struct {
+	Position ctoken.Position
+	Kind     ctoken.Kind // Int, Float, Char, String
+	Text     string
+}
+
+func (*Lit) exprNode()              {}
+func (e *Lit) Pos() ctoken.Position { return e.Position }
+
+// FieldExpr is "X.Name" or "X->Name" (Arrow distinguishes).
+type FieldExpr struct {
+	Position ctoken.Position
+	X        Expr
+	Name     string
+	Arrow    bool
+}
+
+func (*FieldExpr) exprNode()              {}
+func (e *FieldExpr) Pos() ctoken.Position { return e.Position }
+
+// IndexExpr is "X[Index]".
+type IndexExpr struct {
+	Position ctoken.Position
+	X        Expr
+	Index    Expr
+}
+
+func (*IndexExpr) exprNode()              {}
+func (e *IndexExpr) Pos() ctoken.Position { return e.Position }
+
+// CallExpr is "Fun(Args...)". Fun is usually an Ident.
+type CallExpr struct {
+	Position ctoken.Position
+	Fun      Expr
+	Args     []Expr
+}
+
+func (*CallExpr) exprNode()              {}
+func (e *CallExpr) Pos() ctoken.Position { return e.Position }
+
+// FunName returns the called function's name when Fun is a plain identifier,
+// else "".
+func (e *CallExpr) FunName() string {
+	if id, ok := e.Fun.(*Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// UnaryExpr is a prefix operator: !x, -x, ~x, *x, &x, ++x, --x, sizeof x.
+type UnaryExpr struct {
+	Position ctoken.Position
+	Op       ctoken.Kind // Not, Minus, Plus, Tilde, Star, Amp, PlusPlus, MinusMinus
+	Sizeof   bool
+	X        Expr
+}
+
+func (*UnaryExpr) exprNode()              {}
+func (e *UnaryExpr) Pos() ctoken.Position { return e.Position }
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	Position ctoken.Position
+	Op       ctoken.Kind // PlusPlus, MinusMinus
+	X        Expr
+}
+
+func (*PostfixExpr) exprNode()              {}
+func (e *PostfixExpr) Pos() ctoken.Position { return e.Position }
+
+// BinaryExpr is "X op Y" for arithmetic/logical/comparison operators.
+type BinaryExpr struct {
+	Position ctoken.Position
+	Op       ctoken.Kind
+	X, Y     Expr
+}
+
+func (*BinaryExpr) exprNode()              {}
+func (e *BinaryExpr) Pos() ctoken.Position { return e.Position }
+
+// AssignExpr is "X op= Y" (op may be plain Assign).
+type AssignExpr struct {
+	Position ctoken.Position
+	Op       ctoken.Kind // Assign, PlusAssign, ...
+	X, Y     Expr
+}
+
+func (*AssignExpr) exprNode()              {}
+func (e *AssignExpr) Pos() ctoken.Position { return e.Position }
+
+// CondExpr is "Cond ? Then : Else".
+type CondExpr struct {
+	Position ctoken.Position
+	Cond     Expr
+	Then     Expr
+	Else     Expr
+}
+
+func (*CondExpr) exprNode()              {}
+func (e *CondExpr) Pos() ctoken.Position { return e.Position }
+
+// CastExpr is "(Type)X".
+type CastExpr struct {
+	Position ctoken.Position
+	Type     *TypeExpr
+	X        Expr
+}
+
+func (*CastExpr) exprNode()              {}
+func (e *CastExpr) Pos() ctoken.Position { return e.Position }
+
+// CommaExpr is "X, Y".
+type CommaExpr struct {
+	Position ctoken.Position
+	X, Y     Expr
+}
+
+func (*CommaExpr) exprNode()              {}
+func (e *CommaExpr) Pos() ctoken.Position { return e.Position }
+
+// SizeofTypeExpr is "sizeof(Type)".
+type SizeofTypeExpr struct {
+	Position ctoken.Position
+	Type     *TypeExpr
+}
+
+func (*SizeofTypeExpr) exprNode()              {}
+func (e *SizeofTypeExpr) Pos() ctoken.Position { return e.Position }
+
+// InitListExpr is "{a, b, .f = c}" used in initializers.
+type InitListExpr struct {
+	Position ctoken.Position
+	Elems    []Expr
+}
+
+func (*InitListExpr) exprNode()              {}
+func (e *InitListExpr) Pos() ctoken.Position { return e.Position }
+
+// StmtExpr is a GNU statement expression "({ ...; v; })", pervasive in
+// kernel macros. Only the contained block is retained.
+type StmtExpr struct {
+	Position ctoken.Position
+	Block    *BlockStmt
+}
+
+func (*StmtExpr) exprNode()              {}
+func (e *StmtExpr) Pos() ctoken.Position { return e.Position }

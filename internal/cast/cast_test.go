@@ -1,0 +1,333 @@
+package cast
+
+import (
+	"strings"
+	"testing"
+
+	"ofence/internal/ctoken"
+)
+
+// Hand-built trees avoid importing cparser (which would create an import
+// cycle in tests-of-the-lower-layer); parser round trips live in cparser's
+// tests.
+
+func pos(line int) ctoken.Position { return ctoken.Position{File: "t.c", Line: line, Col: 1} }
+
+func sampleFunc() *FuncDecl {
+	// void fn(struct s *p) { if (!p->a) return; smp_rmb(); p->b = p->a + 1; }
+	return &FuncDecl{
+		Position: pos(1),
+		Name:     "fn",
+		Result:   &TypeExpr{Position: pos(1), Name: "void"},
+		Params: []*ParamDecl{
+			{Position: pos(1), Name: "p", Type: &TypeExpr{Position: pos(1), Name: "struct s", Struct: "s", Pointers: 1}},
+		},
+		Body: &BlockStmt{
+			Position: pos(1),
+			Stmts: []Stmt{
+				&IfStmt{
+					Position: pos(2),
+					Cond: &UnaryExpr{Position: pos(2), Op: ctoken.Not, X: &FieldExpr{
+						Position: pos(2), X: &Ident{Position: pos(2), Name: "p"}, Name: "a", Arrow: true}},
+					Then: &ReturnStmt{Position: pos(3)},
+				},
+				&ExprStmt{Position: pos(4), X: &CallExpr{
+					Position: pos(4), Fun: &Ident{Position: pos(4), Name: "smp_rmb"}}},
+				&ExprStmt{Position: pos(5), X: &AssignExpr{
+					Position: pos(5), Op: ctoken.Assign,
+					X: &FieldExpr{Position: pos(5), X: &Ident{Position: pos(5), Name: "p"}, Name: "b", Arrow: true},
+					Y: &BinaryExpr{Position: pos(5), Op: ctoken.Plus,
+						X: &FieldExpr{Position: pos(5), X: &Ident{Position: pos(5), Name: "p"}, Name: "a", Arrow: true},
+						Y: &Lit{Position: pos(5), Kind: ctoken.Int, Text: "1"}},
+				}},
+			},
+		},
+	}
+}
+
+func TestPrintFunction(t *testing.T) {
+	out := Print(sampleFunc())
+	want := `void fn(struct s *p) {
+	if (!p->a)
+		return;
+	smp_rmb();
+	p->b = p->a + 1;
+}`
+	if out != want {
+		t.Errorf("Print:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestPrintPointerStyle(t *testing.T) {
+	vd := &VarDecl{Position: pos(1), Name: "gp",
+		Type: &TypeExpr{Position: pos(1), Name: "struct s", Struct: "s", Pointers: 2}}
+	out := Print(vd)
+	if out != "struct s **gp;" {
+		t.Errorf("Print = %q", out)
+	}
+}
+
+func TestPrintPrecedenceParens(t *testing.T) {
+	// (a + b) * c must keep its parentheses; a + b * c must not add any.
+	mul := &BinaryExpr{Position: pos(1), Op: ctoken.Star,
+		X: &BinaryExpr{Position: pos(1), Op: ctoken.Plus,
+			X: &Ident{Position: pos(1), Name: "a"}, Y: &Ident{Position: pos(1), Name: "b"}},
+		Y: &Ident{Position: pos(1), Name: "c"},
+	}
+	if got := Print(mul); got != "(a + b) * c" {
+		t.Errorf("got %q", got)
+	}
+	add := &BinaryExpr{Position: pos(1), Op: ctoken.Plus,
+		X: &Ident{Position: pos(1), Name: "a"},
+		Y: &BinaryExpr{Position: pos(1), Op: ctoken.Star,
+			X: &Ident{Position: pos(1), Name: "b"}, Y: &Ident{Position: pos(1), Name: "c"}},
+	}
+	if got := Print(add); got != "a + b * c" {
+		t.Errorf("got %q", got)
+	}
+	// Unary on a binary operand.
+	not := &UnaryExpr{Position: pos(1), Op: ctoken.Not,
+		X: &BinaryExpr{Position: pos(1), Op: ctoken.AmpAmp,
+			X: &Ident{Position: pos(1), Name: "a"}, Y: &Ident{Position: pos(1), Name: "b"}}}
+	if got := Print(not); got != "!(a && b)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPrintElseIfChain(t *testing.T) {
+	chain := &IfStmt{
+		Position: pos(1),
+		Cond:     &Ident{Position: pos(1), Name: "a"},
+		Then:     &BlockStmt{Position: pos(1)},
+		Else: &IfStmt{
+			Position: pos(2),
+			Cond:     &Ident{Position: pos(2), Name: "b"},
+			Then:     &BlockStmt{Position: pos(2)},
+		},
+	}
+	out := Print(chain)
+	if !strings.Contains(out, "} else if (b) {") {
+		t.Errorf("else-if not chained:\n%s", out)
+	}
+}
+
+func TestCloneFuncIndependence(t *testing.T) {
+	orig := sampleFunc()
+	clone, m := CloneFunc(orig)
+	if Print(orig) != Print(clone) {
+		t.Fatalf("clone prints differently:\n%s\nvs\n%s", Print(orig), Print(clone))
+	}
+	// Mutating the clone must not affect the original.
+	clone.Body.Stmts = clone.Body.Stmts[:1]
+	if len(orig.Body.Stmts) != 3 {
+		t.Error("clone mutation leaked into original")
+	}
+	// The map must cover the roots and the statements.
+	if m[orig] != clone {
+		t.Error("map missing FuncDecl")
+	}
+	for _, s := range orig.Body.Stmts {
+		if m[s] == nil {
+			t.Errorf("map missing stmt %T", s)
+		}
+	}
+}
+
+func TestCloneMapsExpressions(t *testing.T) {
+	orig := sampleFunc()
+	_, m := CloneFunc(orig)
+	count := 0
+	Walk(orig, func(n Node) bool {
+		if _, ok := n.(Expr); ok {
+			if m[n] == nil {
+				t.Errorf("expression %T not mapped", n)
+			}
+			count++
+		}
+		return true
+	})
+	if count == 0 {
+		t.Fatal("no expressions walked")
+	}
+}
+
+func TestReplaceExpr(t *testing.T) {
+	fn := sampleFunc()
+	// Replace the "1" literal with "2".
+	var lit *Lit
+	Walk(fn, func(n Node) bool {
+		if l, ok := n.(*Lit); ok {
+			lit = l
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatal("no literal found")
+	}
+	ok := ReplaceExpr(fn, lit, &Lit{Position: lit.Position, Kind: ctoken.Int, Text: "2"})
+	if !ok {
+		t.Fatal("replace failed")
+	}
+	if !strings.Contains(Print(fn), "p->a + 2") {
+		t.Errorf("replacement not visible:\n%s", Print(fn))
+	}
+}
+
+func TestReplaceExprNotFound(t *testing.T) {
+	fn := sampleFunc()
+	stranger := &Ident{Name: "zzz"}
+	if ReplaceExpr(fn, stranger, &Ident{Name: "yyy"}) {
+		t.Error("replaced a node not in the tree")
+	}
+}
+
+func TestParentBlockAndRemove(t *testing.T) {
+	fn := sampleFunc()
+	barrier := fn.Body.Stmts[1]
+	b, i := ParentBlock(fn, barrier)
+	if b != fn.Body || i != 1 {
+		t.Fatalf("ParentBlock = %v, %d", b, i)
+	}
+	if !RemoveStmt(fn, barrier) {
+		t.Fatal("remove failed")
+	}
+	if len(fn.Body.Stmts) != 2 {
+		t.Errorf("stmts = %d after removal", len(fn.Body.Stmts))
+	}
+	if strings.Contains(Print(fn), "smp_rmb") {
+		t.Error("removed statement still printed")
+	}
+}
+
+func TestInsertBeforeAfter(t *testing.T) {
+	fn := sampleFunc()
+	barrier := fn.Body.Stmts[1]
+	marker := func(name string) Stmt {
+		return &ExprStmt{Position: pos(9), X: &CallExpr{Position: pos(9), Fun: &Ident{Position: pos(9), Name: name}}}
+	}
+	if !InsertBefore(fn, barrier, marker("before_marker")) {
+		t.Fatal("InsertBefore failed")
+	}
+	if !InsertAfter(fn, barrier, marker("after_marker")) {
+		t.Fatal("InsertAfter failed")
+	}
+	out := Print(fn)
+	ib := strings.Index(out, "before_marker")
+	ibar := strings.Index(out, "smp_rmb")
+	ia := strings.Index(out, "after_marker")
+	if !(ib < ibar && ibar < ia) {
+		t.Errorf("order wrong:\n%s", out)
+	}
+}
+
+func TestContainingStmt(t *testing.T) {
+	fn := sampleFunc()
+	// The condition's field expr is contained by the IfStmt.
+	ifStmt := fn.Body.Stmts[0].(*IfStmt)
+	fe := ifStmt.Cond.(*UnaryExpr).X.(*FieldExpr)
+	got := ContainingStmt(fn, fe)
+	if got != ifStmt {
+		t.Errorf("ContainingStmt = %T, want the IfStmt", got)
+	}
+	// A node not in the function yields nil.
+	if ContainingStmt(fn, &Ident{Name: "zz"}) != nil {
+		t.Error("found a stranger")
+	}
+}
+
+func TestContainingStmtNestedBlock(t *testing.T) {
+	// Statements inside nested blocks resolve to the innermost direct
+	// child, not the whole block.
+	inner := &ExprStmt{Position: pos(3), X: &Ident{Position: pos(3), Name: "x"}}
+	fn := &FuncDecl{
+		Position: pos(1), Name: "f",
+		Result: &TypeExpr{Position: pos(1), Name: "void"},
+		Body: &BlockStmt{Position: pos(1), Stmts: []Stmt{
+			&BlockStmt{Position: pos(2), Stmts: []Stmt{inner}},
+		}},
+	}
+	got := ContainingStmt(fn, inner.X)
+	if got != inner {
+		t.Errorf("got %T", got)
+	}
+}
+
+func TestWalkHelpersOnHandBuiltTree(t *testing.T) {
+	fn := sampleFunc()
+	if calls := Calls(fn); len(calls) != 1 || calls[0].FunName() != "smp_rmb" {
+		t.Errorf("Calls = %v", calls)
+	}
+	if fields := FieldAccesses(fn); len(fields) != 3 {
+		t.Errorf("FieldAccesses = %d, want 3", len(fields))
+	}
+	names := map[string]int{}
+	for _, id := range Idents(fn) {
+		names[id.Name]++
+	}
+	if names["p"] != 3 {
+		t.Errorf("p used %d times, want 3", names["p"])
+	}
+}
+
+func TestTypeExprString(t *testing.T) {
+	cases := []struct {
+		te   TypeExpr
+		want string
+	}{
+		{TypeExpr{Name: "int"}, "int"},
+		{TypeExpr{Name: "struct s", Struct: "s", Pointers: 1}, "struct s*"},
+		{TypeExpr{Name: "char", ArrayDims: 1}, "char[]"},
+		{TypeExpr{Name: "u64", Pointers: 2, ArrayDims: 1}, "u64**[]"},
+	}
+	for _, c := range cases {
+		if got := c.te.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.te, got, c.want)
+		}
+	}
+}
+
+func TestFilePositionHelpers(t *testing.T) {
+	f := &File{Name: "x.c", Position: pos(1)}
+	fn := sampleFunc()
+	f.Decls = append(f.Decls, fn, &FuncDecl{Position: pos(9), Name: "proto", Result: &TypeExpr{Name: "int"}})
+	if got := f.Function("fn"); got != fn {
+		t.Error("Function lookup failed")
+	}
+	if f.Function("proto") != nil {
+		t.Error("prototype returned as definition")
+	}
+	if len(f.Functions()) != 1 {
+		t.Error("Functions should exclude prototypes")
+	}
+}
+
+func TestPrintDoWhileSingleStmt(t *testing.T) {
+	dw := &DoWhileStmt{
+		Position: pos(1),
+		Body:     &ExprStmt{Position: pos(1), X: &Ident{Position: pos(1), Name: "x"}},
+		Cond:     &Ident{Position: pos(1), Name: "c"},
+	}
+	out := Print(dw)
+	if !strings.Contains(out, "do") || !strings.Contains(out, "while (c);") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestPrintSwitch(t *testing.T) {
+	sw := &SwitchStmt{
+		Position: pos(1),
+		Tag:      &Ident{Position: pos(1), Name: "n"},
+		Body: &BlockStmt{Position: pos(1), Stmts: []Stmt{
+			&CaseStmt{Position: pos(2), Value: &Lit{Position: pos(2), Kind: ctoken.Int, Text: "1"}},
+			&BreakStmt{Position: pos(3)},
+			&CaseStmt{Position: pos(4)},
+			&ExprStmt{Position: pos(5), X: &Ident{Position: pos(5), Name: "d"}},
+		}},
+	}
+	out := Print(sw)
+	for _, want := range []string{"switch (n)", "case 1:", "break;", "default:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

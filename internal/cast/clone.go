@@ -1,0 +1,152 @@
+package cast
+
+// CloneMap records the correspondence between original and cloned nodes so
+// that analyses holding pointers into the original tree can find their
+// counterparts in the clone.
+type CloneMap map[Node]Node
+
+// CloneFunc deep-copies a function declaration. The returned map sends every
+// original node (including the FuncDecl itself) to its clone.
+func CloneFunc(fn *FuncDecl) (*FuncDecl, CloneMap) {
+	m := CloneMap{}
+	c := cloneFuncDecl(fn, m)
+	return c, m
+}
+
+func cloneFuncDecl(fn *FuncDecl, m CloneMap) *FuncDecl {
+	if fn == nil {
+		return nil
+	}
+	c := &FuncDecl{
+		Position: fn.Position, Name: fn.Name,
+		Result: cloneType(fn.Result, m), Variadic: fn.Variadic,
+		Static: fn.Static, Inline: fn.Inline,
+	}
+	for _, p := range fn.Params {
+		cp := &ParamDecl{Position: p.Position, Name: p.Name, Type: cloneType(p.Type, m)}
+		m[p] = cp
+		c.Params = append(c.Params, cp)
+	}
+	if fn.Body != nil {
+		c.Body = cloneStmt(fn.Body, m).(*BlockStmt)
+	}
+	m[fn] = c
+	return c
+}
+
+func cloneType(t *TypeExpr, m CloneMap) *TypeExpr {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	m[t] = &c
+	return &c
+}
+
+func cloneStmt(s Stmt, m CloneMap) Stmt {
+	if s == nil {
+		return nil
+	}
+	var c Stmt
+	switch x := s.(type) {
+	case *BlockStmt:
+		nb := &BlockStmt{Position: x.Position}
+		for _, st := range x.Stmts {
+			nb.Stmts = append(nb.Stmts, cloneStmt(st, m))
+		}
+		c = nb
+	case *DeclStmt:
+		c = &DeclStmt{Position: x.Position, Name: x.Name, Type: cloneType(x.Type, m), Init: cloneExpr(x.Init, m)}
+	case *ExprStmt:
+		c = &ExprStmt{Position: x.Position, X: cloneExpr(x.X, m)}
+	case *IfStmt:
+		c = &IfStmt{Position: x.Position, Cond: cloneExpr(x.Cond, m), Then: cloneStmt(x.Then, m), Else: cloneStmt(x.Else, m)}
+	case *ForStmt:
+		c = &ForStmt{Position: x.Position, Init: cloneStmt(x.Init, m), Cond: cloneExpr(x.Cond, m), Post: cloneExpr(x.Post, m), Body: cloneStmt(x.Body, m)}
+	case *WhileStmt:
+		c = &WhileStmt{Position: x.Position, Cond: cloneExpr(x.Cond, m), Body: cloneStmt(x.Body, m)}
+	case *DoWhileStmt:
+		c = &DoWhileStmt{Position: x.Position, Body: cloneStmt(x.Body, m), Cond: cloneExpr(x.Cond, m)}
+	case *SwitchStmt:
+		var body *BlockStmt
+		if x.Body != nil {
+			body = cloneStmt(x.Body, m).(*BlockStmt)
+		}
+		c = &SwitchStmt{Position: x.Position, Tag: cloneExpr(x.Tag, m), Body: body}
+	case *CaseStmt:
+		c = &CaseStmt{Position: x.Position, Value: cloneExpr(x.Value, m)}
+	case *ReturnStmt:
+		c = &ReturnStmt{Position: x.Position, Value: cloneExpr(x.Value, m)}
+	case *BreakStmt:
+		c = &BreakStmt{Position: x.Position}
+	case *ContinueStmt:
+		c = &ContinueStmt{Position: x.Position}
+	case *GotoStmt:
+		c = &GotoStmt{Position: x.Position, Label: x.Label}
+	case *LabelStmt:
+		c = &LabelStmt{Position: x.Position, Name: x.Name}
+	case *EmptyStmt:
+		c = &EmptyStmt{Position: x.Position}
+	case *AsmStmt:
+		c = &AsmStmt{Position: x.Position, Text: x.Text}
+	default:
+		return s
+	}
+	m[s] = c
+	return c
+}
+
+func cloneExpr(e Expr, m CloneMap) Expr {
+	if e == nil {
+		return nil
+	}
+	var c Expr
+	switch x := e.(type) {
+	case *Ident:
+		c = &Ident{Position: x.Position, Name: x.Name}
+	case *Lit:
+		c = &Lit{Position: x.Position, Kind: x.Kind, Text: x.Text}
+	case *FieldExpr:
+		c = &FieldExpr{Position: x.Position, X: cloneExpr(x.X, m), Name: x.Name, Arrow: x.Arrow}
+	case *IndexExpr:
+		c = &IndexExpr{Position: x.Position, X: cloneExpr(x.X, m), Index: cloneExpr(x.Index, m)}
+	case *CallExpr:
+		nc := &CallExpr{Position: x.Position, Fun: cloneExpr(x.Fun, m)}
+		for _, a := range x.Args {
+			nc.Args = append(nc.Args, cloneExpr(a, m))
+		}
+		c = nc
+	case *UnaryExpr:
+		c = &UnaryExpr{Position: x.Position, Op: x.Op, Sizeof: x.Sizeof, X: cloneExpr(x.X, m)}
+	case *PostfixExpr:
+		c = &PostfixExpr{Position: x.Position, Op: x.Op, X: cloneExpr(x.X, m)}
+	case *BinaryExpr:
+		c = &BinaryExpr{Position: x.Position, Op: x.Op, X: cloneExpr(x.X, m), Y: cloneExpr(x.Y, m)}
+	case *AssignExpr:
+		c = &AssignExpr{Position: x.Position, Op: x.Op, X: cloneExpr(x.X, m), Y: cloneExpr(x.Y, m)}
+	case *CondExpr:
+		c = &CondExpr{Position: x.Position, Cond: cloneExpr(x.Cond, m), Then: cloneExpr(x.Then, m), Else: cloneExpr(x.Else, m)}
+	case *CastExpr:
+		c = &CastExpr{Position: x.Position, Type: cloneType(x.Type, m), X: cloneExpr(x.X, m)}
+	case *CommaExpr:
+		c = &CommaExpr{Position: x.Position, X: cloneExpr(x.X, m), Y: cloneExpr(x.Y, m)}
+	case *SizeofTypeExpr:
+		c = &SizeofTypeExpr{Position: x.Position, Type: cloneType(x.Type, m)}
+	case *InitListExpr:
+		nl := &InitListExpr{Position: x.Position}
+		for _, el := range x.Elems {
+			nl.Elems = append(nl.Elems, cloneExpr(el, m))
+		}
+		c = nl
+	case *StmtExpr:
+		var blk *BlockStmt
+		if x.Block != nil {
+			blk = cloneStmt(x.Block, m).(*BlockStmt)
+		}
+		c = &StmtExpr{Position: x.Position, Block: blk}
+	default:
+		return e
+	}
+	m[e] = c
+	return c
+}

@@ -1,0 +1,184 @@
+package cast_test
+
+// External test (package cast_test) so it can drive the full pipeline
+// through cparser without an import cycle: every AST node kind is parsed,
+// walked, printed, cloned and position-checked.
+
+import (
+	"fmt"
+	"testing"
+
+	"ofence/internal/cast"
+	"ofence/internal/cparser"
+	"ofence/internal/cpp"
+)
+
+// kitchenSink contains every declaration, statement and expression form the
+// subset grammar produces.
+const kitchenSink = `
+struct tag { int a; unsigned int bf : 3; char name[8]; struct tag *next; };
+union mix { long l; double d; };
+enum color { RED, GREEN = 2, BLUE };
+typedef struct tag tag_t;
+typedef unsigned long ulong_t;
+extern int global_counter;
+static struct tag origin = { 1 };
+int proto(struct tag *t, ...);
+
+static inline long everything(struct tag *t, ulong_t n) {
+	int i;
+	long acc = 0, extra = 1;
+	tag_t local;
+	if (t->a > 0) {
+		acc += t->a;
+	} else if (!t->next) {
+		acc--;
+	} else {
+		acc = -acc;
+	}
+	for (i = 0; i < 4; i++)
+		acc += i;
+	while (n > 0)
+		n--;
+	do {
+		acc ^= 3;
+	} while (acc & 1);
+	switch (t->a) {
+	case 1:
+		acc = 10;
+		break;
+	case 2:
+	default:
+		acc = 20;
+	}
+	acc = t->a ? t->a : -1;
+	acc = (long)t->name[0] + sizeof(struct tag) + sizeof acc;
+	acc = ({ int tmp = t->a; tmp * 2; });
+	acc = ~acc | (acc << 1) & (acc >> 1) ^ 5;
+	acc = acc == 0 || acc != 1 && acc <= 2;
+	t->next->a = proto(t, acc, extra), acc++;
+	--acc;
+	*(&local.a) = 7;
+	goto out;
+out:
+	return acc + local.a + origin.a;
+}
+`
+
+func parseSink(t *testing.T) *cast.File {
+	t.Helper()
+	f, errs := cparser.ParseSource("sink.c", kitchenSink, cpp.Options{})
+	for _, err := range errs {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestKitchenSinkEveryNodeKindPresent(t *testing.T) {
+	f := parseSink(t)
+	kinds := map[string]int{}
+	cast.Walk(f, func(n cast.Node) bool {
+		kinds[fmt.Sprintf("%T", n)]++
+		if !n.Pos().IsValid() {
+			// TypeExpr of synthesized nodes may lack positions; all parsed
+			// nodes must carry one.
+			switch n.(type) {
+			case *cast.TypeExpr:
+			default:
+				t.Errorf("node %T has no position", n)
+			}
+		}
+		return true
+	})
+	for _, want := range []string{
+		"*cast.File", "*cast.StructDecl", "*cast.FieldDecl", "*cast.EnumDecl",
+		"*cast.TypedefDecl", "*cast.VarDecl", "*cast.FuncDecl", "*cast.ParamDecl",
+		"*cast.BlockStmt", "*cast.DeclStmt", "*cast.ExprStmt", "*cast.IfStmt",
+		"*cast.ForStmt", "*cast.WhileStmt", "*cast.DoWhileStmt",
+		"*cast.SwitchStmt", "*cast.CaseStmt", "*cast.ReturnStmt",
+		"*cast.BreakStmt", "*cast.GotoStmt", "*cast.LabelStmt",
+		"*cast.Ident", "*cast.Lit", "*cast.FieldExpr", "*cast.IndexExpr",
+		"*cast.CallExpr", "*cast.UnaryExpr", "*cast.PostfixExpr",
+		"*cast.BinaryExpr", "*cast.AssignExpr", "*cast.CondExpr",
+		"*cast.CastExpr", "*cast.CommaExpr", "*cast.SizeofTypeExpr",
+		"*cast.StmtExpr", "*cast.InitListExpr",
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("kitchen sink missing node kind %s (have: %v)", want, kinds)
+		}
+	}
+}
+
+func TestKitchenSinkPrintStable(t *testing.T) {
+	f := parseSink(t)
+	out1 := cast.Print(f)
+	f2, errs := cparser.ParseSource("sink2.c", out1, cpp.Options{})
+	if len(errs) > 0 {
+		t.Fatalf("reparse: %v\nprinted:\n%s", errs, out1)
+	}
+	out2 := cast.Print(f2)
+	if out1 != out2 {
+		t.Errorf("print not a fixed point:\n--- 1 ---\n%s\n--- 2 ---\n%s", out1, out2)
+	}
+}
+
+func TestKitchenSinkCloneFaithful(t *testing.T) {
+	f := parseSink(t)
+	fn := f.Function("everything")
+	if fn == nil {
+		t.Fatal("everything not found")
+	}
+	clone, m := cast.CloneFunc(fn)
+	if cast.Print(fn) != cast.Print(clone) {
+		t.Fatal("clone prints differently")
+	}
+	// Every node of the original (except bare TypeExprs inside params,
+	// which are mapped too) must have a distinct clone.
+	cast.Walk(fn, func(n cast.Node) bool {
+		c, ok := m[n]
+		if !ok {
+			t.Errorf("node %T unmapped", n)
+			return true
+		}
+		if c == n {
+			t.Errorf("node %T shared with clone", n)
+		}
+		return true
+	})
+	// Mutating every cloned expression must leave the original untouched.
+	before := cast.Print(fn)
+	cast.Walk(clone, func(n cast.Node) bool {
+		if id, ok := n.(*cast.Ident); ok {
+			id.Name = "zz_" + id.Name
+		}
+		return true
+	})
+	if cast.Print(fn) != before {
+		t.Error("clone mutation leaked")
+	}
+}
+
+func TestKitchenSinkContainingStmt(t *testing.T) {
+	f := parseSink(t)
+	fn := f.Function("everything")
+	// Every field expression resolves to some top-level statement.
+	for _, fe := range cast.FieldAccesses(fn) {
+		if cast.ContainingStmt(fn, fe) == nil {
+			t.Errorf("no containing stmt for access at %v", fe.Pos())
+		}
+	}
+}
+
+func TestKitchenSinkHelpers(t *testing.T) {
+	f := parseSink(t)
+	if len(f.Structs()) != 2 { // struct tag + union mix
+		t.Errorf("Structs = %d", len(f.Structs()))
+	}
+	fn := f.Function("everything")
+	if fn == nil || !fn.Inline || !fn.Static {
+		t.Errorf("everything = %+v", fn)
+	}
+	if calls := cast.Calls(fn); len(calls) != 1 || calls[0].FunName() != "proto" {
+		t.Errorf("Calls = %v", calls)
+	}
+}

@@ -1,0 +1,450 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+
+	"ofence/internal/ctoken"
+)
+
+// Print renders the tree rooted at n back to compilable C-like source. The
+// output is normalized (one statement per line, tab indentation) and is used
+// by the patch generator and by parser round-trip tests.
+func Print(n Node) string {
+	var p printer
+	p.node(n)
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.b.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteByte('\t')
+	}
+}
+
+func (p *printer) ws(s string) { p.b.WriteString(s) }
+
+func (p *printer) node(n Node) {
+	switch x := n.(type) {
+	case *File:
+		for i, d := range x.Decls {
+			if i > 0 {
+				p.ws("\n")
+			}
+			p.node(d)
+			p.ws("\n")
+		}
+	case *StructDecl:
+		p.structBody(x)
+		p.ws(";")
+	case *TypedefDecl:
+		p.ws("typedef ")
+		if x.Struct != nil {
+			p.structBody(x.Struct)
+			p.ws(" " + x.Name + ";")
+		} else {
+			p.ws(x.Type.String() + " " + x.Name + ";")
+		}
+	case *EnumDecl:
+		p.ws("enum " + x.Tag + " { " + strings.Join(x.Names, ", ") + " };")
+	case *VarDecl:
+		if x.Extern {
+			p.ws("extern ")
+		}
+		if x.Static {
+			p.ws("static ")
+		}
+		p.ws(declString(x.Type, x.Name))
+		if x.Init != nil {
+			p.ws(" = ")
+			p.expr(x.Init)
+		}
+		p.ws(";")
+	case *FuncDecl:
+		if x.Static {
+			p.ws("static ")
+		}
+		if x.Inline {
+			p.ws("inline ")
+		}
+		p.ws(declString(x.Result, x.Name) + "(")
+		for i, prm := range x.Params {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.ws(declString(prm.Type, prm.Name))
+		}
+		if x.Variadic {
+			if len(x.Params) > 0 {
+				p.ws(", ")
+			}
+			p.ws("...")
+		}
+		p.ws(")")
+		if x.Body == nil {
+			p.ws(";")
+		} else {
+			p.ws(" ")
+			p.stmt(x.Body)
+		}
+	case Stmt:
+		p.stmt(x)
+	case Expr:
+		p.expr(x)
+	case *TypeExpr:
+		p.ws(x.String())
+	default:
+		p.ws(fmt.Sprintf("/* ?%T? */", n))
+	}
+}
+
+func (p *printer) structBody(x *StructDecl) {
+	kw := "struct"
+	if x.Union {
+		kw = "union"
+	}
+	p.ws(kw)
+	if x.Tag != "" {
+		p.ws(" " + x.Tag)
+	}
+	p.ws(" {")
+	p.indent++
+	for _, f := range x.Fields {
+		p.nl()
+		p.ws(declString(f.Type, f.Name) + ";")
+	}
+	p.indent--
+	p.nl()
+	p.ws("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *BlockStmt:
+		p.ws("{")
+		p.indent++
+		for _, st := range x.Stmts {
+			p.nl()
+			p.stmt(st)
+		}
+		p.indent--
+		p.nl()
+		p.ws("}")
+	case *DeclStmt:
+		p.ws(declString(x.Type, x.Name))
+		if x.Init != nil {
+			p.ws(" = ")
+			p.expr(x.Init)
+		}
+		p.ws(";")
+	case *ExprStmt:
+		p.expr(x.X)
+		p.ws(";")
+	case *IfStmt:
+		p.ws("if (")
+		p.expr(x.Cond)
+		p.ws(")")
+		p.blockOrStmt(x.Then)
+		if x.Else != nil {
+			if _, ok := x.Then.(*BlockStmt); ok {
+				p.ws(" else")
+			} else {
+				p.nl()
+				p.ws("else")
+			}
+			if ei, ok := x.Else.(*IfStmt); ok {
+				p.ws(" ")
+				p.stmt(ei)
+			} else {
+				p.blockOrStmt(x.Else)
+			}
+		}
+	case *ForStmt:
+		p.ws("for (")
+		switch in := x.Init.(type) {
+		case nil:
+			p.ws(";")
+		case *ExprStmt:
+			p.expr(in.X)
+			p.ws(";")
+		case *DeclStmt:
+			p.ws(declString(in.Type, in.Name))
+			if in.Init != nil {
+				p.ws(" = ")
+				p.expr(in.Init)
+			}
+			p.ws(";")
+		default:
+			p.ws(";")
+		}
+		p.ws(" ")
+		if x.Cond != nil {
+			p.expr(x.Cond)
+		}
+		p.ws("; ")
+		if x.Post != nil {
+			p.expr(x.Post)
+		}
+		p.ws(")")
+		p.blockOrStmt(x.Body)
+	case *WhileStmt:
+		p.ws("while (")
+		p.expr(x.Cond)
+		p.ws(")")
+		p.blockOrStmt(x.Body)
+	case *DoWhileStmt:
+		p.ws("do")
+		p.blockOrStmt(x.Body)
+		if _, ok := x.Body.(*BlockStmt); ok {
+			p.ws(" while (")
+		} else {
+			p.nl()
+			p.ws("while (")
+		}
+		p.expr(x.Cond)
+		p.ws(");")
+	case *SwitchStmt:
+		p.ws("switch (")
+		p.expr(x.Tag)
+		p.ws(")")
+		if x.Body != nil {
+			p.ws(" ")
+			p.stmt(x.Body)
+		}
+	case *CaseStmt:
+		if x.Value == nil {
+			p.ws("default:")
+		} else {
+			p.ws("case ")
+			p.expr(x.Value)
+			p.ws(":")
+		}
+	case *ReturnStmt:
+		p.ws("return")
+		if x.Value != nil {
+			p.ws(" ")
+			p.expr(x.Value)
+		}
+		p.ws(";")
+	case *BreakStmt:
+		p.ws("break;")
+	case *ContinueStmt:
+		p.ws("continue;")
+	case *GotoStmt:
+		p.ws("goto " + x.Label + ";")
+	case *LabelStmt:
+		p.ws(x.Name + ":")
+	case *EmptyStmt:
+		p.ws(";")
+	case *AsmStmt:
+		p.ws("asm(" + x.Text + ");")
+	default:
+		p.ws(fmt.Sprintf("/* ?stmt %T? */;", s))
+	}
+}
+
+func (p *printer) blockOrStmt(s Stmt) {
+	if _, ok := s.(*BlockStmt); ok {
+		p.ws(" ")
+		p.stmt(s)
+		return
+	}
+	p.indent++
+	p.nl()
+	p.stmt(s)
+	p.indent--
+}
+
+// declString renders "type name" with C declarator syntax: pointer stars
+// attach to the name ("struct x *p") and array brackets follow it
+// ("char name[]").
+func declString(t *TypeExpr, name string) string {
+	base := *t
+	ptr, arr := base.Pointers, base.ArrayDims
+	base.Pointers, base.ArrayDims = 0, 0
+	s := base.String()
+	if name == "" {
+		for i := 0; i < ptr; i++ {
+			s += "*"
+		}
+		for i := 0; i < arr; i++ {
+			s += "[]"
+		}
+		return s
+	}
+	s += " "
+	for i := 0; i < ptr; i++ {
+		s += "*"
+	}
+	s += name
+	for i := 0; i < arr; i++ {
+		s += "[]"
+	}
+	return s
+}
+
+// opText maps operator kinds to their C spelling for printing.
+func opText(k ctoken.Kind) string { return k.String() }
+
+func (p *printer) expr(e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		p.ws(x.Name)
+	case *Lit:
+		p.ws(x.Text)
+	case *FieldExpr:
+		p.exprPrec(x.X, precPostfix)
+		if x.Arrow {
+			p.ws("->")
+		} else {
+			p.ws(".")
+		}
+		p.ws(x.Name)
+	case *IndexExpr:
+		p.exprPrec(x.X, precPostfix)
+		p.ws("[")
+		p.expr(x.Index)
+		p.ws("]")
+	case *CallExpr:
+		p.exprPrec(x.Fun, precPostfix)
+		p.ws("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(a)
+		}
+		p.ws(")")
+	case *UnaryExpr:
+		if x.Sizeof {
+			p.ws("sizeof ")
+		} else {
+			p.ws(opText(x.Op))
+		}
+		p.exprPrec(x.X, precUnary)
+	case *PostfixExpr:
+		p.exprPrec(x.X, precPostfix)
+		p.ws(opText(x.Op))
+	case *BinaryExpr:
+		prec := binPrec(x.Op)
+		p.exprPrec(x.X, prec)
+		p.ws(" " + opText(x.Op) + " ")
+		p.exprPrec(x.Y, prec+1)
+	case *AssignExpr:
+		p.exprPrec(x.X, precAssign+1)
+		p.ws(" " + opText(x.Op) + " ")
+		p.exprPrec(x.Y, precAssign)
+	case *CondExpr:
+		p.exprPrec(x.Cond, precCond+1)
+		p.ws(" ? ")
+		p.expr(x.Then)
+		p.ws(" : ")
+		p.exprPrec(x.Else, precCond)
+	case *CastExpr:
+		p.ws("(" + x.Type.String() + ")")
+		p.exprPrec(x.X, precUnary)
+	case *CommaExpr:
+		p.expr(x.X)
+		p.ws(", ")
+		p.expr(x.Y)
+	case *SizeofTypeExpr:
+		p.ws("sizeof(" + x.Type.String() + ")")
+	case *InitListExpr:
+		p.ws("{")
+		for i, el := range x.Elems {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(el)
+		}
+		p.ws("}")
+	case *StmtExpr:
+		p.ws("(")
+		p.stmt(x.Block)
+		p.ws(")")
+	default:
+		p.ws(fmt.Sprintf("/* ?expr %T? */", e))
+	}
+}
+
+// Expression precedence levels for minimal parenthesization.
+const (
+	precComma = iota
+	precAssign
+	precCond
+	precLor
+	precLand
+	precBor
+	precBxor
+	precBand
+	precEq
+	precRel
+	precShift
+	precAdd
+	precMul
+	precUnary
+	precPostfix
+)
+
+func binPrec(k ctoken.Kind) int {
+	switch k {
+	case ctoken.PipePipe:
+		return precLor
+	case ctoken.AmpAmp:
+		return precLand
+	case ctoken.Pipe:
+		return precBor
+	case ctoken.Caret:
+		return precBxor
+	case ctoken.Amp:
+		return precBand
+	case ctoken.Eq, ctoken.Ne:
+		return precEq
+	case ctoken.Lt, ctoken.Gt, ctoken.Le, ctoken.Ge:
+		return precRel
+	case ctoken.Shl, ctoken.Shr:
+		return precShift
+	case ctoken.Plus, ctoken.Minus:
+		return precAdd
+	case ctoken.Star, ctoken.Slash, ctoken.Percent:
+		return precMul
+	}
+	return precCond
+}
+
+func exprPrecOf(e Expr) int {
+	switch x := e.(type) {
+	case *Ident, *Lit, *StmtExpr, *InitListExpr, *SizeofTypeExpr:
+		return precPostfix + 1
+	case *FieldExpr, *IndexExpr, *CallExpr, *PostfixExpr:
+		return precPostfix
+	case *UnaryExpr, *CastExpr:
+		return precUnary
+	case *BinaryExpr:
+		return binPrec(x.Op)
+	case *CondExpr:
+		return precCond
+	case *AssignExpr:
+		return precAssign
+	case *CommaExpr:
+		return precComma
+	}
+	return precComma
+}
+
+// exprPrec prints e, parenthesizing when e binds looser than min.
+func (p *printer) exprPrec(e Expr, min int) {
+	if exprPrecOf(e) < min {
+		p.ws("(")
+		p.expr(e)
+		p.ws(")")
+		return
+	}
+	p.expr(e)
+}

@@ -1,0 +1,213 @@
+package cast
+
+// ReplaceExpr substitutes new for the expression old (matched by pointer
+// identity) everywhere under root. It reports whether a replacement
+// happened.
+func ReplaceExpr(root Node, old, new Expr) bool {
+	r := &replacer{old: old, new: new}
+	r.node(root)
+	return r.done
+}
+
+type replacer struct {
+	old, new Expr
+	done     bool
+}
+
+func (r *replacer) expr(e *Expr) {
+	if *e == nil {
+		return
+	}
+	if *e == r.old {
+		*e = r.new
+		r.done = true
+		return
+	}
+	r.node(*e)
+}
+
+func (r *replacer) node(n Node) {
+	switch x := n.(type) {
+	case *FuncDecl:
+		if x.Body != nil {
+			r.node(x.Body)
+		}
+	case *BlockStmt:
+		for _, s := range x.Stmts {
+			r.node(s)
+		}
+	case *DeclStmt:
+		r.expr(&x.Init)
+	case *ExprStmt:
+		r.expr(&x.X)
+	case *IfStmt:
+		r.expr(&x.Cond)
+		r.node(x.Then)
+		if x.Else != nil {
+			r.node(x.Else)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			r.node(x.Init)
+		}
+		r.expr(&x.Cond)
+		r.expr(&x.Post)
+		r.node(x.Body)
+	case *WhileStmt:
+		r.expr(&x.Cond)
+		r.node(x.Body)
+	case *DoWhileStmt:
+		r.node(x.Body)
+		r.expr(&x.Cond)
+	case *SwitchStmt:
+		r.expr(&x.Tag)
+		if x.Body != nil {
+			r.node(x.Body)
+		}
+	case *CaseStmt:
+		r.expr(&x.Value)
+	case *ReturnStmt:
+		r.expr(&x.Value)
+	case *FieldExpr:
+		r.expr(&x.X)
+	case *IndexExpr:
+		r.expr(&x.X)
+		r.expr(&x.Index)
+	case *CallExpr:
+		r.expr(&x.Fun)
+		for i := range x.Args {
+			r.expr(&x.Args[i])
+		}
+	case *UnaryExpr:
+		r.expr(&x.X)
+	case *PostfixExpr:
+		r.expr(&x.X)
+	case *BinaryExpr:
+		r.expr(&x.X)
+		r.expr(&x.Y)
+	case *AssignExpr:
+		r.expr(&x.X)
+		r.expr(&x.Y)
+	case *CondExpr:
+		r.expr(&x.Cond)
+		r.expr(&x.Then)
+		r.expr(&x.Else)
+	case *CastExpr:
+		r.expr(&x.X)
+	case *CommaExpr:
+		r.expr(&x.X)
+		r.expr(&x.Y)
+	case *InitListExpr:
+		for i := range x.Elems {
+			r.expr(&x.Elems[i])
+		}
+	case *StmtExpr:
+		if x.Block != nil {
+			r.node(x.Block)
+		}
+	}
+}
+
+// ParentBlock returns the BlockStmt that directly contains target (matched
+// by pointer identity) under root, and target's index within it, or
+// (nil, -1) when not found as a direct block child.
+func ParentBlock(root Node, target Stmt) (*BlockStmt, int) {
+	var found *BlockStmt
+	idx := -1
+	Walk(root, func(n Node) bool {
+		if found != nil {
+			return false
+		}
+		if b, ok := n.(*BlockStmt); ok {
+			for i, s := range b.Stmts {
+				if s == target {
+					found, idx = b, i
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found, idx
+}
+
+// ContainingStmt returns the outermost statement of fn's body that contains
+// node (by pointer identity) as a direct child of some block — the unit a
+// patch moves or deletes.
+func ContainingStmt(fn *FuncDecl, node Node) Stmt {
+	if fn.Body == nil {
+		return nil
+	}
+	var hit Stmt
+	var search func(s Stmt) bool
+	contains := func(s Stmt) bool {
+		if s == node {
+			return true
+		}
+		found := false
+		Walk(s, func(n Node) bool {
+			if n == node {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return found
+	}
+	search = func(s Stmt) bool {
+		if contains(s) {
+			hit = s
+			return true
+		}
+		return false
+	}
+	var scanBlock func(b *BlockStmt) bool
+	scanBlock = func(b *BlockStmt) bool {
+		for _, s := range b.Stmts {
+			if inner, ok := s.(*BlockStmt); ok {
+				if scanBlock(inner) {
+					return true
+				}
+				continue
+			}
+			if search(s) {
+				return true
+			}
+		}
+		return false
+	}
+	scanBlock(fn.Body)
+	return hit
+}
+
+// RemoveStmt deletes target from its parent block under root. It reports
+// whether the statement was found and removed.
+func RemoveStmt(root Node, target Stmt) bool {
+	b, i := ParentBlock(root, target)
+	if b == nil {
+		return false
+	}
+	b.Stmts = append(b.Stmts[:i], b.Stmts[i+1:]...)
+	return true
+}
+
+// InsertBefore places s immediately before target in target's parent block.
+func InsertBefore(root Node, target, s Stmt) bool {
+	b, i := ParentBlock(root, target)
+	if b == nil {
+		return false
+	}
+	b.Stmts = append(b.Stmts[:i], append([]Stmt{s}, b.Stmts[i:]...)...)
+	return true
+}
+
+// InsertAfter places s immediately after target in target's parent block.
+func InsertAfter(root Node, target, s Stmt) bool {
+	b, i := ParentBlock(root, target)
+	if b == nil {
+		return false
+	}
+	rest := append([]Stmt{}, b.Stmts[i+1:]...)
+	b.Stmts = append(append(b.Stmts[:i+1], s), rest...)
+	return true
+}

@@ -1,0 +1,208 @@
+package cast
+
+// Visitor is called for every node during a Walk. Returning false prunes the
+// subtree below the node.
+type Visitor func(Node) bool
+
+// Walk traverses the tree rooted at n in depth-first source order, invoking
+// v for every non-nil node.
+func Walk(n Node, v Visitor) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			Walk(d, v)
+		}
+	case *StructDecl:
+		for _, f := range x.Fields {
+			Walk(f, v)
+		}
+	case *FieldDecl:
+		walkType(x.Type, v)
+	case *TypedefDecl:
+		walkType(x.Type, v)
+		if x.Struct != nil {
+			Walk(x.Struct, v)
+		}
+	case *EnumDecl:
+	case *VarDecl:
+		walkType(x.Type, v)
+		walkExpr(x.Init, v)
+	case *ParamDecl:
+		walkType(x.Type, v)
+	case *FuncDecl:
+		walkType(x.Result, v)
+		for _, p := range x.Params {
+			Walk(p, v)
+		}
+		if x.Body != nil {
+			Walk(x.Body, v)
+		}
+
+	case *BlockStmt:
+		for _, s := range x.Stmts {
+			Walk(s, v)
+		}
+	case *DeclStmt:
+		walkType(x.Type, v)
+		walkExpr(x.Init, v)
+	case *ExprStmt:
+		walkExpr(x.X, v)
+	case *IfStmt:
+		walkExpr(x.Cond, v)
+		Walk(x.Then, v)
+		if x.Else != nil {
+			Walk(x.Else, v)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(x.Init, v)
+		}
+		walkExpr(x.Cond, v)
+		walkExpr(x.Post, v)
+		Walk(x.Body, v)
+	case *WhileStmt:
+		walkExpr(x.Cond, v)
+		Walk(x.Body, v)
+	case *DoWhileStmt:
+		Walk(x.Body, v)
+		walkExpr(x.Cond, v)
+	case *SwitchStmt:
+		walkExpr(x.Tag, v)
+		Walk(x.Body, v)
+	case *CaseStmt:
+		walkExpr(x.Value, v)
+	case *ReturnStmt:
+		walkExpr(x.Value, v)
+	case *BreakStmt, *ContinueStmt, *GotoStmt, *LabelStmt, *EmptyStmt, *AsmStmt:
+
+	case *Ident, *Lit:
+	case *FieldExpr:
+		walkExpr(x.X, v)
+	case *IndexExpr:
+		walkExpr(x.X, v)
+		walkExpr(x.Index, v)
+	case *CallExpr:
+		walkExpr(x.Fun, v)
+		for _, a := range x.Args {
+			walkExpr(a, v)
+		}
+	case *UnaryExpr:
+		walkExpr(x.X, v)
+	case *PostfixExpr:
+		walkExpr(x.X, v)
+	case *BinaryExpr:
+		walkExpr(x.X, v)
+		walkExpr(x.Y, v)
+	case *AssignExpr:
+		walkExpr(x.X, v)
+		walkExpr(x.Y, v)
+	case *CondExpr:
+		walkExpr(x.Cond, v)
+		walkExpr(x.Then, v)
+		walkExpr(x.Else, v)
+	case *CastExpr:
+		walkType(x.Type, v)
+		walkExpr(x.X, v)
+	case *CommaExpr:
+		walkExpr(x.X, v)
+		walkExpr(x.Y, v)
+	case *SizeofTypeExpr:
+		walkType(x.Type, v)
+	case *InitListExpr:
+		for _, e := range x.Elems {
+			walkExpr(e, v)
+		}
+	case *StmtExpr:
+		Walk(x.Block, v)
+	case *TypeExpr:
+	}
+}
+
+func walkExpr(e Expr, v Visitor) {
+	if e != nil {
+		Walk(e, v)
+	}
+}
+
+func walkType(t *TypeExpr, v Visitor) {
+	if t != nil {
+		Walk(t, v)
+	}
+}
+
+// Calls returns every CallExpr in the subtree rooted at n, in source order.
+func Calls(n Node) []*CallExpr {
+	var out []*CallExpr
+	Walk(n, func(m Node) bool {
+		if c, ok := m.(*CallExpr); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// Idents returns every identifier use in the subtree rooted at n.
+func Idents(n Node) []*Ident {
+	var out []*Ident
+	Walk(n, func(m Node) bool {
+		if id, ok := m.(*Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// FieldAccesses returns every FieldExpr in the subtree rooted at n.
+func FieldAccesses(n Node) []*FieldExpr {
+	var out []*FieldExpr
+	Walk(n, func(m Node) bool {
+		if f, ok := m.(*FieldExpr); ok {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+// Functions returns the function definitions (with bodies) declared in f.
+func (f *File) Functions() []*FuncDecl {
+	var out []*FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// Function returns the definition of name in f, or nil.
+func (f *File) Function(name string) *FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Name == name && fd.Body != nil {
+			return fd
+		}
+	}
+	return nil
+}
+
+// Structs returns the struct declarations in f, including those introduced
+// by typedefs.
+func (f *File) Structs() []*StructDecl {
+	var out []*StructDecl
+	for _, d := range f.Decls {
+		switch x := d.(type) {
+		case *StructDecl:
+			out = append(out, x)
+		case *TypedefDecl:
+			if x.Struct != nil {
+				out = append(out, x.Struct)
+			}
+		}
+	}
+	return out
+}

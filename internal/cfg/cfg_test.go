@@ -1,0 +1,455 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ofence/internal/cast"
+	"ofence/internal/cparser"
+	"ofence/internal/cpp"
+	"ofence/internal/ctypes"
+)
+
+func parseFn(t *testing.T, src, name string) (*cast.File, *cast.FuncDecl) {
+	t.Helper()
+	f, errs := cparser.ParseSource("test.c", src, cpp.Options{})
+	for _, err := range errs {
+		t.Fatalf("parse error: %v", err)
+	}
+	fn := f.Function(name)
+	if fn == nil {
+		t.Fatalf("function %s not found", name)
+	}
+	return f, fn
+}
+
+func TestLinearizeStraightLine(t *testing.T) {
+	_, fn := parseFn(t, `
+void fn(struct s *p) {
+	p->a = 1;
+	p->b = 2;
+	smp_wmb();
+	p->c = 3;
+}`, "fn")
+	units := Linearize(fn, LinearizeOptions{})
+	if len(units) != 4 {
+		t.Fatalf("got %d units: %v", len(units), units)
+	}
+	for i, u := range units {
+		if u.Index != i {
+			t.Errorf("unit %d has index %d", i, u.Index)
+		}
+		if u.Kind != UnitStmt {
+			t.Errorf("unit %d kind = %v", i, u.Kind)
+		}
+		if u.Fn != fn {
+			t.Errorf("unit %d fn mismatch", i)
+		}
+	}
+}
+
+func TestLinearizeConditionsCount(t *testing.T) {
+	_, fn := parseFn(t, `
+void fn(struct s *p) {
+	if (!p->init)
+		return;
+	smp_rmb();
+	use(p->y);
+}`, "fn")
+	units := Linearize(fn, LinearizeOptions{})
+	// cond, return, smp_rmb, use = 4 units
+	if len(units) != 4 {
+		t.Fatalf("got %d units: %v", len(units), units)
+	}
+	if units[0].Kind != UnitCond {
+		t.Errorf("unit 0 = %v, want cond", units[0])
+	}
+	if units[1].Kind != UnitStmt {
+		t.Errorf("unit 1 = %v, want stmt (return)", units[1])
+	}
+}
+
+func TestLinearizeLoops(t *testing.T) {
+	_, fn := parseFn(t, `
+void fn(int n) {
+	int i;
+	for (i = 0; i < n; i++)
+		work(i);
+	while (n > 0)
+		n--;
+	do {
+		n += 2;
+	} while (n < 5);
+}`, "fn")
+	units := Linearize(fn, LinearizeOptions{})
+	// decl(i), init(i=0)? -- for init is an ExprStmt: i = 0; cond; body; post
+	// = decl, i=0, cond, work, i++, while-cond, n--, n+=2, do-cond = 9
+	if len(units) != 9 {
+		for _, u := range units {
+			t.Logf("  %v", u)
+		}
+		t.Fatalf("got %d units, want 9", len(units))
+	}
+	// do-while: body before condition.
+	last := units[len(units)-1]
+	if last.Kind != UnitCond {
+		t.Errorf("last unit = %v, want do-while cond", last)
+	}
+}
+
+func TestLinearizeSwitch(t *testing.T) {
+	_, fn := parseFn(t, `
+void fn(int n) {
+	switch (n) {
+	case 1:
+		a();
+		break;
+	default:
+		b();
+	}
+	c();
+}`, "fn")
+	units := Linearize(fn, LinearizeOptions{})
+	// switch tag cond, a(), b(), c() = 4 (case/break are not units)
+	if len(units) != 4 {
+		t.Fatalf("got %d units: %v", len(units), units)
+	}
+}
+
+const inlineSrc = `
+struct s { int a; int b; };
+static void callee(struct s *p) {
+	p->a = 1;
+	p->b = 2;
+}
+void root(struct s *p) {
+	before(p);
+	callee(p);
+	after(p);
+}`
+
+func TestLinearizeInlining(t *testing.T) {
+	f, fn := parseFn(t, inlineSrc, "root")
+	tbl := ctypes.NewTable(f)
+	units := Linearize(fn, LinearizeOptions{Table: tbl, InlineDepth: 1})
+	// before, callee-call, p->a=1 (inlined), p->b=2 (inlined), after = 5
+	if len(units) != 5 {
+		for _, u := range units {
+			t.Logf("  %v", u)
+		}
+		t.Fatalf("got %d units, want 5", len(units))
+	}
+	if units[2].InlinedFrom != "callee" || units[3].InlinedFrom != "callee" {
+		t.Errorf("inlined units not marked: %v %v", units[2], units[3])
+	}
+	if units[0].InlinedFrom != "" || units[4].InlinedFrom != "" {
+		t.Error("root units marked as inlined")
+	}
+}
+
+func TestLinearizeInliningDepthZero(t *testing.T) {
+	f, fn := parseFn(t, inlineSrc, "root")
+	tbl := ctypes.NewTable(f)
+	units := Linearize(fn, LinearizeOptions{Table: tbl, InlineDepth: 0})
+	if len(units) != 3 {
+		t.Fatalf("got %d units, want 3 (no inlining)", len(units))
+	}
+}
+
+func TestLinearizeInliningRecursionSafe(t *testing.T) {
+	src := `
+void rec(int n) {
+	rec(n - 1);
+	work(n);
+}`
+	f, fn := parseFn(t, src, "rec")
+	tbl := ctypes.NewTable(f)
+	// Self calls are never inlined; depth bounds mutual recursion.
+	units := Linearize(fn, LinearizeOptions{Table: tbl, InlineDepth: 3})
+	if len(units) != 2 {
+		t.Fatalf("got %d units: %v", len(units), units)
+	}
+}
+
+func TestLinearizeMutualRecursionBounded(t *testing.T) {
+	src := `
+void a(void) { b(); }
+void b(void) { a(); }`
+	f, fn := parseFn(t, src, "a")
+	tbl := ctypes.NewTable(f)
+	units := Linearize(fn, LinearizeOptions{Table: tbl, InlineDepth: 5})
+	// a: call b -> inline b: call a -> inline a: call b ... depth 5 bounds it.
+	if len(units) == 0 || len(units) > 7 {
+		t.Fatalf("got %d units", len(units))
+	}
+}
+
+func TestLinearizeMaxUnits(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("void fn(struct s *p) {\n")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("p->a = 1;\n")
+	}
+	sb.WriteString("}\n")
+	_, fn := parseFn(t, sb.String(), "fn")
+	units := Linearize(fn, LinearizeOptions{MaxUnits: 10})
+	if len(units) != 10 {
+		t.Fatalf("got %d units, want capped 10", len(units))
+	}
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	_, fn := parseFn(t, "void fn(void) { a(); b(); c(); }", "fn")
+	g := Build(fn)
+	if g.Entry() == nil {
+		t.Fatal("no entry block")
+	}
+	if len(g.Entry().Units) != 3 {
+		t.Errorf("entry units = %d, want 3", len(g.Entry().Units))
+	}
+	if len(g.Entry().Succs) != 0 {
+		t.Errorf("straight line should have no successors, got %d", len(g.Entry().Succs))
+	}
+}
+
+func TestBuildIf(t *testing.T) {
+	_, fn := parseFn(t, "void fn(int x) { if (x) a(); else b(); c(); }", "fn")
+	g := Build(fn)
+	entry := g.Entry()
+	if len(entry.Succs) != 2 {
+		t.Fatalf("if head succs = %d, want 2", len(entry.Succs))
+	}
+	reach := g.Reachable()
+	// All blocks containing units must be reachable.
+	for _, b := range g.Blocks {
+		if len(b.Units) > 0 && !reach[b.ID] {
+			t.Errorf("block %d with units unreachable", b.ID)
+		}
+	}
+}
+
+func TestBuildIfNoElse(t *testing.T) {
+	_, fn := parseFn(t, "void fn(int x) { if (x) a(); c(); }", "fn")
+	g := Build(fn)
+	entry := g.Entry()
+	// then-branch + join
+	if len(entry.Succs) != 2 {
+		t.Fatalf("succs = %d, want 2 (then, join)", len(entry.Succs))
+	}
+}
+
+func TestBuildLoopBackEdge(t *testing.T) {
+	_, fn := parseFn(t, "void fn(int n) { while (n) { n--; } done(); }", "fn")
+	g := Build(fn)
+	// Find the block holding the condition; it must be a successor of the
+	// body-end block (back edge).
+	var condBlock *Block
+	for _, b := range g.Blocks {
+		for _, u := range b.Units {
+			if u.Kind == UnitCond {
+				condBlock = b
+			}
+		}
+	}
+	if condBlock == nil {
+		t.Fatal("cond block not found")
+	}
+	backEdge := false
+	for _, b := range g.Blocks {
+		if b == condBlock {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == condBlock && b.ID > condBlock.ID {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Error("no back edge to loop head")
+	}
+}
+
+func TestBuildReturnStopsFallthrough(t *testing.T) {
+	_, fn := parseFn(t, `
+void fn(int x) {
+	if (x)
+		return;
+	after();
+}`, "fn")
+	g := Build(fn)
+	// The return block must have no successors.
+	for _, b := range g.Blocks {
+		for _, u := range b.Units {
+			if _, ok := u.Stmt.(*cast.ReturnStmt); ok {
+				if len(b.Succs) != 0 {
+					t.Errorf("return block %d has successors", b.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildGoto(t *testing.T) {
+	_, fn := parseFn(t, `
+void fn(int x) {
+	if (x)
+		goto out;
+	work();
+out:
+	cleanup();
+}`, "fn")
+	g := Build(fn)
+	reach := g.Reachable()
+	var cleanupReached bool
+	for _, b := range g.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		for _, u := range b.Units {
+			if c, ok := u.Expr.(*cast.CallExpr); ok && c.FunName() == "cleanup" {
+				cleanupReached = true
+			}
+		}
+	}
+	if !cleanupReached {
+		t.Error("cleanup() unreachable through goto")
+	}
+}
+
+func TestBuildSwitchFallthrough(t *testing.T) {
+	_, fn := parseFn(t, `
+void fn(int n) {
+	switch (n) {
+	case 1:
+		a();
+	case 2:
+		b();
+		break;
+	}
+}`, "fn")
+	g := Build(fn)
+	// a()'s block must have b()'s block among its successors (fallthrough).
+	var aB, bB *Block
+	for _, blk := range g.Blocks {
+		for _, u := range blk.Units {
+			if c, ok := u.Expr.(*cast.CallExpr); ok {
+				switch c.FunName() {
+				case "a":
+					aB = blk
+				case "b":
+					bB = blk
+				}
+			}
+		}
+	}
+	if aB == nil || bB == nil {
+		t.Fatal("case blocks not found")
+	}
+	found := false
+	for _, s := range aB.Succs {
+		if s == bB {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallthrough edge a->b missing")
+	}
+}
+
+func TestGraphUnitsMatchLinearize(t *testing.T) {
+	_, fn := parseFn(t, `
+void fn(int n) {
+	init();
+	for (n = 0; n < 3; n++) {
+		if (n == 1)
+			mid(n);
+	}
+	fini();
+}`, "fn")
+	g := Build(fn)
+	lin := Linearize(fn, LinearizeOptions{})
+	if len(g.Units) != len(lin) {
+		t.Fatalf("graph units %d != linearize %d", len(g.Units), len(lin))
+	}
+	// Every unit must be placed in exactly one block.
+	count := 0
+	for _, b := range g.Blocks {
+		count += len(b.Units)
+	}
+	if count != len(lin) {
+		t.Errorf("block-placed units %d != %d", count, len(lin))
+	}
+}
+
+// Property: unit indices are always 0..n-1 in order, for arbitrary nesting
+// generated from a small statement grammar.
+func TestQuickLinearizeIndexInvariant(t *testing.T) {
+	gen := func(choices []byte) string {
+		var sb strings.Builder
+		sb.WriteString("void fn(int n, struct s *p) {\n")
+		depth := 0
+		for _, c := range choices {
+			switch c % 6 {
+			case 0:
+				sb.WriteString("p->a = n;\n")
+			case 1:
+				sb.WriteString("if (n > 0) {\n")
+				depth++
+			case 2:
+				sb.WriteString("while (n) {\n")
+				depth++
+			case 3:
+				if depth > 0 {
+					sb.WriteString("}\n")
+					depth--
+				}
+			case 4:
+				sb.WriteString("n++;\n")
+			case 5:
+				sb.WriteString("call(p, n);\n")
+			}
+		}
+		for depth > 0 {
+			sb.WriteString("}\n")
+			depth--
+		}
+		sb.WriteString("}\n")
+		return sb.String()
+	}
+	f := func(choices []byte) bool {
+		src := gen(choices)
+		file, errs := cparser.ParseSource("q.c", src, cpp.Options{})
+		if len(errs) > 0 {
+			return false
+		}
+		fn := file.Function("fn")
+		if fn == nil {
+			return false
+		}
+		units := Linearize(fn, LinearizeOptions{})
+		for i, u := range units {
+			if u.Index != i {
+				return false
+			}
+		}
+		// CFG must place each unit exactly once.
+		g := Build(fn)
+		placed := map[int]int{}
+		for _, b := range g.Blocks {
+			for _, u := range b.Units {
+				placed[u.Index]++
+			}
+		}
+		for i := range units {
+			if placed[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"ofence/internal/cparser"
+	"ofence/internal/cpp"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(42))
+	b := Generate(DefaultConfig(42))
+	if len(a.Order) != len(b.Order) {
+		t.Fatalf("file counts differ: %d vs %d", len(a.Order), len(b.Order))
+	}
+	for _, name := range a.Order {
+		if a.Files[name] != b.Files[name] {
+			t.Fatalf("file %s differs between runs", name)
+		}
+	}
+	if len(a.Truths) != len(b.Truths) {
+		t.Fatalf("truth counts differ")
+	}
+}
+
+func TestGenerateDifferentSeeds(t *testing.T) {
+	a := Generate(DefaultConfig(1))
+	b := Generate(DefaultConfig(2))
+	same := true
+	for _, name := range a.Order {
+		if bSrc, ok := b.Files[name]; !ok || bSrc != a.Files[name] {
+			same = false
+		}
+	}
+	if same && len(a.Order) > 0 {
+		t.Error("different seeds produced identical corpus")
+	}
+}
+
+func TestGeneratedCountsMatchConfig(t *testing.T) {
+	cfg := DefaultConfig(7)
+	c := Generate(cfg)
+	for k, want := range cfg.Counts {
+		if got := c.CountKind(k); got != want {
+			t.Errorf("kind %v: got %d patterns, want %d", k, got, want)
+		}
+	}
+}
+
+func TestGeneratedFilesParse(t *testing.T) {
+	c := Generate(DefaultConfig(11))
+	for _, name := range c.Order {
+		_, errs := cparser.ParseSource(name, c.Files[name], cpp.Options{})
+		for _, err := range errs {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGeneratedDistancesWithinBounds(t *testing.T) {
+	cfg := DefaultConfig(5)
+	c := Generate(cfg)
+	for _, tr := range c.Truths {
+		if tr.Kind != InitFlag {
+			continue
+		}
+		if tr.WriteDistance < 1 || tr.WriteDistance > cfg.MaxWriteDistance {
+			t.Errorf("write distance %d out of bounds", tr.WriteDistance)
+		}
+		if tr.ReadDistance < 1 || tr.ReadDistance > cfg.MaxReadDistance {
+			t.Errorf("read distance %d out of bounds", tr.ReadDistance)
+		}
+	}
+}
+
+func TestWriteDistanceDistributionShape(t *testing.T) {
+	// Figure 6's premise: most shared objects are within 5 statements of
+	// the write barrier.
+	cfg := DefaultConfig(3)
+	cfg.Counts = map[PatternKind]int{InitFlag: 400}
+	c := Generate(cfg)
+	within5 := 0
+	for _, tr := range c.Truths {
+		if tr.WriteDistance <= 5 {
+			within5++
+		}
+	}
+	frac := float64(within5) / 400
+	if frac < 0.85 {
+		t.Errorf("only %.0f%% of write distances within 5; paper shape needs most", frac*100)
+	}
+}
+
+func TestReadDistanceLongTail(t *testing.T) {
+	// Figure 7's premise: reads are more spread out.
+	cfg := DefaultConfig(3)
+	cfg.Counts = map[PatternKind]int{InitFlag: 400}
+	c := Generate(cfg)
+	beyond15 := 0
+	for _, tr := range c.Truths {
+		if tr.ReadDistance > 15 {
+			beyond15++
+		}
+	}
+	if beyond15 == 0 {
+		t.Error("no long-tail read distances generated")
+	}
+}
+
+func TestTruthFieldsPopulated(t *testing.T) {
+	c := Generate(DefaultConfig(9))
+	for _, tr := range c.Truths {
+		if tr.File == "" {
+			t.Fatalf("truth %d has no file", tr.ID)
+		}
+		if _, ok := c.Files[tr.File]; !ok {
+			t.Fatalf("truth %d references missing file %s", tr.ID, tr.File)
+		}
+		switch tr.Kind {
+		case InitFlag, Misplaced, RepeatedRead, WrongType:
+			if tr.WriterFn == "" || tr.ReaderFn == "" {
+				t.Errorf("%v truth missing function names", tr.Kind)
+			}
+			if !strings.Contains(c.Files[tr.File], tr.WriterFn) {
+				t.Errorf("writer %s not in file", tr.WriterFn)
+			}
+		}
+	}
+}
+
+func TestTotalBarriers(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Counts = map[PatternKind]int{InitFlag: 3, Seqcount: 2, Noise: 5}
+	c := Generate(cfg)
+	if got := c.TotalBarriers(); got != 3*2+2*4 {
+		t.Errorf("TotalBarriers = %d, want 14", got)
+	}
+}
+
+func TestPatternKindString(t *testing.T) {
+	for k := InitFlag; k <= Noise; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestFixturesParse(t *testing.T) {
+	for _, fx := range Fixtures() {
+		_, errs := cparser.ParseSource(fx.Name, fx.Source, cpp.Options{})
+		for _, err := range errs {
+			t.Errorf("%s: %v", fx.Name, err)
+		}
+		if fx.Fixed != "" {
+			_, errs := cparser.ParseSource(fx.Name+"(fixed)", fx.Fixed, cpp.Options{})
+			for _, err := range errs {
+				t.Errorf("%s fixed: %v", fx.Name, err)
+			}
+		}
+	}
+}
+
+func TestFixtureInventory(t *testing.T) {
+	fxs := Fixtures()
+	if len(fxs) < 7 {
+		t.Fatalf("only %d fixtures", len(fxs))
+	}
+	names := map[string]bool{}
+	for _, fx := range fxs {
+		if names[fx.Name] {
+			t.Errorf("duplicate fixture %s", fx.Name)
+		}
+		names[fx.Name] = true
+	}
+	// The four paper patch classes must be represented.
+	byFinding := map[string]int{}
+	for _, fx := range fxs {
+		byFinding[fx.ExpectFinding]++
+	}
+	for _, want := range []string{"misplaced", "repeated-read", "unneeded"} {
+		if byFinding[want] == 0 {
+			t.Errorf("no fixture expecting %q", want)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package corpus
+
+// Fixture is one hand-written file transcribed from the paper's published
+// patches, with the expected analysis outcome.
+type Fixture struct {
+	Name string
+	// Source is the pre-fix (buggy) code.
+	Source string
+	// Fixed is the post-patch code ("" when the paper shows no fix).
+	Fixed string
+	// ExpectFinding is the deviation OFence must report on Source
+	// ("misplaced", "repeated-read", "wrong-type", "unneeded", "").
+	ExpectFinding string
+	// ExpectPairings is the pairing count on Source.
+	ExpectPairings int
+	// FalsePositive marks fixtures the paper documents as incorrect
+	// patches (the bnx2x pattern).
+	FalsePositive bool
+}
+
+// Fixtures returns the paper's real-world patterns.
+func Fixtures() []Fixture {
+	return []Fixture{
+		{
+			// Patch 1: RPC xprt_complete_rqst / call_decode.
+			Name: "rpc_xprt.c",
+			Source: `
+struct xdr_buf { unsigned int len; };
+struct rpc_rqst {
+	struct xdr_buf rq_private_buf;
+	struct xdr_buf rq_rcv_buf;
+	unsigned int rq_reply_bytes_recd;
+};
+void xprt_complete_rqst(struct rpc_rqst *req, int copied) {
+	req->rq_private_buf.len = copied;
+	smp_wmb();
+	req->rq_reply_bytes_recd = copied;
+}
+static void call_decode(struct rpc_rqst *req) {
+	smp_rmb();
+	if (!req->rq_reply_bytes_recd)
+		goto out;
+	req->rq_rcv_buf.len = req->rq_private_buf.len;
+out:
+	return;
+}`,
+			Fixed: `
+struct xdr_buf { unsigned int len; };
+struct rpc_rqst {
+	struct xdr_buf rq_private_buf;
+	struct xdr_buf rq_rcv_buf;
+	unsigned int rq_reply_bytes_recd;
+};
+void xprt_complete_rqst(struct rpc_rqst *req, int copied) {
+	req->rq_private_buf.len = copied;
+	smp_wmb();
+	req->rq_reply_bytes_recd = copied;
+}
+static void call_decode(struct rpc_rqst *req) {
+	if (!req->rq_reply_bytes_recd)
+		goto out;
+	smp_rmb();
+	req->rq_rcv_buf.len = req->rq_private_buf.len;
+out:
+	return;
+}`,
+			ExpectFinding:  "misplaced",
+			ExpectPairings: 1,
+		},
+		{
+			// Patch 3: reuseport_add_sock / reuseport_select_sock.
+			Name: "sock_reuseport.c",
+			Source: `
+struct sock { int dummy; };
+struct sock_reuseport { struct sock *socks[16]; int num_socks; };
+int reuseport_add_sock(struct sock_reuseport *reuse, struct sock *sk) {
+	reuse->socks[reuse->num_socks] = sk;
+	smp_wmb();
+	reuse->num_socks++;
+	return 0;
+}
+struct sock *reuseport_select_sock(struct sock_reuseport *reuse, unsigned hash) {
+	int socks = reuse->num_socks;
+	int i;
+	if (!socks)
+		return 0;
+	smp_rmb();
+	i = hash % reuse->num_socks;
+	return reuse->socks[i];
+}`,
+			Fixed: `
+struct sock { int dummy; };
+struct sock_reuseport { struct sock *socks[16]; int num_socks; };
+int reuseport_add_sock(struct sock_reuseport *reuse, struct sock *sk) {
+	reuse->socks[reuse->num_socks] = sk;
+	smp_wmb();
+	reuse->num_socks++;
+	return 0;
+}
+struct sock *reuseport_select_sock(struct sock_reuseport *reuse, unsigned hash) {
+	int socks = reuse->num_socks;
+	int i;
+	if (!socks)
+		return 0;
+	smp_rmb();
+	i = hash % socks;
+	return reuse->socks[i];
+}`,
+			ExpectFinding:  "repeated-read",
+			ExpectPairings: 1,
+		},
+		{
+			// Patch 2 shape: perf_event_addr_filters_apply re-read.
+			Name: "perf_event.c",
+			Source: `
+struct task_struct { int pid; };
+struct perf_ctx { struct task_struct *task; int state; };
+static void perf_event_addr_filters_apply(struct perf_ctx *ctx) {
+	if (!ctx->task)
+		return;
+	get_task_mm(ctx->task);
+	smp_rmb();
+	g_use(ctx->state);
+}
+static void perf_event_writer(struct perf_ctx *ctx) {
+	ctx->state = 1;
+	smp_wmb();
+	ctx->task = 0;
+}`,
+			ExpectFinding:  "repeated-read",
+			ExpectPairings: 1,
+		},
+		{
+			// Patch 4: rq_qos_wake_function unneeded barrier.
+			Name: "blk_rq_qos.c",
+			Source: `
+struct task_struct { int pid; };
+struct rq_qos_wait_data { int got_token; struct task_struct *task; };
+static int rq_qos_wake_function(struct rq_qos_wait_data *data) {
+	data->got_token = 1;
+	smp_wmb();
+	wake_up_process(data->task);
+	return 1;
+}`,
+			Fixed: `
+struct task_struct { int pid; };
+struct rq_qos_wait_data { int got_token; struct task_struct *task; };
+static int rq_qos_wake_function(struct rq_qos_wait_data *data) {
+	data->got_token = 1;
+	wake_up_process(data->task);
+	return 1;
+}`,
+			ExpectFinding: "unneeded",
+		},
+		{
+			// Listing 3: the ARP seqcount pattern (correct code).
+			Name: "arp_tables.c",
+			Source: `
+struct xt_counters { u64 bcnt; u64 pcnt; };
+static void get_counters(struct xt_counters *tmp, seqcount_t *s) {
+	unsigned int v;
+	u64 bcnt, pcnt;
+	do {
+		v = read_seqcount_begin(s);
+		bcnt = tmp->bcnt;
+		pcnt = tmp->pcnt;
+	} while (read_seqcount_retry(s, v));
+	g_use(bcnt, pcnt);
+}
+static void do_add_counters(struct xt_counters *t, seqcount_t *s) {
+	write_seqcount_begin(s);
+	t->bcnt += 1;
+	t->pcnt += 2;
+	write_seqcount_end(s);
+}`,
+			ExpectPairings: 1,
+		},
+		{
+			// Listing 4: the bnx2x documented false positive — sp_state is
+			// written on both sides of the barrier.
+			Name: "bnx2x.c",
+			Source: `
+struct bnx2x { unsigned long sp_state; int pending_work; };
+static void bnx2x_sp_event(struct bnx2x *bp) {
+	bp->pending_work = 1;
+	bp->sp_state |= 2;
+	smp_wmb();
+	bp->sp_state &= 1;
+}
+static void bnx2x_reader(struct bnx2x *bp) {
+	if (!(bp->sp_state & 2))
+		return;
+	smp_rmb();
+	g_use(bp->pending_work);
+}`,
+			ExpectPairings: 1,
+			FalsePositive:  true,
+		},
+		{
+			// A single-producer/single-consumer ring buffer: the canonical
+			// lockless structure whose index publication relies on barrier
+			// pairs (same shape as the kernel's kfifo). Correct code.
+			Name: "ring_buffer.c",
+			Source: `
+struct ring {
+	unsigned int head;
+	unsigned int tail;
+	long slots[16];
+};
+int ring_produce(struct ring *r, long v) {
+	unsigned int h = r->head;
+	if (h - r->tail == 16)
+		return -1;
+	r->slots[h % 16] = v;
+	smp_wmb();
+	r->head = h + 1;
+	return 0;
+}
+int ring_consume(struct ring *r, long *out) {
+	unsigned int t = r->tail;
+	if (t == r->head)
+		return -1;
+	smp_rmb();
+	*out = r->slots[t % 16];
+	r->tail = t + 1;
+	return 0;
+}`,
+			ExpectPairings: 1,
+		},
+		{
+			// The same ring buffer with the consumer's head check misplaced
+			// after the read barrier: the slot read may be satisfied before
+			// the emptiness check, returning garbage.
+			Name: "ring_buffer_buggy.c",
+			Source: `
+struct ring {
+	unsigned int head;
+	unsigned int tail;
+	long slots[16];
+};
+int ring_produce(struct ring *r, long v) {
+	unsigned int h = r->head;
+	if (h - r->tail == 16)
+		return -1;
+	r->slots[h % 16] = v;
+	smp_wmb();
+	r->head = h + 1;
+	return 0;
+}
+int ring_consume(struct ring *r, long *out) {
+	unsigned int t = r->tail;
+	smp_rmb();
+	if (t == r->head)
+		return -1;
+	*out = r->slots[t % 16];
+	r->tail = t + 1;
+	return 0;
+}`,
+			ExpectFinding:  "misplaced",
+			ExpectPairings: 1,
+		},
+		{
+			// RCU-style pointer publication with the combined primitives:
+			// smp_store_release pairs with smp_load_acquire. Correct code.
+			Name: "rcu_publish.c",
+			Source: `
+struct config { int timeout; int retries; };
+struct holder { struct config *cur; int epoch; };
+void config_update(struct holder *h, struct config *next) {
+	next->timeout = 30;
+	h->epoch = h->epoch + 1;
+	smp_store_release(&h->cur, next);
+}
+int config_timeout(struct holder *h) {
+	struct config *c = smp_load_acquire(&h->cur);
+	if (!c)
+		return 0;
+	use(h->epoch);
+	return c->timeout;
+}`,
+			ExpectPairings: 1,
+		},
+		{
+			// Patch 5 / §7: pollwake missing READ_ONCE/WRITE_ONCE.
+			Name: "select.c",
+			Source: `
+struct poll_wqueues { int triggered; int polling_task; };
+static int pollwake(struct poll_wqueues *pwq) {
+	pwq->polling_task = 1;
+	smp_wmb();
+	pwq->triggered = 1;
+	return 1;
+}
+static int poll_schedule_timeout(struct poll_wqueues *pwq) {
+	int rc = 0;
+	if (!pwq->triggered)
+		rc = schedule_hrtimeout_range(pwq);
+	smp_rmb();
+	g_use(pwq->polling_task);
+	return rc;
+}`,
+			ExpectPairings: 1,
+		},
+	}
+}

@@ -1,0 +1,727 @@
+// Package cpp implements the minimal C preprocessor needed to analyze
+// kernel-style source: object-like and function-like #define macros, macro
+// expansion with recursion protection, #undef, #include resolution against a
+// caller-provided file set, and conditional compilation (#if defined /
+// #ifdef / #ifndef / #else / #elif / #endif) driven by a configuration set.
+//
+// The output is a flat token stream with Newline tokens removed, ready for
+// internal/cparser. OFence analyzes one kernel configuration at a time (the
+// paper uses the Ubuntu x86_64 config); the Config map plays that role here.
+package cpp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ofence/internal/ctoken"
+)
+
+// Macro is one #define.
+type Macro struct {
+	Name     string
+	Params   []string // nil for object-like macros
+	Variadic bool
+	Body     []ctoken.Token
+	IsFunc   bool
+}
+
+// Options configures preprocessing.
+type Options struct {
+	// Include maps an include path (as written between quotes or angle
+	// brackets) to its source text. Unresolvable includes are skipped, as
+	// Smatch does for headers outside the analyzed tree.
+	Include map[string]string
+	// Defines seeds the macro table, keyed by name. Values are parsed as
+	// object-like macro bodies. Used for kernel config (CONFIG_*) symbols.
+	Defines map[string]string
+	// MaxExpansionDepth bounds recursive macro expansion. Defaults to 64.
+	MaxExpansionDepth int
+}
+
+// Result is the preprocessed token stream plus diagnostics.
+type Result struct {
+	Tokens []ctoken.Token
+	Errors []error
+	// Macros is the final macro table, useful for tests and tooling.
+	Macros map[string]*Macro
+}
+
+type preprocessor struct {
+	opts     Options
+	macros   map[string]*Macro
+	out      []ctoken.Token
+	errs     []error
+	includes map[string]bool // cycle protection
+}
+
+// Preprocess runs the preprocessor over src, attributing positions to file.
+func Preprocess(file, src string, opts Options) *Result {
+	if opts.MaxExpansionDepth <= 0 {
+		opts.MaxExpansionDepth = 64
+	}
+	p := &preprocessor{
+		opts:     opts,
+		macros:   map[string]*Macro{},
+		includes: map[string]bool{},
+	}
+	for name, body := range opts.Defines {
+		lx := ctoken.NewLexer("<define:"+name+">", body)
+		p.macros[name] = &Macro{Name: name, Body: lx.All()}
+	}
+	p.processFile(file, src)
+	return &Result{Tokens: p.out, Errors: p.errs, Macros: p.macros}
+}
+
+func (p *preprocessor) errorf(pos ctoken.Position, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// line-oriented phase: split into directive lines and ordinary token runs.
+type line struct {
+	directive string // "" for ordinary lines
+	toks      []ctoken.Token
+	pos       ctoken.Position
+}
+
+func splitLines(file, src string, errs *[]error) []line {
+	lx := ctoken.NewLexer(file, src)
+	lx.KeepNewlines = true
+	var lines []line
+	cur := line{}
+	atLineStart := true
+	flush := func() {
+		if cur.directive != "" || len(cur.toks) > 0 {
+			lines = append(lines, cur)
+		}
+		cur = line{}
+		atLineStart = true
+	}
+	for {
+		t := lx.Next()
+		if t.Kind == ctoken.EOF {
+			flush()
+			break
+		}
+		if t.Kind == ctoken.Newline {
+			flush()
+			continue
+		}
+		if atLineStart && t.Kind == ctoken.Hash {
+			name := lx.Next()
+			if name.Kind == ctoken.Ident || name.Kind == ctoken.Keyword {
+				cur.directive = name.Text
+				cur.pos = t.Pos
+			} else if name.Kind == ctoken.Newline {
+				// "#" alone: null directive.
+				flush()
+				continue
+			} else if name.Kind == ctoken.EOF {
+				flush()
+				break
+			} else {
+				cur.directive = "#"
+				cur.pos = t.Pos
+				cur.toks = append(cur.toks, name)
+			}
+			atLineStart = false
+			continue
+		}
+		atLineStart = false
+		if cur.pos.Line == 0 {
+			cur.pos = t.Pos
+		}
+		cur.toks = append(cur.toks, t)
+	}
+	*errs = append(*errs, lx.Errors()...)
+	return lines
+}
+
+// condState tracks one level of #if nesting.
+type condState struct {
+	active      bool // tokens in this branch are emitted
+	everMatched bool // some branch already matched (for #elif/#else)
+	parentLive  bool
+}
+
+func (p *preprocessor) processFile(file, src string) {
+	if p.includes[file] {
+		return
+	}
+	p.includes[file] = true
+	defer delete(p.includes, file)
+
+	lines := splitLines(file, src, &p.errs)
+	var conds []condState
+
+	live := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, ln := range lines {
+		switch ln.directive {
+		case "ifdef", "ifndef":
+			want := ln.directive == "ifdef"
+			on := false
+			if len(ln.toks) >= 1 && ln.toks[0].Kind == ctoken.Ident {
+				_, defined := p.macros[ln.toks[0].Text]
+				on = defined == want
+			} else {
+				p.errorf(ln.pos, "#%s requires an identifier", ln.directive)
+			}
+			conds = append(conds, condState{active: on, everMatched: on, parentLive: live()})
+		case "if":
+			on := p.evalCond(ln.toks, ln.pos)
+			conds = append(conds, condState{active: on, everMatched: on, parentLive: live()})
+		case "elif":
+			if len(conds) == 0 {
+				p.errorf(ln.pos, "#elif without #if")
+				continue
+			}
+			c := &conds[len(conds)-1]
+			if c.everMatched {
+				c.active = false
+			} else {
+				c.active = p.evalCond(ln.toks, ln.pos)
+				c.everMatched = c.active
+			}
+		case "else":
+			if len(conds) == 0 {
+				p.errorf(ln.pos, "#else without #if")
+				continue
+			}
+			c := &conds[len(conds)-1]
+			c.active = !c.everMatched
+			c.everMatched = true
+		case "endif":
+			if len(conds) == 0 {
+				p.errorf(ln.pos, "#endif without #if")
+				continue
+			}
+			conds = conds[:len(conds)-1]
+		case "define":
+			if live() {
+				p.define(ln)
+			}
+		case "undef":
+			if live() && len(ln.toks) >= 1 {
+				delete(p.macros, ln.toks[0].Text)
+			}
+		case "include":
+			if live() {
+				p.include(ln)
+			}
+		case "pragma", "error", "warning", "line", "#":
+			// Ignored. #error inside a dead branch is common in the kernel.
+			if ln.directive == "error" && live() {
+				p.errorf(ln.pos, "#error: %s", renderTokens(ln.toks))
+			}
+		case "":
+			if live() {
+				p.expandInto(ln.toks, 0, map[string]bool{})
+			}
+		default:
+			// Unknown directive: skip, as Smatch does.
+		}
+	}
+	if len(conds) != 0 {
+		p.errorf(ctoken.Position{File: file, Line: 1, Col: 1}, "unterminated conditional (%d open)", len(conds))
+	}
+}
+
+func (p *preprocessor) define(ln line) {
+	if len(ln.toks) == 0 || ln.toks[0].Kind != ctoken.Ident {
+		p.errorf(ln.pos, "#define requires a name")
+		return
+	}
+	name := ln.toks[0].Text
+	m := &Macro{Name: name}
+	rest := ln.toks[1:]
+	// Function-like only if "(" immediately follows the name (no space).
+	if len(rest) > 0 && rest[0].Kind == ctoken.LParen &&
+		rest[0].Pos.Line == ln.toks[0].Pos.Line &&
+		rest[0].Pos.Col == ln.toks[0].Pos.Col+len(name) {
+		m.IsFunc = true
+		m.Params = []string{}
+		i := 1
+		for i < len(rest) && rest[i].Kind != ctoken.RParen {
+			switch rest[i].Kind {
+			case ctoken.Ident, ctoken.Keyword:
+				m.Params = append(m.Params, rest[i].Text)
+			case ctoken.Ellipsis:
+				m.Variadic = true
+			case ctoken.Comma:
+			default:
+				p.errorf(rest[i].Pos, "bad macro parameter %v", rest[i])
+			}
+			i++
+		}
+		if i >= len(rest) {
+			p.errorf(ln.pos, "unterminated macro parameter list for %s", name)
+			return
+		}
+		m.Body = rest[i+1:]
+	} else {
+		m.Body = rest
+	}
+	p.macros[name] = m
+}
+
+func (p *preprocessor) include(ln line) {
+	if len(ln.toks) == 0 {
+		p.errorf(ln.pos, "#include requires a path")
+		return
+	}
+	var path string
+	t := ln.toks[0]
+	if t.Kind == ctoken.String {
+		path = strings.Trim(t.Text, `"`)
+	} else if t.Kind == ctoken.Lt {
+		// <a/b.h>: reassemble the path from tokens up to ">".
+		var sb strings.Builder
+		for _, tk := range ln.toks[1:] {
+			if tk.Kind == ctoken.Gt {
+				break
+			}
+			sb.WriteString(tk.Text)
+		}
+		path = sb.String()
+	} else {
+		p.errorf(ln.pos, "malformed #include")
+		return
+	}
+	src, ok := p.opts.Include[path]
+	if !ok {
+		// Unresolvable header: skip silently (outside the analyzed tree).
+		return
+	}
+	p.processFile(path, src)
+}
+
+// expandInto appends toks to the output, expanding macros.
+func (p *preprocessor) expandInto(toks []ctoken.Token, depth int, hide map[string]bool) {
+	expanded := p.expand(toks, depth, hide)
+	p.out = append(p.out, expanded...)
+}
+
+// expand returns toks with all macro invocations expanded. hide carries the
+// set of macro names currently being expanded (standard C recursion rule).
+func (p *preprocessor) expand(toks []ctoken.Token, depth int, hide map[string]bool) []ctoken.Token {
+	if depth > p.opts.MaxExpansionDepth {
+		if len(toks) > 0 {
+			p.errorf(toks[0].Pos, "macro expansion too deep")
+		}
+		return nil
+	}
+	var out []ctoken.Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind != ctoken.Ident {
+			out = append(out, t)
+			continue
+		}
+		m, ok := p.macros[t.Text]
+		if !ok || hide[t.Text] {
+			out = append(out, t)
+			continue
+		}
+		if !m.IsFunc {
+			sub := map[string]bool{t.Text: true}
+			for k := range hide {
+				sub[k] = true
+			}
+			body := retarget(m.Body, t.Pos)
+			out = append(out, p.expand(body, depth+1, sub)...)
+			continue
+		}
+		// Function-like: need "(" next, otherwise plain identifier.
+		if i+1 >= len(toks) || toks[i+1].Kind != ctoken.LParen {
+			out = append(out, t)
+			continue
+		}
+		args, consumed, ok := parseArgs(toks[i+1:])
+		if !ok {
+			p.errorf(t.Pos, "unterminated argument list for macro %s", t.Text)
+			out = append(out, t)
+			continue
+		}
+		i += consumed
+		// Expand arguments first (standard order).
+		for ai := range args {
+			args[ai] = p.expand(args[ai], depth+1, hide)
+		}
+		body := p.substitute(m, args, t.Pos)
+		sub := map[string]bool{t.Text: true}
+		for k := range hide {
+			sub[k] = true
+		}
+		out = append(out, p.expand(body, depth+1, sub)...)
+	}
+	return out
+}
+
+// parseArgs parses "(a, b, f(c,d))" starting at the LParen. Returns the
+// argument token slices, the number of tokens consumed (including parens),
+// and whether the list was terminated.
+func parseArgs(toks []ctoken.Token) (args [][]ctoken.Token, consumed int, ok bool) {
+	depth := 0
+	var cur []ctoken.Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t.Kind {
+		case ctoken.LParen:
+			depth++
+			if depth > 1 {
+				cur = append(cur, t)
+			}
+		case ctoken.RParen:
+			depth--
+			if depth == 0 {
+				if len(cur) > 0 || len(args) > 0 {
+					args = append(args, cur)
+				}
+				return args, i + 1, true
+			}
+			cur = append(cur, t)
+		case ctoken.Comma:
+			if depth == 1 {
+				args = append(args, cur)
+				cur = nil
+			} else {
+				cur = append(cur, t)
+			}
+		default:
+			cur = append(cur, t)
+		}
+	}
+	return nil, 0, false
+}
+
+// substitute replaces parameters in the macro body with argument tokens and
+// handles # stringification and ## pasting.
+func (p *preprocessor) substitute(m *Macro, args [][]ctoken.Token, at ctoken.Position) []ctoken.Token {
+	argFor := func(name string) ([]ctoken.Token, bool) {
+		for pi, pn := range m.Params {
+			if pn == name {
+				if pi < len(args) {
+					return args[pi], true
+				}
+				return nil, true
+			}
+		}
+		if m.Variadic && name == "__VA_ARGS__" {
+			var va []ctoken.Token
+			for pi := len(m.Params); pi < len(args); pi++ {
+				if pi > len(m.Params) {
+					va = append(va, ctoken.Token{Kind: ctoken.Comma, Text: ",", Pos: at})
+				}
+				va = append(va, args[pi]...)
+			}
+			return va, true
+		}
+		return nil, false
+	}
+
+	var out []ctoken.Token
+	body := retarget(m.Body, at)
+	for i := 0; i < len(body); i++ {
+		t := body[i]
+		// Stringification: #param
+		if t.Kind == ctoken.Hash && i+1 < len(body) && body[i+1].Kind == ctoken.Ident {
+			if arg, ok := argFor(body[i+1].Text); ok {
+				out = append(out, ctoken.Token{
+					Kind: ctoken.String,
+					Text: strconv.Quote(renderTokens(arg)),
+					Pos:  at,
+				})
+				i++
+				continue
+			}
+		}
+		// Token pasting: a ## b
+		if i+2 < len(body) && body[i+1].Kind == ctoken.HashHash {
+			left := expandOne(t, argFor)
+			right := expandOne(body[i+2], argFor)
+			pasted := pasteTokens(left, right, at)
+			out = append(out, pasted...)
+			i += 2
+			continue
+		}
+		if t.Kind == ctoken.Ident {
+			if arg, ok := argFor(t.Text); ok {
+				out = append(out, arg...)
+				continue
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func expandOne(t ctoken.Token, argFor func(string) ([]ctoken.Token, bool)) []ctoken.Token {
+	if t.Kind == ctoken.Ident {
+		if arg, ok := argFor(t.Text); ok {
+			return arg
+		}
+	}
+	return []ctoken.Token{t}
+}
+
+// pasteTokens concatenates the last token of left with the first of right,
+// re-lexing the result.
+func pasteTokens(left, right []ctoken.Token, at ctoken.Position) []ctoken.Token {
+	if len(left) == 0 {
+		return right
+	}
+	if len(right) == 0 {
+		return left
+	}
+	glued := left[len(left)-1].Text + right[0].Text
+	lx := ctoken.NewLexer(at.File, glued)
+	mid := lx.All()
+	for i := range mid {
+		mid[i].Pos = at
+	}
+	out := append([]ctoken.Token{}, left[:len(left)-1]...)
+	out = append(out, mid...)
+	out = append(out, right[1:]...)
+	return out
+}
+
+func retarget(toks []ctoken.Token, at ctoken.Position) []ctoken.Token {
+	out := make([]ctoken.Token, len(toks))
+	for i, t := range toks {
+		t.Pos = at
+		out[i] = t
+	}
+	return out
+}
+
+func renderTokens(toks []ctoken.Token) string {
+	var sb strings.Builder
+	for i, t := range toks {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(t.Text)
+	}
+	return sb.String()
+}
+
+// evalCond evaluates a #if expression. Supported: integer literals,
+// defined(X) / defined X, !, &&, ||, comparison and arithmetic on constants,
+// and macro names (expanded; undefined names evaluate to 0).
+func (p *preprocessor) evalCond(toks []ctoken.Token, pos ctoken.Position) bool {
+	// Replace defined(X) before macro expansion.
+	var pre []ctoken.Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == ctoken.Ident && t.Text == "defined" {
+			name := ""
+			if i+1 < len(toks) && toks[i+1].Kind == ctoken.Ident {
+				name = toks[i+1].Text
+				i++
+			} else if i+3 < len(toks) && toks[i+1].Kind == ctoken.LParen &&
+				toks[i+2].Kind == ctoken.Ident && toks[i+3].Kind == ctoken.RParen {
+				name = toks[i+2].Text
+				i += 3
+			} else {
+				p.errorf(t.Pos, "malformed defined()")
+			}
+			v := "0"
+			if _, ok := p.macros[name]; ok {
+				v = "1"
+			}
+			pre = append(pre, ctoken.Token{Kind: ctoken.Int, Text: v, Pos: t.Pos})
+			continue
+		}
+		pre = append(pre, t)
+	}
+	expanded := p.expand(pre, 0, map[string]bool{})
+	// Remaining identifiers are undefined macros: value 0.
+	for i, t := range expanded {
+		if t.Kind == ctoken.Ident {
+			expanded[i] = ctoken.Token{Kind: ctoken.Int, Text: "0", Pos: t.Pos}
+		}
+	}
+	ev := condEval{toks: expanded, p: p, pos: pos}
+	v := ev.ternary()
+	if !ev.atEnd() && !ev.failed {
+		p.errorf(pos, "trailing tokens in #if expression")
+	}
+	return v != 0
+}
+
+// condEval is a tiny precedence-climbing evaluator over constant tokens.
+type condEval struct {
+	toks   []ctoken.Token
+	i      int
+	p      *preprocessor
+	pos    ctoken.Position
+	failed bool
+}
+
+func (e *condEval) atEnd() bool { return e.i >= len(e.toks) }
+
+func (e *condEval) peekKind() ctoken.Kind {
+	if e.atEnd() {
+		return ctoken.EOF
+	}
+	return e.toks[e.i].Kind
+}
+
+func (e *condEval) fail(msg string) int64 {
+	if !e.failed {
+		e.failed = true
+		e.p.errorf(e.pos, "#if: %s", msg)
+	}
+	e.i = len(e.toks)
+	return 0
+}
+
+func (e *condEval) primary() int64 {
+	if e.atEnd() {
+		return e.fail("unexpected end of expression")
+	}
+	t := e.toks[e.i]
+	switch t.Kind {
+	case ctoken.Int:
+		e.i++
+		txt := strings.TrimRight(t.Text, "uUlL")
+		v, err := strconv.ParseInt(txt, 0, 64)
+		if err != nil {
+			return e.fail("bad integer " + t.Text)
+		}
+		return v
+	case ctoken.Char:
+		e.i++
+		return 1 // character constants are rare in kernel #if; nonzero suffices
+	case ctoken.LParen:
+		e.i++
+		v := e.ternary()
+		if e.peekKind() != ctoken.RParen {
+			return e.fail("missing )")
+		}
+		e.i++
+		return v
+	case ctoken.Not:
+		e.i++
+		if e.primaryUnary() == 0 {
+			return 1
+		}
+		return 0
+	case ctoken.Minus:
+		e.i++
+		return -e.primaryUnary()
+	case ctoken.Plus:
+		e.i++
+		return e.primaryUnary()
+	case ctoken.Tilde:
+		e.i++
+		return ^e.primaryUnary()
+	}
+	return e.fail("unexpected token " + t.String())
+}
+
+func (e *condEval) primaryUnary() int64 { return e.primary() }
+
+var condPrec = map[ctoken.Kind]int{
+	ctoken.Star: 10, ctoken.Slash: 10, ctoken.Percent: 10,
+	ctoken.Plus: 9, ctoken.Minus: 9,
+	ctoken.Shl: 8, ctoken.Shr: 8,
+	ctoken.Lt: 7, ctoken.Gt: 7, ctoken.Le: 7, ctoken.Ge: 7,
+	ctoken.Eq: 6, ctoken.Ne: 6,
+	ctoken.Amp: 5, ctoken.Caret: 4, ctoken.Pipe: 3,
+	ctoken.AmpAmp: 2, ctoken.PipePipe: 1,
+}
+
+func (e *condEval) binary(minPrec int) int64 {
+	lhs := e.primary()
+	for {
+		prec, ok := condPrec[e.peekKind()]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		op := e.toks[e.i].Kind
+		e.i++
+		rhs := e.binary(prec + 1)
+		lhs = applyCond(op, lhs, rhs, e)
+	}
+}
+
+func (e *condEval) ternary() int64 {
+	cond := e.binary(1)
+	if e.peekKind() != ctoken.Question {
+		return cond
+	}
+	e.i++
+	a := e.ternary()
+	if e.peekKind() != ctoken.Colon {
+		return e.fail("missing : in ?:")
+	}
+	e.i++
+	b := e.ternary()
+	if cond != 0 {
+		return a
+	}
+	return b
+}
+
+func applyCond(op ctoken.Kind, a, b int64, e *condEval) int64 {
+	bool2int := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ctoken.Star:
+		return a * b
+	case ctoken.Slash:
+		if b == 0 {
+			return e.fail("division by zero")
+		}
+		return a / b
+	case ctoken.Percent:
+		if b == 0 {
+			return e.fail("modulo by zero")
+		}
+		return a % b
+	case ctoken.Plus:
+		return a + b
+	case ctoken.Minus:
+		return a - b
+	case ctoken.Shl:
+		return a << uint(b&63)
+	case ctoken.Shr:
+		return a >> uint(b&63)
+	case ctoken.Lt:
+		return bool2int(a < b)
+	case ctoken.Gt:
+		return bool2int(a > b)
+	case ctoken.Le:
+		return bool2int(a <= b)
+	case ctoken.Ge:
+		return bool2int(a >= b)
+	case ctoken.Eq:
+		return bool2int(a == b)
+	case ctoken.Ne:
+		return bool2int(a != b)
+	case ctoken.Amp:
+		return a & b
+	case ctoken.Caret:
+		return a ^ b
+	case ctoken.Pipe:
+		return a | b
+	case ctoken.AmpAmp:
+		return bool2int(a != 0 && b != 0)
+	case ctoken.PipePipe:
+		return bool2int(a != 0 || b != 0)
+	}
+	return e.fail("unsupported operator")
+}

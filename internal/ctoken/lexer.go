@@ -1,0 +1,343 @@
+package ctoken
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer converts C source text into tokens. It strips comments, recognizes
+// line continuations (backslash-newline), and can optionally emit Newline
+// tokens so that the preprocessor can delimit directives.
+type Lexer struct {
+	src  string
+	file string
+	off  int // byte offset of next rune
+	line int
+	col  int
+
+	// KeepNewlines makes the lexer emit Newline tokens. The preprocessor
+	// enables this; the parser consumes a stream without them.
+	KeepNewlines bool
+
+	errs []error
+}
+
+// NewLexer returns a lexer over src, attributing positions to file.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(pos Position, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) pos() Position {
+	return Position{File: l.file, Line: l.line, Col: l.col}
+}
+
+// peek returns the byte at offset n past the cursor, or 0 at EOF.
+func (l *Lexer) peek(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+// advance consumes one byte, maintaining line/col.
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace, comments, and line continuations. It stops
+// at a newline when KeepNewlines is set so the newline becomes a token.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek(0)
+		switch {
+		case c == '\\' && l.peek(1) == '\n':
+			l.advance()
+			l.advance()
+		case c == '\\' && l.peek(1) == '\r' && l.peek(2) == '\n':
+			l.advance()
+			l.advance()
+			l.advance()
+		case c == '\n':
+			if l.KeepNewlines {
+				return
+			}
+			l.advance()
+		case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
+			l.advance()
+		case c == '/' && l.peek(1) == '/':
+			for l.off < len(l.src) && l.peek(0) != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek(0) == '*' && l.peek(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token. At end of input it returns an EOF token;
+// calling Next after EOF keeps returning EOF.
+func (l *Lexer) Next() Token {
+	l.skipSpace()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}
+	}
+	c := l.peek(0)
+	switch {
+	case c == '\n':
+		l.advance()
+		return Token{Kind: Newline, Text: "\n", Pos: pos}
+	case isIdentStart(c):
+		return l.lexIdent(pos)
+	case isDigit(c) || (c == '.' && isDigit(l.peek(1))):
+		return l.lexNumber(pos)
+	case c == '"':
+		return l.lexString(pos)
+	case c == '\'':
+		return l.lexChar(pos)
+	}
+	return l.lexOperator(pos)
+}
+
+// All tokenizes the remaining input, excluding the trailing EOF token.
+func (l *Lexer) All() []Token {
+	var toks []Token
+	for {
+		t := l.Next()
+		if t.Kind == EOF {
+			return toks
+		}
+		toks = append(toks, t)
+	}
+}
+
+func (l *Lexer) lexIdent(pos Position) Token {
+	start := l.off
+	for l.off < len(l.src) && isIdentCont(l.peek(0)) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	// Wide-string literal prefix: L"..."
+	if text == "L" && l.off < len(l.src) && l.peek(0) == '"' {
+		s := l.lexString(pos)
+		s.Text = "L" + s.Text
+		return s
+	}
+	if IsKeyword(text) {
+		return Token{Kind: Keyword, Text: text, Pos: pos}
+	}
+	return Token{Kind: Ident, Text: text, Pos: pos}
+}
+
+func (l *Lexer) lexNumber(pos Position) Token {
+	start := l.off
+	kind := Int
+	if l.peek(0) == '0' && (l.peek(1) == 'x' || l.peek(1) == 'X') {
+		l.advance()
+		l.advance()
+		for isHex(l.peek(0)) {
+			l.advance()
+		}
+	} else if l.peek(0) == '0' && (l.peek(1) == 'b' || l.peek(1) == 'B') && (l.peek(2) == '0' || l.peek(2) == '1') {
+		// GCC binary literals (0b1010), seen in kernel drivers.
+		l.advance()
+		l.advance()
+		for l.peek(0) == '0' || l.peek(0) == '1' {
+			l.advance()
+		}
+	} else {
+		for isDigit(l.peek(0)) {
+			l.advance()
+		}
+		if l.peek(0) == '.' {
+			kind = Float
+			l.advance()
+			for isDigit(l.peek(0)) {
+				l.advance()
+			}
+		}
+		if c := l.peek(0); c == 'e' || c == 'E' {
+			next := l.peek(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peek(2))) {
+				kind = Float
+				l.advance() // e
+				if c := l.peek(0); c == '+' || c == '-' {
+					l.advance()
+				}
+				for isDigit(l.peek(0)) {
+					l.advance()
+				}
+			}
+		}
+	}
+	// Integer/float suffixes: u, l, ll, f, and combinations.
+	for {
+		c := l.peek(0)
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' || ((c == 'f' || c == 'F') && kind == Float) {
+			l.advance()
+			continue
+		}
+		break
+	}
+	return Token{Kind: kind, Text: l.src[start:l.off], Pos: pos}
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *Lexer) lexString(pos Position) Token {
+	start := l.off
+	l.advance() // opening quote
+	for l.off < len(l.src) {
+		c := l.peek(0)
+		if c == '\\' && l.off+1 < len(l.src) {
+			l.advance()
+			l.advance()
+			continue
+		}
+		if c == '"' {
+			l.advance()
+			return Token{Kind: String, Text: l.src[start:l.off], Pos: pos}
+		}
+		if c == '\n' {
+			break
+		}
+		l.advance()
+	}
+	l.errorf(pos, "unterminated string literal")
+	return Token{Kind: String, Text: l.src[start:l.off], Pos: pos}
+}
+
+func (l *Lexer) lexChar(pos Position) Token {
+	start := l.off
+	l.advance() // opening quote
+	for l.off < len(l.src) {
+		c := l.peek(0)
+		if c == '\\' && l.off+1 < len(l.src) {
+			l.advance()
+			l.advance()
+			continue
+		}
+		if c == '\'' {
+			l.advance()
+			return Token{Kind: Char, Text: l.src[start:l.off], Pos: pos}
+		}
+		if c == '\n' {
+			break
+		}
+		l.advance()
+	}
+	l.errorf(pos, "unterminated character literal")
+	return Token{Kind: Char, Text: l.src[start:l.off], Pos: pos}
+}
+
+// operators, longest first within each leading byte, resolved by explicit
+// three/two/one byte matching below.
+func (l *Lexer) lexOperator(pos Position) Token {
+	three := ""
+	if l.off+3 <= len(l.src) {
+		three = l.src[l.off : l.off+3]
+	}
+	switch three {
+	case "...":
+		return l.opToken(Ellipsis, 3, pos)
+	case "<<=":
+		return l.opToken(ShlAssign, 3, pos)
+	case ">>=":
+		return l.opToken(ShrAssign, 3, pos)
+	}
+	two := ""
+	if l.off+2 <= len(l.src) {
+		two = l.src[l.off : l.off+2]
+	}
+	if k, ok := twoByteOps[two]; ok {
+		return l.opToken(k, 2, pos)
+	}
+	if k, ok := oneByteOps[l.peek(0)]; ok {
+		return l.opToken(k, 1, pos)
+	}
+	c := l.advance()
+	l.errorf(pos, "illegal character %q", string(c))
+	return Token{Kind: ILLEGAL, Text: string(c), Pos: pos}
+}
+
+var twoByteOps = map[string]Kind{
+	"->": Arrow, "++": PlusPlus, "--": MinusMinus,
+	"<<": Shl, ">>": Shr, "&&": AmpAmp, "||": PipePipe,
+	"==": Eq, "!=": Ne, "<=": Le, ">=": Ge,
+	"+=": PlusAssign, "-=": MinusAssign, "*=": StarAssign,
+	"/=": SlashAssign, "%=": PercentAssign, "&=": AmpAssign,
+	"|=": PipeAssign, "^=": CaretAssign, "##": HashHash,
+}
+
+var oneByteOps = map[byte]Kind{
+	'(': LParen, ')': RParen, '{': LBrace, '}': RBrace,
+	'[': LBracket, ']': RBracket, ',': Comma, ';': Semi,
+	':': Colon, '?': Question, '#': Hash, '.': Dot,
+	'+': Plus, '-': Minus, '*': Star, '/': Slash, '%': Percent,
+	'&': Amp, '|': Pipe, '^': Caret, '~': Tilde,
+	'!': Not, '=': Assign, '<': Lt, '>': Gt,
+}
+
+func (l *Lexer) opToken(k Kind, n int, pos Position) Token {
+	start := l.off
+	for i := 0; i < n; i++ {
+		l.advance()
+	}
+	return Token{Kind: k, Text: l.src[start : start+n], Pos: pos}
+}
+
+// Describe renders a token stream compactly for test diagnostics.
+func Describe(toks []Token) string {
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+// Package kernelhdr provides a miniature set of kernel-like headers that
+// stand in for the include tree the original tool resolves through the
+// kernel's build system. Sources that #include <linux/...> resolve against
+// these; anything else is skipped, mirroring Smatch's behaviour for headers
+// outside the analyzed tree.
+//
+// Barrier primitives are declared as functions (not expanded to asm) so the
+// analysis keeps seeing them as calls — the original achieves the same by
+// hooking the macros inside Smatch. The RCU accessors, by contrast, are
+// macros over the primitives, exactly as in the kernel, so expanding them
+// exposes the underlying READ_ONCE/smp_store_release to the analysis.
+package kernelhdr
+
+// Headers returns the include-path → source map.
+func Headers() map[string]string {
+	return map[string]string{
+		"linux/types.h": `
+#ifndef _LINUX_TYPES_H
+#define _LINUX_TYPES_H
+typedef unsigned char __u8;
+typedef unsigned short __u16;
+typedef unsigned int __u32;
+typedef unsigned long long __u64;
+typedef signed char __s8;
+typedef short __s16;
+typedef int __s32;
+typedef long long __s64;
+typedef __u8 u8;
+typedef __u16 u16;
+typedef __u32 u32;
+typedef __u64 u64;
+typedef __s8 s8;
+typedef __s16 s16;
+typedef __s32 s32;
+typedef __s64 s64;
+typedef unsigned long size_t;
+typedef long ssize_t;
+typedef long long loff_t;
+typedef int pid_t;
+typedef unsigned gfp_t;
+typedef _Bool bool;
+struct list_head { struct list_head *next; struct list_head *prev; };
+struct hlist_head { struct hlist_node *first; };
+struct hlist_node { struct hlist_node *next; struct hlist_node **pprev; };
+#endif
+`,
+		"linux/compiler.h": `
+#ifndef _LINUX_COMPILER_H
+#define _LINUX_COMPILER_H
+#define likely(x)   __builtin_expect(!!(x), 1)
+#define unlikely(x) __builtin_expect(!!(x), 0)
+#define barrier() __compiler_barrier()
+void __compiler_barrier(void);
+int __builtin_expect(long exp, long c);
+#endif
+`,
+		"asm/barrier.h": `
+#ifndef _ASM_BARRIER_H
+#define _ASM_BARRIER_H
+#include <linux/compiler.h>
+void smp_mb(void);
+void smp_rmb(void);
+void smp_wmb(void);
+void smp_mb__before_atomic(void);
+void smp_mb__after_atomic(void);
+long smp_load_acquire(void *p);
+void smp_store_release(void *p, long v);
+void smp_store_mb(void *p, long v);
+long READ_ONCE(long x);
+void WRITE_ONCE(long x, long v);
+#endif
+`,
+		"linux/atomic.h": `
+#ifndef _LINUX_ATOMIC_H
+#define _LINUX_ATOMIC_H
+#include <asm/barrier.h>
+typedef struct { int counter; } atomic_t;
+typedef struct { long counter; } atomic64_t;
+void atomic_set(atomic_t *v, int i);
+int atomic_read(atomic_t *v);
+void atomic_inc(atomic_t *v);
+void atomic_dec(atomic_t *v);
+void atomic_add(int i, atomic_t *v);
+int atomic_inc_and_test(atomic_t *v);
+int atomic_dec_and_test(atomic_t *v);
+int atomic_add_return(int i, atomic_t *v);
+int atomic_cmpxchg(atomic_t *v, int old, int new_);
+int atomic_xchg(atomic_t *v, int new_);
+void set_bit(int nr, unsigned long *addr);
+void clear_bit(int nr, unsigned long *addr);
+int test_and_set_bit(int nr, unsigned long *addr);
+int test_and_clear_bit(int nr, unsigned long *addr);
+#endif
+`,
+		"linux/seqlock.h": `
+#ifndef _LINUX_SEQLOCK_H
+#define _LINUX_SEQLOCK_H
+#include <asm/barrier.h>
+typedef struct seqcount { unsigned sequence; } seqcount_t;
+unsigned read_seqcount_begin(const seqcount_t *s);
+int read_seqcount_retry(const seqcount_t *s, unsigned start);
+void write_seqcount_begin(seqcount_t *s);
+void write_seqcount_end(seqcount_t *s);
+#endif
+`,
+		"linux/rcupdate.h": `
+#ifndef _LINUX_RCUPDATE_H
+#define _LINUX_RCUPDATE_H
+#include <asm/barrier.h>
+void rcu_read_lock(void);
+void rcu_read_unlock(void);
+void synchronize_rcu(void);
+#define rcu_dereference(p) READ_ONCE(p)
+#define rcu_assign_pointer(p, v) smp_store_release(&(p), (v))
+#endif
+`,
+		"linux/sched.h": `
+#ifndef _LINUX_SCHED_H
+#define _LINUX_SCHED_H
+#include <linux/types.h>
+struct task_struct {
+	int pid;
+	long state;
+	void *stack;
+};
+int wake_up_process(struct task_struct *p);
+void schedule(void);
+#endif
+`,
+		"linux/wait.h": `
+#ifndef _LINUX_WAIT_H
+#define _LINUX_WAIT_H
+#include <linux/sched.h>
+typedef struct wait_queue_head { int lock; struct list_head head; } wait_queue_head_t;
+void wake_up(wait_queue_head_t *wq);
+void wake_up_all(wait_queue_head_t *wq);
+void wake_up_interruptible(wait_queue_head_t *wq);
+#endif
+`,
+		"linux/spinlock.h": `
+#ifndef _LINUX_SPINLOCK_H
+#define _LINUX_SPINLOCK_H
+typedef struct spinlock { int raw_lock; } spinlock_t;
+void spin_lock(spinlock_t *l);
+void spin_unlock(spinlock_t *l);
+void spin_lock_irqsave(spinlock_t *l, unsigned long flags);
+void spin_unlock_irqrestore(spinlock_t *l, unsigned long flags);
+#endif
+`,
+		"linux/kernel.h": `
+#ifndef _LINUX_KERNEL_H
+#define _LINUX_KERNEL_H
+#include <linux/types.h>
+#include <linux/compiler.h>
+#define offsetof(TYPE, MEMBER) ((size_t)&((TYPE *)0)->MEMBER)
+#define container_of(ptr, type, member) ((type *)((char *)(ptr) - offsetof(type, member)))
+int printk(const char *fmt, ...);
+void panic(const char *fmt, ...);
+#endif
+`,
+		"linux/list.h": `
+#ifndef _LINUX_LIST_H
+#define _LINUX_LIST_H
+#include <linux/types.h>
+void INIT_LIST_HEAD(struct list_head *list);
+void list_add(struct list_head *new_, struct list_head *head);
+void list_del(struct list_head *entry);
+int list_empty(const struct list_head *head);
+#define list_for_each(pos, head) for (pos = (head)->next; pos != (head); pos = pos->next)
+#endif
+`,
+	}
+}
+
+// projectLike is satisfied by *ofence.Project without importing it (which
+// would create a dependency cycle corpus→kernelhdr→ofence→...).
+type projectLike interface {
+	AddHeader(path, src string)
+}
+
+// Register adds every header to a project.
+func Register(p projectLike) {
+	for path, src := range Headers() {
+		p.AddHeader(path, src)
+	}
+}

@@ -1,0 +1,43 @@
+package litmus
+
+import "testing"
+
+func TestClassicSuiteVerdicts(t *testing.T) {
+	for _, c := range ClassicSuite() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			weak := Run(c.Program, Weak)
+			if got := weak.Has(c.Forbidden); got != c.AllowedWeak {
+				t.Errorf("%s under Weak: observable=%v, want %v (outcomes: %v)",
+					c.Name, got, c.AllowedWeak, keys(weak))
+			}
+			sc := Run(c.Program, SC)
+			if got := sc.Has(c.Forbidden); got != c.AllowedSC {
+				t.Errorf("%s under SC: observable=%v, want %v (outcomes: %v)",
+					c.Name, got, c.AllowedSC, keys(sc))
+			}
+		})
+	}
+}
+
+func TestClassicSuiteSCSubsetWeak(t *testing.T) {
+	for _, c := range ClassicSuite() {
+		weak := Run(c.Program, Weak)
+		sc := Run(c.Program, SC)
+		for k := range sc.Outcomes {
+			if _, ok := weak.Outcomes[k]; !ok {
+				t.Errorf("%s: SC outcome %q missing under Weak", c.Name, k)
+			}
+		}
+	}
+}
+
+func TestClassicSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range ClassicSuite() {
+		if seen[c.Name] {
+			t.Errorf("duplicate classic test %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}

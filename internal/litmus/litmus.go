@@ -1,0 +1,379 @@
+// Package litmus is a small weak-memory litmus-test simulator. It
+// exhaustively enumerates the executions of 2..N-thread programs of loads,
+// stores and fences under a relaxed memory model (loads and stores may be
+// reordered unless a fence or same-variable program order forbids it — the
+// Alpha-like worst case the kernel's smp_* barriers target) and reports
+// every observable final state.
+//
+// OFence uses it to demonstrate, mechanically, the paper's Figures 1-3: with
+// correctly paired barriers the "partially initialized read" state is
+// unreachable; remove either barrier or misplace an access and the bad state
+// appears.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKind is the kind of one thread operation.
+type OpKind int
+
+const (
+	// LoadOp reads Var into Reg.
+	LoadOp OpKind = iota
+	// StoreOp writes Val to Var.
+	StoreOp
+	// FenceOp constrains reordering according to Fence.
+	FenceOp
+)
+
+// FenceKind mirrors the kernel barrier flavors.
+type FenceKind int
+
+const (
+	// FenceRead orders loads (smp_rmb).
+	FenceRead FenceKind = iota
+	// FenceWrite orders stores (smp_wmb).
+	FenceWrite
+	// FenceFull orders everything (smp_mb).
+	FenceFull
+)
+
+// Op is one operation of a thread.
+type Op struct {
+	Kind  OpKind
+	Var   string
+	Val   int    // stored value (StoreOp)
+	Reg   string // destination register (LoadOp)
+	Fence FenceKind
+	// Acquire marks a load with acquire semantics (smp_load_acquire): it is
+	// ordered before every later operation of its thread.
+	Acquire bool
+	// Release marks a store with release semantics (smp_store_release): it
+	// is ordered after every earlier operation of its thread.
+	Release bool
+}
+
+// Load returns a load of v into register reg.
+func Load(reg, v string) Op { return Op{Kind: LoadOp, Var: v, Reg: reg} }
+
+// LoadAcquire returns an acquire-ordered load (smp_load_acquire).
+func LoadAcquire(reg, v string) Op { return Op{Kind: LoadOp, Var: v, Reg: reg, Acquire: true} }
+
+// Store returns a store of val to v.
+func Store(v string, val int) Op { return Op{Kind: StoreOp, Var: v, Val: val} }
+
+// StoreRelease returns a release-ordered store (smp_store_release).
+func StoreRelease(v string, val int) Op { return Op{Kind: StoreOp, Var: v, Val: val, Release: true} }
+
+// Fence returns a fence of kind k.
+func Fence(k FenceKind) Op { return Op{Kind: FenceOp, Fence: k} }
+
+// Thread is a sequence of operations in program order.
+type Thread []Op
+
+// Program is a multi-threaded litmus test.
+type Program struct {
+	Name    string
+	Init    map[string]int
+	Threads []Thread
+}
+
+// Outcome is the final register state of one execution.
+type Outcome map[string]int
+
+// Key renders the outcome canonically for set membership.
+func (o Outcome) Key() string {
+	regs := make([]string, 0, len(o))
+	for r := range o {
+		regs = append(regs, r)
+	}
+	sort.Strings(regs)
+	var sb strings.Builder
+	for i, r := range regs {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%d", r, o[r])
+	}
+	return sb.String()
+}
+
+// Model selects the memory model.
+type Model int
+
+const (
+	// SC is sequential consistency: program order is preserved.
+	SC Model = iota
+	// Weak allows any reordering not forbidden by fences or same-variable
+	// program order (Alpha-like; the kernel's portable worst case).
+	Weak
+)
+
+// Result is the set of observable outcomes.
+type Result struct {
+	Program  *Program
+	Model    Model
+	Outcomes map[string]Outcome
+}
+
+// Has reports whether an outcome satisfying pred is observable.
+func (r *Result) Has(pred func(Outcome) bool) bool {
+	for _, o := range r.Outcomes {
+		if pred(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run explores every execution of p under model m and returns the
+// observable outcomes.
+func Run(p *Program, m Model) *Result {
+	res := &Result{Program: p, Model: m, Outcomes: map[string]Outcome{}}
+
+	// Per-thread: enumerate the valid orders of memory operations.
+	orders := make([][][]int, len(p.Threads))
+	for ti, th := range p.Threads {
+		orders[ti] = validOrders(th, m)
+	}
+
+	// For each combination of per-thread orders, interleave and execute.
+	combo := make([][]int, len(p.Threads))
+	var rec func(ti int)
+	rec = func(ti int) {
+		if ti == len(p.Threads) {
+			interleave(p, combo, res)
+			return
+		}
+		for _, ord := range orders[ti] {
+			combo[ti] = ord
+			rec(ti + 1)
+		}
+	}
+	rec(0)
+	return res
+}
+
+// memOps returns the indices of memory operations (loads/stores) of t.
+func memOps(t Thread) []int {
+	var out []int
+	for i, op := range t {
+		if op.Kind != FenceOp {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// mustPrecede reports whether op i must stay before op j (i < j in program
+// order) under model m, considering fences between them and same-variable
+// ordering.
+func mustPrecede(t Thread, i, j int, m Model) bool {
+	if m == SC {
+		return true
+	}
+	a, b := t[i], t[j]
+	// Hardware preserves same-address program order.
+	if a.Var == b.Var && a.Var != "" {
+		return true
+	}
+	// Acquire loads order everything after them; release stores order
+	// everything before them.
+	if a.Kind == LoadOp && a.Acquire {
+		return true
+	}
+	if b.Kind == StoreOp && b.Release {
+		return true
+	}
+	for k := i + 1; k < j; k++ {
+		if t[k].Kind != FenceOp {
+			continue
+		}
+		switch t[k].Fence {
+		case FenceFull:
+			return true
+		case FenceWrite:
+			if a.Kind == StoreOp && b.Kind == StoreOp {
+				return true
+			}
+		case FenceRead:
+			if a.Kind == LoadOp && b.Kind == LoadOp {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// validOrders enumerates permutations of t's memory ops respecting the
+// ordering constraints.
+func validOrders(t Thread, m Model) [][]int {
+	ops := memOps(t)
+	n := len(ops)
+	// Precompute the precedence relation.
+	prec := make([][]bool, n)
+	for x := range prec {
+		prec[x] = make([]bool, n)
+		for y := range prec[x] {
+			if x < y {
+				prec[x][y] = mustPrecede(t, ops[x], ops[y], m)
+			}
+		}
+	}
+	var out [][]int
+	used := make([]bool, n)
+	cur := make([]int, 0, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			ord := make([]int, n)
+			for i, x := range cur {
+				ord[i] = ops[x]
+			}
+			out = append(out, ord)
+			return
+		}
+		for x := 0; x < n; x++ {
+			if used[x] {
+				continue
+			}
+			// x can be placed next only if every unplaced y that must
+			// precede x is already placed.
+			ok := true
+			for y := 0; y < n; y++ {
+				if y != x && !used[y] && y < x && prec[y][x] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[x] = true
+			cur = append(cur, x)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[x] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// interleave executes every interleaving of the chosen per-thread orders.
+func interleave(p *Program, orders [][]int, res *Result) {
+	nThreads := len(orders)
+	pos := make([]int, nThreads)
+	mem := map[string]int{}
+	for k, v := range p.Init {
+		mem[k] = v
+	}
+	regs := map[string]int{}
+
+	var rec func()
+	rec = func() {
+		done := true
+		for ti := 0; ti < nThreads; ti++ {
+			if pos[ti] < len(orders[ti]) {
+				done = false
+				op := p.Threads[ti][orders[ti][pos[ti]]]
+				// Execute op.
+				var savedReg int
+				var hadReg bool
+				var savedMem int
+				var hadMem bool
+				switch op.Kind {
+				case LoadOp:
+					savedReg, hadReg = regs[op.Reg], true
+					regs[op.Reg] = mem[op.Var]
+				case StoreOp:
+					savedMem, hadMem = mem[op.Var], true
+					mem[op.Var] = op.Val
+				}
+				pos[ti]++
+				rec()
+				pos[ti]--
+				if hadReg {
+					regs[op.Reg] = savedReg
+				}
+				if hadMem {
+					mem[op.Var] = savedMem
+				}
+			}
+		}
+		if done {
+			o := Outcome{}
+			for k, v := range regs {
+				o[k] = v
+			}
+			res.Outcomes[o.Key()] = o
+		}
+	}
+	rec()
+}
+
+// ---------------------------------------------------------------------------
+// Canonical tests
+
+// MessagePassing builds the Figure 2 message-passing test: thread 0 writes
+// data then flag (with an optional write fence between), thread 1 reads flag
+// then data (with an optional read fence between). The forbidden outcome is
+// flag=1 observed with data=0.
+func MessagePassing(writeFence, readFence bool) *Program {
+	w := Thread{Store("data", 1)}
+	if writeFence {
+		w = append(w, Fence(FenceWrite))
+	}
+	w = append(w, Store("flag", 1))
+	r := Thread{Load("r_flag", "flag")}
+	if readFence {
+		r = append(r, Fence(FenceRead))
+	}
+	r = append(r, Load("r_data", "data"))
+	name := fmt.Sprintf("MP+%v+%v", writeFence, readFence)
+	return &Program{Name: name, Threads: []Thread{w, r}}
+}
+
+// BadMP reports whether the outcome is the message-passing violation:
+// the flag was seen set but the data was stale.
+func BadMP(o Outcome) bool { return o["r_flag"] == 1 && o["r_data"] == 0 }
+
+// Figure3 builds the paper's Figure 3 inconsistent pattern: a is written and
+// read before the barriers, b after — the barriers order nothing.
+func Figure3() *Program {
+	w := Thread{Store("a", 1), Fence(FenceWrite), Store("b", 1)}
+	r := Thread{Load("r_a", "a"), Fence(FenceRead), Load("r_b", "b")}
+	return &Program{Name: "Figure3-inconsistent", Threads: []Thread{w, r}}
+}
+
+// SeqcountRead builds the seqcount reader/writer shape of Figure 5 with one
+// payload variable: the writer bumps the sequence around its write; the
+// reader samples the sequence before and after reading the payload. An
+// execution where both sequence samples are equal and even but the payload
+// is torn (old value) must be unobservable.
+func SeqcountRead() *Program {
+	w := Thread{
+		Store("seq", 1),
+		Fence(FenceWrite),
+		Store("data", 1),
+		Fence(FenceWrite),
+		Store("seq", 2),
+	}
+	r := Thread{
+		Load("r_seq1", "seq"),
+		Fence(FenceRead),
+		Load("r_data", "data"),
+		Fence(FenceRead),
+		Load("r_seq2", "seq"),
+	}
+	return &Program{Name: "seqcount", Threads: []Thread{w, r}}
+}
+
+// BadSeqcount is the forbidden seqcount outcome: a stable, even sequence
+// (no writer active) with stale data.
+func BadSeqcount(o Outcome) bool {
+	return o["r_seq1"] == o["r_seq2"] && o["r_seq1"]%2 == 0 && o["r_seq1"] == 2 && o["r_data"] == 0
+}

@@ -1,0 +1,320 @@
+package litmus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFigure2BothFencesForbidBadState(t *testing.T) {
+	// Figure 2: with both barriers, reading the new flag implies reading
+	// the new data.
+	res := Run(MessagePassing(true, true), Weak)
+	if res.Has(BadMP) {
+		t.Errorf("bad MP state observable with both fences: %v", keys(res))
+	}
+	// The good states must all be observable.
+	for _, want := range []string{"r_data=0 r_flag=0", "r_data=1 r_flag=0", "r_data=1 r_flag=1"} {
+		if _, ok := res.Outcomes[want]; !ok {
+			t.Errorf("expected outcome %q missing: %v", want, keys(res))
+		}
+	}
+}
+
+func TestMissingWriteFenceAllowsBadState(t *testing.T) {
+	res := Run(MessagePassing(false, true), Weak)
+	if !res.Has(BadMP) {
+		t.Errorf("bad MP state not observable without write fence: %v", keys(res))
+	}
+}
+
+func TestMissingReadFenceAllowsBadState(t *testing.T) {
+	res := Run(MessagePassing(true, false), Weak)
+	if !res.Has(BadMP) {
+		t.Errorf("bad MP state not observable without read fence: %v", keys(res))
+	}
+}
+
+func TestNoFencesAllowsBadState(t *testing.T) {
+	res := Run(MessagePassing(false, false), Weak)
+	if !res.Has(BadMP) {
+		t.Errorf("bad MP state not observable without fences: %v", keys(res))
+	}
+}
+
+func TestSCForbidsBadStateRegardless(t *testing.T) {
+	// Under sequential consistency the bad state is impossible even with no
+	// fences (Figure 1's intuition).
+	res := Run(MessagePassing(false, false), SC)
+	if res.Has(BadMP) {
+		t.Errorf("bad MP state observable under SC: %v", keys(res))
+	}
+}
+
+func TestFigure3InconsistentBarriersUseless(t *testing.T) {
+	// Figure 3: a is accessed before both barriers, b after. The barriers
+	// provide no constraint: all four (r_a, r_b) combinations observable.
+	res := Run(Figure3(), Weak)
+	combos := map[string]bool{}
+	for _, o := range res.Outcomes {
+		combos[o.Key()] = true
+	}
+	for _, want := range []string{"r_a=0 r_b=0", "r_a=0 r_b=1", "r_a=1 r_b=0", "r_a=1 r_b=1"} {
+		if !combos[want] {
+			t.Errorf("inconsistent pattern should allow %q: %v", want, keys(res))
+		}
+	}
+}
+
+func TestSeqcountProtocol(t *testing.T) {
+	res := Run(SeqcountRead(), Weak)
+	if res.Has(BadSeqcount) {
+		t.Errorf("seqcount violation observable: %v", keys(res))
+	}
+	// The retry state (odd or changed sequence) must be observable — the
+	// reader relies on detecting it.
+	retrySeen := res.Has(func(o Outcome) bool { return o["r_seq1"] != o["r_seq2"] || o["r_seq1"]%2 == 1 })
+	if !retrySeen {
+		t.Error("no retry state observable; simulator too strict")
+	}
+}
+
+func TestSeqcountWithoutFences(t *testing.T) {
+	p := &Program{
+		Name: "seqcount-broken",
+		Threads: []Thread{
+			{Store("seq", 1), Store("data", 1), Store("seq", 2)},
+			{Load("r_seq1", "seq"), Load("r_data", "data"), Load("r_seq2", "seq")},
+		},
+	}
+	res := Run(p, Weak)
+	if !res.Has(BadSeqcount) {
+		t.Errorf("fence-free seqcount should admit the violation: %v", keys(res))
+	}
+}
+
+func TestSameVariableOrderPreserved(t *testing.T) {
+	// Same-address program order must hold even without fences: a thread
+	// storing 1 then 2 to x can never leave x=1 visible after both stores
+	// executed... observable final register must reflect the last store.
+	p := &Program{
+		Name: "coherence",
+		Threads: []Thread{
+			{Store("x", 1), Store("x", 2)},
+			{Load("r1", "x"), Load("r2", "x")},
+		},
+	}
+	res := Run(p, Weak)
+	// r1=2, r2=1 would require the reader's same-var loads to reorder;
+	// with same-address ordering both maintained, seeing 2 then 1 is
+	// impossible.
+	if res.Has(func(o Outcome) bool { return o["r1"] == 2 && o["r2"] == 1 }) {
+		t.Errorf("coherence violation: %v", keys(res))
+	}
+}
+
+func TestFullFenceOrdersLoadStore(t *testing.T) {
+	// Store buffering (SB): with full fences, both threads cannot read 0.
+	sb := func(full bool) *Program {
+		mk := func(v, r string) Thread {
+			th := Thread{Store(v, 1)}
+			if full {
+				th = append(th, Fence(FenceFull))
+			}
+			other := "y"
+			if v == "y" {
+				other = "x"
+			}
+			return append(th, Load(r, other))
+		}
+		return &Program{Name: "SB", Threads: []Thread{mk("x", "r0"), mk("y", "r1")}}
+	}
+	bad := func(o Outcome) bool { return o["r0"] == 0 && o["r1"] == 0 }
+	if res := Run(sb(true), Weak); res.Has(bad) {
+		t.Errorf("SB violation with full fences: %v", keys(res))
+	}
+	if res := Run(sb(false), Weak); !res.Has(bad) {
+		t.Errorf("SB should be observable without fences: %v", keys(res))
+	}
+}
+
+func TestWriteFenceDoesNotOrderLoads(t *testing.T) {
+	// A write fence between two loads is useless: the MP bad state stays
+	// observable when the reader uses smp_wmb instead of smp_rmb — the
+	// deviation-#2 scenario.
+	w := Thread{Store("data", 1), Fence(FenceWrite), Store("flag", 1)}
+	r := Thread{Load("r_flag", "flag"), Fence(FenceWrite), Load("r_data", "data")}
+	res := Run(&Program{Name: "MP+wmb+wmb", Threads: []Thread{w, r}}, Weak)
+	if !res.Has(BadMP) {
+		t.Errorf("wrong-type barrier should not forbid the bad state: %v", keys(res))
+	}
+}
+
+func TestReadFenceDoesNotOrderStores(t *testing.T) {
+	w := Thread{Store("data", 1), Fence(FenceRead), Store("flag", 1)}
+	r := Thread{Load("r_flag", "flag"), Fence(FenceRead), Load("r_data", "data")}
+	res := Run(&Program{Name: "MP+rmb+rmb", Threads: []Thread{w, r}}, Weak)
+	if !res.Has(BadMP) {
+		t.Errorf("read fence on the write side should not help: %v", keys(res))
+	}
+}
+
+func TestMisplacedReadObservableBadState(t *testing.T) {
+	// Patch 1's semantics: the reader checks the flag AFTER its barrier, so
+	// the data load may be satisfied before the flag check. Model: loads in
+	// the wrong order relative to the fence.
+	w := Thread{Store("data", 1), Fence(FenceWrite), Store("flag", 1)}
+	r := Thread{Fence(FenceRead), Load("r_flag", "flag"), Load("r_data", "data")}
+	res := Run(&Program{Name: "MP+misplaced", Threads: []Thread{w, r}}, Weak)
+	if !res.Has(BadMP) {
+		t.Errorf("misplaced read should admit the bad state: %v", keys(res))
+	}
+}
+
+func TestInitValuesRespected(t *testing.T) {
+	p := &Program{
+		Name: "init",
+		Init: map[string]int{"x": 7},
+		Threads: []Thread{
+			{Load("r", "x")},
+		},
+	}
+	res := Run(p, Weak)
+	if len(res.Outcomes) != 1 {
+		t.Fatalf("outcomes = %v", keys(res))
+	}
+	if !res.Has(func(o Outcome) bool { return o["r"] == 7 }) {
+		t.Errorf("init ignored: %v", keys(res))
+	}
+}
+
+func TestThreeThreads(t *testing.T) {
+	// Independent reads of independent writes (IRIW)-lite: just verify the
+	// simulator handles 3 threads and produces a bounded outcome set.
+	p := &Program{
+		Name: "3thr",
+		Threads: []Thread{
+			{Store("x", 1)},
+			{Store("y", 1)},
+			{Load("r1", "x"), Load("r2", "y")},
+		},
+	}
+	res := Run(p, Weak)
+	if len(res.Outcomes) == 0 || len(res.Outcomes) > 4 {
+		t.Errorf("outcomes = %v", keys(res))
+	}
+}
+
+func TestAcquireReleaseMP(t *testing.T) {
+	// Message passing with smp_store_release / smp_load_acquire instead of
+	// explicit fences: the bad state must be forbidden.
+	p := &Program{
+		Name: "MP+rel+acq",
+		Threads: []Thread{
+			{Store("data", 1), StoreRelease("flag", 1)},
+			{LoadAcquire("r_flag", "flag"), Load("r_data", "data")},
+		},
+	}
+	if res := Run(p, Weak); res.Has(BadMP) {
+		t.Errorf("rel/acq should forbid the bad state: %v", keys(res))
+	}
+	// With plain ops instead, the bad state is back.
+	plain := &Program{
+		Name: "MP+plain",
+		Threads: []Thread{
+			{Store("data", 1), Store("flag", 1)},
+			{Load("r_flag", "flag"), Load("r_data", "data")},
+		},
+	}
+	if res := Run(plain, Weak); !res.Has(BadMP) {
+		t.Errorf("plain MP should allow the bad state: %v", keys(res))
+	}
+}
+
+func TestReleaseDoesNotOrderLater(t *testing.T) {
+	// A release store does not order operations AFTER it: store buffering
+	// through a release is still observable.
+	p := &Program{
+		Name: "rel-not-later",
+		Threads: []Thread{
+			{StoreRelease("x", 1), Load("r0", "y")},
+			{StoreRelease("y", 1), Load("r1", "x")},
+		},
+	}
+	res := Run(p, Weak)
+	if !res.Has(func(o Outcome) bool { return o["r0"] == 0 && o["r1"] == 0 }) {
+		t.Errorf("release wrongly ordered later loads: %v", keys(res))
+	}
+}
+
+func TestAcquireDoesNotOrderEarlier(t *testing.T) {
+	// An acquire load does not order operations BEFORE it.
+	p := &Program{
+		Name: "acq-not-earlier",
+		Threads: []Thread{
+			{Store("x", 1), LoadAcquire("r0", "y")},
+			{Store("y", 1), LoadAcquire("r1", "x")},
+		},
+	}
+	res := Run(p, Weak)
+	if !res.Has(func(o Outcome) bool { return o["r0"] == 0 && o["r1"] == 0 }) {
+		t.Errorf("acquire wrongly ordered earlier stores: %v", keys(res))
+	}
+}
+
+func TestOutcomeKeyCanonical(t *testing.T) {
+	a := Outcome{"b": 2, "a": 1}
+	if a.Key() != "a=1 b=2" {
+		t.Errorf("key = %q", a.Key())
+	}
+}
+
+// Property: SC outcomes are always a subset of Weak outcomes.
+func TestQuickSCSubsetOfWeak(t *testing.T) {
+	vars := []string{"x", "y", "z"}
+	build := func(spec []byte) *Program {
+		p := &Program{Name: "q", Threads: []Thread{{}, {}}}
+		for i, s := range spec {
+			if i >= 8 {
+				break
+			}
+			ti := i % 2
+			switch s % 4 {
+			case 0:
+				p.Threads[ti] = append(p.Threads[ti], Store(vars[int(s/4)%3], int(s%3)+1))
+			case 1:
+				p.Threads[ti] = append(p.Threads[ti], Load(regName(ti, i), vars[int(s/4)%3]))
+			case 2:
+				p.Threads[ti] = append(p.Threads[ti], Fence(FenceKind(s%3)))
+			case 3:
+				p.Threads[ti] = append(p.Threads[ti], Store(vars[int(s/4)%3], 9))
+			}
+		}
+		return p
+	}
+	f := func(spec []byte) bool {
+		p := build(spec)
+		sc := Run(p, SC)
+		weak := Run(p, Weak)
+		for k := range sc.Outcomes {
+			if _, ok := weak.Outcomes[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func regName(ti, i int) string {
+	return "r" + string(rune('0'+ti)) + "_" + string(rune('a'+i))
+}
+
+func keys(r *Result) []string {
+	var out []string
+	for k := range r.Outcomes {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package memmodel
+
+import "strings"
+
+// The kernel offers more than 400 atomic primitives (§4.1), produced by
+// crossing a small set of base operations with type prefixes, value-return
+// forms and ordering suffixes. This file generates the full catalog the same
+// way the kernel's scripts/atomic does, so that lookups do not depend on the
+// hand-maintained Table 2 excerpt alone.
+//
+// The ordering rules mirror Documentation/atomic_t.txt:
+//
+//   - void RMW ops (atomic_add, atomic_inc, ...) have NO ordering semantics;
+//   - value-returning RMW ops (..._return, ..._and_test, fetch_..., xchg,
+//     cmpxchg, try_cmpxchg) are FULLY ordered;
+//   - the _relaxed variant of a value-returning op is unordered;
+//   - the _acquire/_release variants order one direction only (treated as
+//     not-full-barrier by the unneeded-barrier check);
+//   - plain reads/writes (atomic_read, atomic_set) are unordered.
+
+// AtomicInfo describes one atomic primitive.
+type AtomicInfo struct {
+	Name string
+	// FullBarrier marks primitives with full ordering semantics.
+	FullBarrier bool
+	// Acquire / Release mark one-direction ordering variants.
+	Acquire bool
+	Release bool
+	// Returns marks value-returning forms.
+	Returns bool
+}
+
+var atomicCatalog = buildAtomicCatalog()
+
+func buildAtomicCatalog() map[string]*AtomicInfo {
+	// The kernel generates each atomic_* primitive together with an
+	// arch_atomic_* twin (scripts/atomic/gen-atomic-instrumented.sh).
+	prefixes := []string{
+		"atomic_", "atomic64_", "atomic_long_",
+		"arch_atomic_", "arch_atomic64_", "arch_atomic_long_",
+	}
+	binOps := []string{"add", "sub", "and", "or", "xor", "andnot"}
+	unOps := []string{"inc", "dec"}
+	suffixes := []struct {
+		s              string
+		full, acq, rel bool
+	}{
+		{"", true, false, false},
+		{"_relaxed", false, false, false},
+		{"_acquire", false, true, false},
+		{"_release", false, false, true},
+	}
+
+	cat := map[string]*AtomicInfo{}
+	add := func(name string, full, acq, rel, returns bool) {
+		cat[name] = &AtomicInfo{Name: name, FullBarrier: full, Acquire: acq, Release: rel, Returns: returns}
+	}
+
+	for _, p := range prefixes {
+		// Plain read/write: never ordered (the _acquire/_release forms are).
+		add(p+"read", false, false, false, true)
+		add(p+"set", false, false, false, false)
+		add(p+"read_acquire", false, true, false, true)
+		add(p+"set_release", false, false, true, false)
+
+		for _, op := range append(append([]string{}, binOps...), unOps...) {
+			// Void RMW: no ordering.
+			add(p+op, false, false, false, false)
+			// Value-returning forms with ordering suffixes.
+			for _, suf := range suffixes {
+				if op != "and" && op != "or" && op != "xor" && op != "andnot" {
+					add(p+op+"_return"+suf.s, suf.full, suf.acq, suf.rel, true)
+				}
+				add(p+"fetch_"+op+suf.s, suf.full, suf.acq, suf.rel, true)
+			}
+		}
+		// Conditional / test forms: always fully ordered.
+		for _, n := range []string{
+			"inc_and_test", "dec_and_test", "sub_and_test", "add_negative",
+			"inc_not_zero", "add_unless", "fetch_add_unless", "dec_if_positive",
+		} {
+			add(p+n, true, false, false, true)
+		}
+		// Exchange forms.
+		for _, suf := range suffixes {
+			add(p+"xchg"+suf.s, suf.full, suf.acq, suf.rel, true)
+			add(p+"cmpxchg"+suf.s, suf.full, suf.acq, suf.rel, true)
+			add(p+"try_cmpxchg"+suf.s, suf.full, suf.acq, suf.rel, true)
+		}
+	}
+
+	// Bare (non-atomic_t) exchange macros.
+	for _, suf := range suffixes {
+		add("xchg"+suf.s, suf.full, suf.acq, suf.rel, true)
+		add("cmpxchg"+suf.s, suf.full, suf.acq, suf.rel, true)
+		add("try_cmpxchg"+suf.s, suf.full, suf.acq, suf.rel, true)
+		add("cmpxchg64"+suf.s, suf.full, suf.acq, suf.rel, true)
+	}
+
+	// Bit operations (Documentation/atomic_bitops.txt): the test_and_*
+	// forms are fully ordered; the void forms are not.
+	for _, n := range []string{"set_bit", "clear_bit", "change_bit"} {
+		add(n, false, false, false, false)
+		add("test_and_"+n, true, false, false, true)
+	}
+	add("test_and_set_bit_lock", false, true, false, true)
+	add("clear_bit_unlock", false, false, true, false)
+
+	// local_t / local64_t: per-cpu atomics; same value-return rule but
+	// never cross-cpu barriers (Documentation/core-api/local_ops.rst), so
+	// none are full barriers for OFence's purposes.
+	for _, p := range []string{"local_", "local64_"} {
+		for _, n := range []string{"read", "set", "add", "sub", "inc", "dec"} {
+			add(p+n, false, false, false, n == "read")
+		}
+		for _, n := range []string{
+			"add_return", "sub_return", "inc_return",
+			"cmpxchg", "xchg",
+			"inc_and_test", "dec_and_test", "sub_and_test", "add_negative",
+		} {
+			add(p+n, false, false, false, true)
+		}
+	}
+
+	// refcount_t (Documentation/core-api/refcount-vs-atomic.rst): the
+	// dec_and_test / sub_and_test forms provide release ordering plus an
+	// acquire on the test; inc/add provide none.
+	for _, n := range []string{"inc", "add", "set"} {
+		add("refcount_"+n, false, false, false, false)
+	}
+	add("refcount_read", false, false, false, true)
+	add("refcount_inc_not_zero", false, true, false, true)
+	add("refcount_add_not_zero", false, true, false, true)
+	add("refcount_dec_and_test", false, true, true, true)
+	add("refcount_sub_and_test", false, true, true, true)
+	add("refcount_dec", false, false, true, false)
+	return cat
+}
+
+// Atomic returns the catalog entry for name, or nil when name is not an
+// atomic primitive.
+func Atomic(name string) *AtomicInfo { return atomicCatalog[name] }
+
+// AtomicCount returns the catalog size (the paper cites "more than 400").
+func AtomicCount() int { return len(atomicCatalog) }
+
+// AtomicNames returns all primitive names (unsorted; for tests/tools).
+func AtomicNames() []string {
+	out := make([]string, 0, len(atomicCatalog))
+	for n := range atomicCatalog {
+		out = append(out, n)
+	}
+	return out
+}
+
+// IsAtomic reports whether name is a cataloged atomic primitive.
+func IsAtomic(name string) bool { return atomicCatalog[name] != nil }
+
+// atomicFullBarrier consults the generated catalog; it falls back to the
+// suffix heuristics for names outside it (future kernel additions).
+func atomicFullBarrier(name string) bool {
+	if info := atomicCatalog[name]; info != nil {
+		return info.FullBarrier
+	}
+	return atomicHasBarrierHeuristic(name)
+}
+
+func atomicHasBarrierHeuristic(name string) bool {
+	if !hasAtomicPrefix(name) {
+		return false
+	}
+	if hasSuffix(name, "_relaxed") || hasSuffix(name, "_acquire") || hasSuffix(name, "_release") {
+		return false
+	}
+	return contains(name, "_return") || contains(name, "_and_test") ||
+		contains(name, "cmpxchg") || contains(name, "xchg") ||
+		contains(name, "fetch_")
+}
+
+// SMPConditionalBarriers are the smp_mb__before/after_* helpers that turn an
+// unordered atomic into a barrier (§4.1).
+var SMPConditionalBarriers = map[string]bool{
+	"smp_mb__before_atomic":          true,
+	"smp_mb__after_atomic":           true,
+	"smp_mb__after_spinlock":         true,
+	"smp_mb__after_srcu_read_unlock": true,
+}
+
+var _ = strings.TrimSpace

@@ -1,0 +1,160 @@
+package memmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomicCatalogSize(t *testing.T) {
+	// §4.1: "The kernel offers more than 400 primitives to perform atomic
+	// operations on integers."
+	if n := AtomicCount(); n < 400 {
+		t.Errorf("catalog has %d primitives, want > 400", n)
+	}
+}
+
+func TestAtomicOrderingRules(t *testing.T) {
+	cases := []struct {
+		name string
+		full bool
+	}{
+		// Void RMW: no ordering.
+		{"atomic_add", false},
+		{"atomic_inc", false},
+		{"atomic64_dec", false},
+		{"atomic_long_or", false},
+		{"atomic_set", false},
+		{"atomic_read", false},
+		// Value-returning: fully ordered.
+		{"atomic_add_return", true},
+		{"atomic64_inc_return", true},
+		{"atomic_long_sub_return", true},
+		{"atomic_fetch_add", true},
+		{"atomic64_fetch_andnot", true},
+		{"atomic_inc_and_test", true},
+		{"atomic64_dec_and_test", true},
+		{"atomic_add_negative", true},
+		{"atomic_inc_not_zero", true},
+		{"atomic_dec_if_positive", true},
+		{"atomic_xchg", true},
+		{"atomic64_cmpxchg", true},
+		{"atomic_try_cmpxchg", true},
+		{"xchg", true},
+		{"cmpxchg", true},
+		{"cmpxchg64", true},
+		// _relaxed: unordered.
+		{"atomic_add_return_relaxed", false},
+		{"atomic_fetch_add_relaxed", false},
+		{"atomic_xchg_relaxed", false},
+		{"cmpxchg_relaxed", false},
+		// _acquire/_release: not FULL barriers.
+		{"atomic_add_return_acquire", false},
+		{"atomic_fetch_sub_release", false},
+		{"atomic_cmpxchg_acquire", false},
+		// Bitops.
+		{"set_bit", false},
+		{"clear_bit", false},
+		{"test_and_set_bit", true},
+		{"test_and_clear_bit", true},
+		{"test_and_change_bit", true},
+	}
+	for _, c := range cases {
+		info := Atomic(c.name)
+		if info == nil {
+			t.Errorf("Atomic(%q) = nil", c.name)
+			continue
+		}
+		if info.FullBarrier != c.full {
+			t.Errorf("%s: FullBarrier = %v, want %v", c.name, info.FullBarrier, c.full)
+		}
+		if got := HasBarrierSemantics(c.name); got != c.full {
+			t.Errorf("HasBarrierSemantics(%q) = %v, want %v", c.name, got, c.full)
+		}
+	}
+}
+
+func TestAtomicAcquireReleaseFlags(t *testing.T) {
+	acq := Atomic("atomic_add_return_acquire")
+	if acq == nil || !acq.Acquire || acq.Release {
+		t.Errorf("acquire variant = %+v", acq)
+	}
+	rel := Atomic("atomic_fetch_or_release")
+	if rel == nil || rel.Acquire || !rel.Release {
+		t.Errorf("release variant = %+v", rel)
+	}
+	ra := Atomic("atomic_read_acquire")
+	if ra == nil || !ra.Acquire {
+		t.Errorf("read_acquire = %+v", ra)
+	}
+	sr := Atomic("atomic_set_release")
+	if sr == nil || !sr.Release {
+		t.Errorf("set_release = %+v", sr)
+	}
+	lock := Atomic("test_and_set_bit_lock")
+	if lock == nil || !lock.Acquire {
+		t.Errorf("test_and_set_bit_lock = %+v", lock)
+	}
+	unlock := Atomic("clear_bit_unlock")
+	if unlock == nil || !unlock.Release {
+		t.Errorf("clear_bit_unlock = %+v", unlock)
+	}
+}
+
+func TestAtomicCatalogConsistentWithTable2(t *testing.T) {
+	// Where the hand-written Table 2 excerpt and the generated catalog
+	// overlap, the verdicts must agree.
+	for _, f := range Functions {
+		info := Atomic(f.Name)
+		if info == nil {
+			continue
+		}
+		if info.FullBarrier != f.MemoryBarrier {
+			t.Errorf("%s: catalog says full=%v, Table 2 says %v", f.Name, info.FullBarrier, f.MemoryBarrier)
+		}
+	}
+}
+
+func TestAtomicReturnsFlag(t *testing.T) {
+	if !Atomic("atomic_fetch_add").Returns {
+		t.Error("fetch forms return values")
+	}
+	if Atomic("atomic_add").Returns {
+		t.Error("void forms do not return values")
+	}
+	if !Atomic("atomic_read").Returns {
+		t.Error("atomic_read returns a value")
+	}
+}
+
+func TestAtomicNamesWellFormed(t *testing.T) {
+	for _, n := range AtomicNames() {
+		if n == "" || strings.Contains(n, " ") {
+			t.Errorf("malformed name %q", n)
+		}
+		if !IsAtomic(n) {
+			t.Errorf("IsAtomic(%q) = false for cataloged name", n)
+		}
+	}
+	if IsAtomic("printk") {
+		t.Error("printk is not atomic")
+	}
+}
+
+func TestHeuristicFallbackForUncatalogued(t *testing.T) {
+	// A plausible future primitive outside the catalog falls back to the
+	// suffix heuristic.
+	if !HasBarrierSemantics("atomic_long_fetch_weirdop") {
+		t.Error("fetch_ heuristic lost")
+	}
+	if HasBarrierSemantics("atomic_long_weirdop_relaxed") {
+		t.Error("_relaxed heuristic lost")
+	}
+}
+
+func TestSMPConditionalBarriers(t *testing.T) {
+	for _, n := range []string{"smp_mb__before_atomic", "smp_mb__after_atomic"} {
+		if !SMPConditionalBarriers[n] {
+			t.Errorf("%s missing from conditional-barrier set", n)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package memmodel catalogs the Linux kernel primitives whose memory
+// ordering semantics OFence must know about: the eight explicit barrier
+// primitives of Table 1, the atomic and wake-up functions with (or without)
+// barrier semantics of Table 2, the IPC/wake-up functions treated as
+// implicit read barriers, and the READ_ONCE/WRITE_ONCE annotations.
+package memmodel
+
+// BarrierKind classifies what a barrier orders.
+type BarrierKind int
+
+const (
+	// None marks a function with no ordering semantics.
+	None BarrierKind = iota
+	// ReadBarrier orders reads only (smp_rmb).
+	ReadBarrier
+	// WriteBarrier orders writes only (smp_wmb).
+	WriteBarrier
+	// FullBarrier orders both reads and writes (smp_mb).
+	FullBarrier
+)
+
+// String renders the kind.
+func (k BarrierKind) String() string {
+	switch k {
+	case ReadBarrier:
+		return "read"
+	case WriteBarrier:
+		return "write"
+	case FullBarrier:
+		return "full"
+	}
+	return "none"
+}
+
+// OrdersReads reports whether the barrier constrains read ordering.
+func (k BarrierKind) OrdersReads() bool { return k == ReadBarrier || k == FullBarrier }
+
+// OrdersWrites reports whether the barrier constrains write ordering.
+func (k BarrierKind) OrdersWrites() bool { return k == WriteBarrier || k == FullBarrier }
+
+// Primitive describes one explicit barrier primitive (Table 1 of the paper).
+type Primitive struct {
+	Name string
+	Kind BarrierKind
+	// HasAccess marks primitives that combine the barrier with a memory
+	// access (smp_store_release, smp_load_acquire, smp_store_mb).
+	HasAccess bool
+	// AccessIsWrite is meaningful when HasAccess: true for stores.
+	AccessIsWrite bool
+	// AccessBefore is true when the access happens before the barrier
+	// (smp_load_acquire: read then barrier; smp_store_mb: write then
+	// barrier), false when after (smp_store_release: barrier then write).
+	AccessBefore bool
+	// Description matches Table 1.
+	Description string
+}
+
+// Primitives is Table 1: the eight explicit ordering primitives.
+var Primitives = []Primitive{
+	{Name: "smp_rmb", Kind: ReadBarrier, Description: "Orders reads"},
+	{Name: "smp_wmb", Kind: WriteBarrier, Description: "Orders writes"},
+	{Name: "smp_mb", Kind: FullBarrier, Description: "Orders reads and writes"},
+	{Name: "smp_store_mb", Kind: FullBarrier, HasAccess: true, AccessIsWrite: true, AccessBefore: true, Description: "Write + smp_mb"},
+	{Name: "smp_store_release", Kind: FullBarrier, HasAccess: true, AccessIsWrite: true, AccessBefore: false, Description: "smp_mb + write"},
+	{Name: "smp_load_acquire", Kind: FullBarrier, HasAccess: true, AccessIsWrite: false, AccessBefore: true, Description: "Read + smp_mb"},
+	{Name: "smp_mb__before_atomic", Kind: FullBarrier, Description: "Barrier before atomic_*()"},
+	{Name: "smp_mb__after_atomic", Kind: FullBarrier, Description: "Barrier after atomic_*()"},
+}
+
+var primitiveByName = func() map[string]*Primitive {
+	m := make(map[string]*Primitive, len(Primitives))
+	for i := range Primitives {
+		m[Primitives[i].Name] = &Primitives[i]
+	}
+	return m
+}()
+
+// Barrier returns the primitive named name, or nil when name is not an
+// explicit barrier primitive.
+func Barrier(name string) *Primitive { return primitiveByName[name] }
+
+// IsBarrier reports whether name is one of the Table 1 primitives.
+func IsBarrier(name string) bool { return primitiveByName[name] != nil }
+
+// Semantics describes a kernel function that is not an explicit barrier but
+// has (or notably lacks) ordering semantics (Table 2 of the paper).
+type Semantics struct {
+	Name            string
+	CompilerBarrier bool
+	MemoryBarrier   bool
+	WakeUp          bool // IPC/wake-up function (implicit read barrier)
+	Description     string
+}
+
+// Functions is the Table 2 catalog plus the wake-up list used for implicit
+// read barriers (§4.2). The kernel has hundreds of atomics; the catalog
+// covers the families the paper names and the representatives the analysis
+// and corpus use. The rule of thumb encoded by atomicHasBarrier below covers
+// the rest: value-returning atomics are barriers, void ones are not.
+var Functions = []Semantics{
+	{Name: "atomic_inc", Description: "Not a barrier on some architectures"},
+	{Name: "atomic_dec", Description: "Not a barrier on some architectures"},
+	{Name: "atomic_add", Description: "Not a barrier on some architectures"},
+	{Name: "atomic_sub", Description: "Not a barrier on some architectures"},
+	{Name: "atomic_set", Description: "Not a barrier"},
+	{Name: "atomic_read", Description: "Not a barrier"},
+	{Name: "atomic_inc_and_test", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "atomic_dec_and_test", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "atomic_sub_and_test", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "atomic_add_return", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "atomic_sub_return", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "atomic_inc_return", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "atomic_dec_return", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "atomic_cmpxchg", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "atomic_xchg", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "cmpxchg", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "xchg", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "set_bit", Description: "Not a barrier"},
+	{Name: "clear_bit", Description: "Not a barrier"},
+	{Name: "change_bit", Description: "Not a barrier"},
+	{Name: "test_and_set_bit", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "test_and_clear_bit", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+	{Name: "test_and_change_bit", CompilerBarrier: true, MemoryBarrier: true, Description: "Always a barrier"},
+
+	// Wake-up / IPC functions: all imply full barrier semantics and act as
+	// implicit read barriers on the woken side (§4.2, Patch 4).
+	{Name: "wake_up_process", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "Always a barrier"},
+	{Name: "wake_up", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "Always a barrier"},
+	{Name: "wake_up_interruptible", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "Always a barrier"},
+	{Name: "wake_up_all", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "Always a barrier"},
+	{Name: "smp_call_function_many", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "IPI; always a barrier"},
+	{Name: "smp_call_function_single", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "IPI; always a barrier"},
+	{Name: "complete", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "Always a barrier"},
+	{Name: "complete_all", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "Always a barrier"},
+	{Name: "queue_work", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "Always a barrier"},
+	{Name: "schedule_work", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "Always a barrier"},
+	{Name: "swake_up_one", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "Always a barrier"},
+	{Name: "irq_work_queue", CompilerBarrier: true, MemoryBarrier: true, WakeUp: true, Description: "IPI; always a barrier"},
+}
+
+var semanticsByName = func() map[string]*Semantics {
+	m := make(map[string]*Semantics, len(Functions))
+	for i := range Functions {
+		m[Functions[i].Name] = &Functions[i]
+	}
+	return m
+}()
+
+// Lookup returns the catalog entry for name, or nil.
+func Lookup(name string) *Semantics { return semanticsByName[name] }
+
+// HasBarrierSemantics reports whether calling name implies a full memory
+// barrier (explicit barrier primitives return false here; use IsBarrier).
+// The hand-written Table 2 catalog takes precedence; the generated atomic
+// catalog (see atomics.go) covers the rest of the kernel's ~400 primitives.
+func HasBarrierSemantics(name string) bool {
+	if s := semanticsByName[name]; s != nil {
+		return s.MemoryBarrier
+	}
+	return atomicFullBarrier(name)
+}
+
+// IsWakeUp reports whether name is an IPC/wake-up function (implicit read
+// barrier for the woken thread).
+func IsWakeUp(name string) bool {
+	s := semanticsByName[name]
+	return s != nil && s.WakeUp
+}
+
+func hasAtomicPrefix(name string) bool {
+	for _, p := range []string{"atomic_", "atomic64_", "atomic_long_", "test_and_", "cmpxchg", "xchg"} {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Once annotations (§7): accesses that must not be optimized by the compiler.
+const (
+	ReadOnce  = "READ_ONCE"
+	WriteOnce = "WRITE_ONCE"
+)
+
+// IsOnceAnnotation reports whether name is READ_ONCE or WRITE_ONCE.
+func IsOnceAnnotation(name string) bool {
+	return name == ReadOnce || name == WriteOnce
+}
+
+// Seqcount helpers: the seqcount API functions of Listing 3. The reader
+// functions contain read barriers; the writer functions contain write
+// barriers. OFence expands these to their barrier + sequence access shape.
+var seqcountReaders = map[string]bool{
+	"read_seqcount_begin": true,
+	"read_seqcount_retry": true,
+	"read_seqbegin":       true,
+	"read_seqretry":       true,
+}
+
+var seqcountWriters = map[string]bool{
+	"write_seqcount_begin":  true,
+	"write_seqcount_end":    true,
+	"write_seqlock":         true,
+	"write_sequnlock":       true,
+	"xt_write_recseq_begin": true,
+	"xt_write_recseq_end":   true,
+}
+
+// SeqcountKind returns the barrier kind implied by a seqcount API call:
+// ReadBarrier for the reader-side functions, WriteBarrier for the
+// writer-side ones, None otherwise.
+func SeqcountKind(name string) BarrierKind {
+	if seqcountReaders[name] {
+		return ReadBarrier
+	}
+	if seqcountWriters[name] {
+		return WriteBarrier
+	}
+	return None
+}
+
+// seqAccessAfter records, per seqcount API function, whether its access to
+// the sequence counter happens after its internal barrier. The kernel
+// implementations are:
+//
+//	read_seqcount_begin:  seq = s->sequence; smp_rmb()        (before)
+//	read_seqcount_retry:  smp_rmb(); return seq != s->sequence (after)
+//	write_seqcount_begin: s->sequence++; smp_wmb()             (before)
+//	write_seqcount_end:   smp_wmb(); s->sequence++             (after)
+var seqAccessAfter = map[string]bool{
+	"read_seqcount_begin":   false,
+	"read_seqcount_retry":   true,
+	"read_seqbegin":         false,
+	"read_seqretry":         true,
+	"write_seqcount_begin":  false,
+	"write_seqcount_end":    true,
+	"write_seqlock":         false,
+	"write_sequnlock":       true,
+	"xt_write_recseq_begin": false,
+	"xt_write_recseq_end":   true,
+}
+
+// SeqcountAccessAfter reports whether the sequence-counter access of the
+// seqcount API function happens after its internal barrier.
+func SeqcountAccessAfter(name string) bool { return seqAccessAfter[name] }
+
+// barrierDependentAPIs are kernel interfaces that rely on memory barriers
+// internally for their correctness (§1: "over 6000 [functions] use kernel
+// APIs that rely on barriers for correctness (e.g., RCU)"). Calling one
+// marks the caller as barrier-reliant for census purposes.
+var barrierDependentAPIs = map[string]bool{
+	// RCU.
+	"rcu_read_lock": true, "rcu_read_unlock": true,
+	"rcu_dereference": true, "rcu_dereference_protected": true,
+	"rcu_assign_pointer": true, "rcu_replace_pointer": true,
+	"synchronize_rcu": true, "call_rcu": true, "kfree_rcu": true,
+	"srcu_read_lock": true, "srcu_read_unlock": true,
+	"list_add_rcu": true, "list_del_rcu": true,
+	"list_for_each_entry_rcu": true, "hlist_add_head_rcu": true,
+	// Seqlocks / seqcounts.
+	"read_seqcount_begin": true, "read_seqcount_retry": true,
+	"write_seqcount_begin": true, "write_seqcount_end": true,
+	"read_seqbegin": true, "read_seqretry": true,
+	"write_seqlock": true, "write_sequnlock": true,
+	// Completions and waitqueues.
+	"wait_for_completion": true, "complete": true, "complete_all": true,
+	"wait_event": true, "wait_event_interruptible": true,
+	"prepare_to_wait": true, "finish_wait": true,
+	// kref / refcount lifetimes.
+	"kref_get": true, "kref_put": true,
+	"refcount_inc_not_zero": true, "refcount_dec_and_test": true,
+}
+
+// IsBarrierDependentAPI reports whether name is a kernel API that relies on
+// barriers internally.
+func IsBarrierDependentAPI(name string) bool { return barrierDependentAPIs[name] }

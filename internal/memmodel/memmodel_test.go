@@ -1,0 +1,205 @@
+package memmodel
+
+import "testing"
+
+func TestTable1AllPrimitivesRecognized(t *testing.T) {
+	// Table 1 of the paper: the eight explicit ordering primitives.
+	want := map[string]BarrierKind{
+		"smp_rmb":               ReadBarrier,
+		"smp_wmb":               WriteBarrier,
+		"smp_mb":                FullBarrier,
+		"smp_store_mb":          FullBarrier,
+		"smp_store_release":     FullBarrier,
+		"smp_load_acquire":      FullBarrier,
+		"smp_mb__before_atomic": FullBarrier,
+		"smp_mb__after_atomic":  FullBarrier,
+	}
+	if len(Primitives) != 8 {
+		t.Fatalf("Primitives has %d entries, want 8", len(Primitives))
+	}
+	for name, kind := range want {
+		p := Barrier(name)
+		if p == nil {
+			t.Errorf("Barrier(%q) = nil", name)
+			continue
+		}
+		if p.Kind != kind {
+			t.Errorf("Barrier(%q).Kind = %v, want %v", name, p.Kind, kind)
+		}
+		if !IsBarrier(name) {
+			t.Errorf("IsBarrier(%q) = false", name)
+		}
+	}
+	if IsBarrier("printk") {
+		t.Error("printk should not be a barrier")
+	}
+	if Barrier("nope") != nil {
+		t.Error("unknown primitive resolved")
+	}
+}
+
+func TestPrimitiveAccessShape(t *testing.T) {
+	// smp_store_release: barrier then write; smp_load_acquire: read then
+	// barrier; smp_store_mb: write then barrier.
+	rel := Barrier("smp_store_release")
+	if !rel.HasAccess || !rel.AccessIsWrite || rel.AccessBefore {
+		t.Errorf("smp_store_release = %+v", rel)
+	}
+	acq := Barrier("smp_load_acquire")
+	if !acq.HasAccess || acq.AccessIsWrite || !acq.AccessBefore {
+		t.Errorf("smp_load_acquire = %+v", acq)
+	}
+	smb := Barrier("smp_store_mb")
+	if !smb.HasAccess || !smb.AccessIsWrite || !smb.AccessBefore {
+		t.Errorf("smp_store_mb = %+v", smb)
+	}
+	if Barrier("smp_mb").HasAccess {
+		t.Error("smp_mb should have no access")
+	}
+}
+
+func TestBarrierKindOrdering(t *testing.T) {
+	if !ReadBarrier.OrdersReads() || ReadBarrier.OrdersWrites() {
+		t.Error("ReadBarrier semantics wrong")
+	}
+	if WriteBarrier.OrdersReads() || !WriteBarrier.OrdersWrites() {
+		t.Error("WriteBarrier semantics wrong")
+	}
+	if !FullBarrier.OrdersReads() || !FullBarrier.OrdersWrites() {
+		t.Error("FullBarrier semantics wrong")
+	}
+	if None.OrdersReads() || None.OrdersWrites() {
+		t.Error("None semantics wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, s := range map[BarrierKind]string{None: "none", ReadBarrier: "read", WriteBarrier: "write", FullBarrier: "full"} {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestTable2Semantics(t *testing.T) {
+	// Table 2 of the paper.
+	cases := []struct {
+		name    string
+		barrier bool
+	}{
+		{"atomic_inc", false},
+		{"atomic_inc_and_test", true},
+		{"set_bit", false},
+		{"test_and_set_bit", true},
+		{"wake_up_process", true},
+	}
+	for _, c := range cases {
+		s := Lookup(c.name)
+		if s == nil {
+			t.Errorf("Lookup(%q) = nil", c.name)
+			continue
+		}
+		if s.MemoryBarrier != c.barrier {
+			t.Errorf("%s.MemoryBarrier = %v, want %v", c.name, s.MemoryBarrier, c.barrier)
+		}
+		if HasBarrierSemantics(c.name) != c.barrier {
+			t.Errorf("HasBarrierSemantics(%q) = %v, want %v", c.name, HasBarrierSemantics(c.name), c.barrier)
+		}
+	}
+}
+
+func TestAtomicRuleOfThumb(t *testing.T) {
+	// Atomics not in the explicit catalog follow the kernel rule: value
+	// returning implies barrier.
+	barrier := []string{
+		"atomic64_inc_return", "atomic_long_add_return",
+		"atomic_fetch_add", "atomic64_cmpxchg", "atomic_long_xchg",
+	}
+	for _, n := range barrier {
+		if !HasBarrierSemantics(n) {
+			t.Errorf("HasBarrierSemantics(%q) = false, want true", n)
+		}
+	}
+	noBarrier := []string{
+		"atomic64_inc", "atomic_long_add", "atomic64_set",
+		"atomic_add_return_relaxed", "atomic_fetch_add_acquire",
+		"atomic_cmpxchg_release",
+		"printk", "kmalloc", "mutex_lock",
+	}
+	for _, n := range noBarrier {
+		if HasBarrierSemantics(n) {
+			t.Errorf("HasBarrierSemantics(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestWakeUpList(t *testing.T) {
+	for _, n := range []string{"wake_up_process", "wake_up", "smp_call_function_many", "complete"} {
+		if !IsWakeUp(n) {
+			t.Errorf("IsWakeUp(%q) = false", n)
+		}
+		if !HasBarrierSemantics(n) {
+			t.Errorf("wake-up %q must have barrier semantics", n)
+		}
+	}
+	for _, n := range []string{"atomic_inc_and_test", "printk", "smp_mb"} {
+		if IsWakeUp(n) {
+			t.Errorf("IsWakeUp(%q) = true", n)
+		}
+	}
+}
+
+func TestOnceAnnotations(t *testing.T) {
+	if !IsOnceAnnotation("READ_ONCE") || !IsOnceAnnotation("WRITE_ONCE") {
+		t.Error("ONCE annotations not recognized")
+	}
+	if IsOnceAnnotation("read_once") {
+		t.Error("case sensitivity lost")
+	}
+}
+
+func TestSeqcountKind(t *testing.T) {
+	cases := map[string]BarrierKind{
+		"read_seqcount_begin":   ReadBarrier,
+		"read_seqcount_retry":   ReadBarrier,
+		"read_seqbegin":         ReadBarrier,
+		"read_seqretry":         ReadBarrier,
+		"write_seqcount_begin":  WriteBarrier,
+		"write_seqcount_end":    WriteBarrier,
+		"xt_write_recseq_begin": WriteBarrier,
+		"xt_write_recseq_end":   WriteBarrier,
+		"printk":                None,
+		"smp_mb":                None,
+	}
+	for name, want := range cases {
+		if got := SeqcountKind(name); got != want {
+			t.Errorf("SeqcountKind(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCatalogInternallyConsistent(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Primitives {
+		if seen[p.Name] {
+			t.Errorf("duplicate primitive %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Kind == None {
+			t.Errorf("primitive %q has kind None", p.Name)
+		}
+	}
+	seen = map[string]bool{}
+	for _, f := range Functions {
+		if seen[f.Name] {
+			t.Errorf("duplicate function %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.WakeUp && !f.MemoryBarrier {
+			t.Errorf("wake-up %q lacks barrier semantics", f.Name)
+		}
+		if IsBarrier(f.Name) {
+			t.Errorf("%q is both a primitive and a Table 2 function", f.Name)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package ofence
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainPairing(t *testing.T) {
+	res := one(t, listing1)
+	if len(res.Pairings) != 1 {
+		t.Fatal("need one pairing")
+	}
+	out := ExplainPairing(res.Pairings[0])
+	for _, want := range []string{
+		"pairing of 2 barriers",
+		"(my_struct, init)", "(my_struct, y)",
+		"smp_wmb in writer", "smp_rmb in reader",
+		"store of (my_struct, y)", "load  of (my_struct, y)",
+		"before barrier", "after barrier",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainResult(t *testing.T) {
+	src := listing1 + `
+struct lonely { long q0; long q1; };
+void lonely_fn(struct lonely *p) {
+	p->q0 = 1;
+	smp_mb();
+	p->q1 = 2;
+}
+struct ipcw { long w0; long w1; struct task_struct *t; };
+void ipc_writer(struct ipcw *p) {
+	p->w0 = 1;
+	p->w1 = 2;
+	smp_wmb();
+	wake_up_process(p->t);
+}`
+	res := one(t, src)
+	out := ExplainResult(res)
+	for _, want := range []string{
+		"pairings", "#1 pairing",
+		"unpaired barriers", "lonely_fn",
+		"implicit-IPC writers", "ipc_writer",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("result explanation missing %q:\n%s", want, out)
+		}
+	}
+}

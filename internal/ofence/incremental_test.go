@@ -1,0 +1,134 @@
+package ofence
+
+import (
+	"testing"
+)
+
+const incWriter = `
+struct inc_s { int flag; int data; };
+void inc_w(struct inc_s *p) {
+	p->data = 1;
+	smp_wmb();
+	p->flag = 1;
+}`
+
+const incReaderBuggy = `
+struct inc_s { int flag; int data; };
+void inc_r(struct inc_s *p) {
+	smp_rmb();
+	if (!p->flag)
+		return;
+	use(p->data);
+}`
+
+const incReaderFixed = `
+struct inc_s { int flag; int data; };
+void inc_r(struct inc_s *p) {
+	if (!p->flag)
+		return;
+	smp_rmb();
+	use(p->data);
+}`
+
+func TestReplaceSourceIncremental(t *testing.T) {
+	p := NewProject()
+	p.AddSource("w.c", incWriter)
+	p.AddSource("r.c", incReaderBuggy)
+	opts := DefaultOptions()
+
+	res1 := p.Analyze(opts)
+	if len(res1.Pairings) != 1 {
+		t.Fatalf("pairings = %d", len(res1.Pairings))
+	}
+	found := false
+	for _, f := range res1.Findings {
+		if f.Kind == MisplacedAccess {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("buggy reader not flagged")
+	}
+
+	// Fix only the reader; the writer's extraction must be reused.
+	writerUnitBefore := p.Files()[0]
+	if fu := p.ReplaceSource("r.c", incReaderFixed); fu == nil {
+		t.Fatal("ReplaceSource returned nil")
+	}
+	res2 := p.Analyze(opts)
+	if len(res2.Pairings) != 1 {
+		t.Fatalf("pairings after fix = %d", len(res2.Pairings))
+	}
+	for _, f := range res2.Findings {
+		if f.Kind == MisplacedAccess {
+			t.Errorf("fixed reader still flagged: %v", f)
+		}
+	}
+	// Same pointer = cache reused (the unit was not re-extracted).
+	if p.Files()[0] != writerUnitBefore {
+		t.Error("unchanged file was replaced")
+	}
+	if p.Files()[0].Table == nil {
+		t.Error("cached extraction lost")
+	}
+}
+
+func TestReplaceSourceUnknownFile(t *testing.T) {
+	p := NewProject()
+	p.AddSource("a.c", incWriter)
+	if fu := p.ReplaceSource("nope.c", "int x;"); fu != nil {
+		t.Error("replacing unknown file should return nil")
+	}
+}
+
+func TestOptionsChangeInvalidatesCache(t *testing.T) {
+	p := NewProject()
+	p.AddSource("w.c", incWriter)
+	p.AddSource("r.c", incReaderBuggy)
+	opts := DefaultOptions()
+	res1 := p.Analyze(opts)
+	if len(res1.Pairings) != 1 {
+		t.Fatalf("pairings = %d", len(res1.Pairings))
+	}
+	// Shrinking the write window to zero must recompute extraction and
+	// eliminate the pairing.
+	opts2 := DefaultOptions()
+	opts2.Access.WriteWindow = 0
+	res2 := p.Analyze(opts2)
+	if len(res2.Pairings) != 0 {
+		t.Errorf("stale cache: pairings = %d with zero window", len(res2.Pairings))
+	}
+	// And going back re-finds it.
+	res3 := p.Analyze(DefaultOptions())
+	if len(res3.Pairings) != 1 {
+		t.Errorf("pairings = %d after options restored", len(res3.Pairings))
+	}
+}
+
+func TestRepeatedAnalyzeIsStable(t *testing.T) {
+	p := NewProject()
+	p.AddSource("w.c", incWriter)
+	p.AddSource("r.c", incReaderBuggy)
+	opts := DefaultOptions()
+	res1 := p.Analyze(opts)
+	res2 := p.Analyze(opts) // fully cached second run
+	if len(res1.Pairings) != len(res2.Pairings) || len(res1.Findings) != len(res2.Findings) {
+		t.Errorf("cached run differs: %d/%d vs %d/%d",
+			len(res1.Pairings), len(res1.Findings), len(res2.Pairings), len(res2.Findings))
+	}
+}
+
+func TestTimingPopulated(t *testing.T) {
+	p := NewProject()
+	p.AddSource("w.c", incWriter)
+	p.AddSource("r.c", incReaderBuggy)
+	res := p.Analyze(DefaultOptions())
+	if res.Timing.Extract <= 0 || res.Timing.Pair <= 0 || res.Timing.Check <= 0 {
+		t.Errorf("timing not populated: %+v", res.Timing)
+	}
+	// Cached re-run: extraction is near-free but still measured.
+	res2 := p.Analyze(DefaultOptions())
+	if res2.Timing.Extract > res.Timing.Extract*10 {
+		t.Errorf("cached extract slower than fresh: %v vs %v", res2.Timing.Extract, res.Timing.Extract)
+	}
+}

@@ -1,0 +1,103 @@
+package ofence
+
+import "ofence/internal/access"
+
+// The View types are stable, JSON-friendly projections of analysis results
+// for tooling (the CLI's -json mode, CI integrations).
+
+// SiteView is the serializable form of a barrier site.
+type SiteView struct {
+	File     string `json:"file"`
+	Function string `json:"function"`
+	Barrier  string `json:"barrier"`
+	Kind     string `json:"kind"`
+	Position string `json:"position"`
+	Seq      bool   `json:"seqcount,omitempty"`
+}
+
+// ObjectView is the serializable form of a shared object.
+type ObjectView struct {
+	Struct string `json:"struct"`
+	Field  string `json:"field"`
+}
+
+// PairingView is the serializable form of a pairing.
+type PairingView struct {
+	Sites  []SiteView   `json:"sites"`
+	Common []ObjectView `json:"shared_objects"`
+	Weight int          `json:"weight"`
+}
+
+// FindingView is the serializable form of a finding.
+type FindingView struct {
+	Kind        string      `json:"kind"`
+	File        string      `json:"file"`
+	Function    string      `json:"function"`
+	Position    string      `json:"position"`
+	Object      *ObjectView `json:"object,omitempty"`
+	Suggested   string      `json:"suggested,omitempty"`
+	Explanation string      `json:"explanation"`
+}
+
+// ResultView is the serializable form of a whole analysis.
+type ResultView struct {
+	Sites       int           `json:"barrier_sites"`
+	Unpaired    int           `json:"unpaired"`
+	ImplicitIPC int           `json:"implicit_ipc"`
+	Pairings    []PairingView `json:"pairings"`
+	Findings    []FindingView `json:"findings"`
+	ParseErrors []string      `json:"parse_errors,omitempty"`
+}
+
+func siteView(s *access.Site) SiteView {
+	return SiteView{
+		File:     s.File,
+		Function: s.Fn.Name,
+		Barrier:  s.Name,
+		Kind:     s.Kind.String(),
+		Position: s.Pos.String(),
+		Seq:      s.Seq,
+	}
+}
+
+func objectView(o access.Object) ObjectView {
+	return ObjectView{Struct: o.Struct, Field: o.Field}
+}
+
+// View converts the result into its serializable projection.
+func (r *Result) View() ResultView {
+	v := ResultView{
+		Sites:       len(r.Sites),
+		Unpaired:    len(r.Unpaired),
+		ImplicitIPC: len(r.ImplicitIPC),
+	}
+	for _, pg := range r.Pairings {
+		pv := PairingView{Weight: pg.Weight}
+		for _, s := range pg.Sites {
+			pv.Sites = append(pv.Sites, siteView(s))
+		}
+		for _, o := range pg.Common {
+			pv.Common = append(pv.Common, objectView(o))
+		}
+		v.Pairings = append(v.Pairings, pv)
+	}
+	for _, f := range r.Findings {
+		fv := FindingView{
+			Kind:        f.Kind.String(),
+			File:        f.Site.File,
+			Function:    f.Site.Fn.Name,
+			Position:    f.Site.Pos.String(),
+			Suggested:   f.SuggestedBarrier,
+			Explanation: f.Explanation,
+		}
+		if f.Object != (access.Object{}) {
+			ov := objectView(f.Object)
+			fv.Object = &ov
+		}
+		v.Findings = append(v.Findings, fv)
+	}
+	for _, err := range r.ParseErrors {
+		v.ParseErrors = append(v.ParseErrors, err.Error())
+	}
+	return v
+}

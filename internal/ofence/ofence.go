@@ -1,0 +1,638 @@
+// Package ofence implements the paper's contribution: pairing memory
+// barriers by matching the shared objects accessed around them (Algorithm 1)
+// and checking the paired code for ordering-constraint deviations (§5).
+//
+// The entry point is Project: add C sources, then Analyze. Analysis is
+// file-parallel like the original tool. Results carry the pairings, the
+// findings (misplaced accesses, wrong barrier types, repeated reads,
+// unneeded barriers, missing READ_ONCE/WRITE_ONCE annotations), and
+// statistics used by the evaluation harness.
+package ofence
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ofence/internal/access"
+	"ofence/internal/cast"
+	"ofence/internal/cparser"
+	"ofence/internal/cpp"
+	"ofence/internal/ctypes"
+)
+
+// Options configures the analysis.
+type Options struct {
+	// Access holds the exploration windows and inlining depth.
+	Access access.Options
+	// MinSharedObjects is the pairing threshold (paper: 2).
+	MinSharedObjects int
+	// Workers bounds file-level parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// GenericStructs lists struct tags too generic to identify code (e.g.
+	// the kernel's list_head); objects of these types never participate in
+	// pairing. The paper reports such types as its main source of incorrect
+	// pairings (§6.4).
+	GenericStructs []string
+	// CheckOnce enables the §7 READ_ONCE/WRITE_ONCE extension.
+	CheckOnce bool
+}
+
+// DefaultOptions returns the paper's parameters.
+func DefaultOptions() Options {
+	return Options{
+		Access:           access.Defaults(),
+		MinSharedObjects: 2,
+		GenericStructs:   []string{"list_head", "hlist_head", "hlist_node", "rb_node", "rb_root"},
+		CheckOnce:        true,
+	}
+}
+
+// FileUnit is one analyzed translation unit.
+type FileUnit struct {
+	Name  string
+	AST   *cast.File
+	Table *ctypes.Table
+	Sites []*access.Site
+	Errs  []error
+}
+
+// Project is a set of files analyzed together. Pairing is global; parsing
+// and extraction are per-file. Extraction results are cached per file, so
+// re-analyzing after ReplaceSource only re-extracts the changed file (the
+// paper's incremental mode, §6.1).
+type Project struct {
+	mu      sync.Mutex
+	files   []*FileUnit
+	headers map[string]string
+	defines map[string]string
+	// lastOpts invalidates the extraction cache when analysis options
+	// change between Analyze calls.
+	lastOpts *Options
+}
+
+// NewProject returns an empty project.
+func NewProject() *Project {
+	return &Project{headers: map[string]string{}, defines: map[string]string{}}
+}
+
+// AddHeader registers an include-resolvable header shared by sources.
+func (p *Project) AddHeader(path, src string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.headers[path] = src
+}
+
+// Define seeds a preprocessor symbol (kernel config) for all sources.
+func (p *Project) Define(name, value string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.defines[name] = value
+}
+
+// AddSource parses one C file into the project. Parse errors are recorded on
+// the file unit, not fatal (Smatch-style resilience).
+func (p *Project) AddSource(name, src string) *FileUnit {
+	p.mu.Lock()
+	include := make(map[string]string, len(p.headers))
+	for k, v := range p.headers {
+		include[k] = v
+	}
+	defines := make(map[string]string, len(p.defines))
+	for k, v := range p.defines {
+		defines[k] = v
+	}
+	p.mu.Unlock()
+
+	ast, errs := cparser.ParseSource(name, src, cpp.Options{Include: include, Defines: defines})
+	fu := &FileUnit{Name: name, AST: ast, Errs: errs}
+	p.mu.Lock()
+	p.files = append(p.files, fu)
+	p.mu.Unlock()
+	return fu
+}
+
+// Files returns the file units in insertion order.
+func (p *Project) Files() []*FileUnit { return p.files }
+
+// ReplaceSource re-parses one file in place, keeping every other file's
+// cached extraction valid. It returns the new unit, or nil when no file of
+// that name exists.
+func (p *Project) ReplaceSource(name, src string) *FileUnit {
+	p.mu.Lock()
+	idx := -1
+	for i, fu := range p.files {
+		if fu.Name == name {
+			idx = i
+			break
+		}
+	}
+	include := make(map[string]string, len(p.headers))
+	for k, v := range p.headers {
+		include[k] = v
+	}
+	defines := make(map[string]string, len(p.defines))
+	for k, v := range p.defines {
+		defines[k] = v
+	}
+	p.mu.Unlock()
+	if idx < 0 {
+		return nil
+	}
+	ast, errs := cparser.ParseSource(name, src, cpp.Options{Include: include, Defines: defines})
+	fu := &FileUnit{Name: name, AST: ast, Errs: errs}
+	p.mu.Lock()
+	p.files[idx] = fu
+	p.mu.Unlock()
+	return fu
+}
+
+// optionsEqual compares the fields that affect extraction.
+func optionsEqual(a, b *Options) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Access.WriteWindow != b.Access.WriteWindow ||
+		a.Access.ReadWindow != b.Access.ReadWindow ||
+		a.Access.InlineDepth != b.Access.InlineDepth ||
+		a.Access.MaxUnits != b.Access.MaxUnits {
+		return false
+	}
+	if a.MinSharedObjects != b.MinSharedObjects || a.CheckOnce != b.CheckOnce {
+		return false
+	}
+	if !equalStrings(a.Access.ExtraWakeUps, b.Access.ExtraWakeUps) ||
+		!equalStrings(a.Access.ExtraBarrierSemantics, b.Access.ExtraBarrierSemantics) ||
+		!equalStrings(a.GenericStructs, b.GenericStructs) {
+		return false
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pairing is a set of barrier sites inferred to run concurrently. Sites[0]
+// is the write barrier the pairing was built from.
+type Pairing struct {
+	Sites []*access.Site
+	// Common is the shared-object set the pairing is based on.
+	Common []access.Object
+	// Weight is the distance product of the winning object pair (lower is
+	// a closer, more confident pairing).
+	Weight int
+}
+
+// Writer returns the originating write-side barrier.
+func (pr *Pairing) Writer() *access.Site { return pr.Sites[0] }
+
+// Readers returns the paired sites other than the originating writer.
+func (pr *Pairing) Readers() []*access.Site { return pr.Sites[1:] }
+
+// String renders the pairing.
+func (pr *Pairing) String() string {
+	s := fmt.Sprintf("pairing[w=%d] %s(%s)", pr.Weight, pr.Sites[0].Fn.Name, pr.Sites[0].Name)
+	for _, r := range pr.Sites[1:] {
+		s += fmt.Sprintf(" <-> %s(%s)", r.Fn.Name, r.Name)
+	}
+	return s
+}
+
+// Timing is the per-phase cost breakdown of one Analyze call.
+type Timing struct {
+	// Extract covers per-file table building and access extraction (zero
+	// for files served from the incremental cache).
+	Extract time.Duration
+	// Pair covers the global Algorithm 1 pass.
+	Pair time.Duration
+	// Check covers the deviation checkers.
+	Check time.Duration
+}
+
+// Result is the outcome of Analyze.
+type Result struct {
+	Timing   Timing
+	Sites    []*access.Site
+	Pairings []*Pairing
+	// Unpaired are barrier sites not in any pairing.
+	Unpaired []*access.Site
+	// ImplicitIPC are write barriers left unpaired because a wake-up call
+	// closer than any shared object acts as the implicit read barrier.
+	ImplicitIPC []*access.Site
+	Findings    []*Finding
+	// ParseErrors aggregates per-file diagnostics.
+	ParseErrors []error
+}
+
+// Analyze runs extraction, pairing and checking over every file.
+func (p *Project) Analyze(opts Options) *Result {
+	if opts.MinSharedObjects <= 0 {
+		opts.MinSharedObjects = 2
+	}
+	res := &Result{}
+
+	// Phase 1: per-file extraction, in parallel. Files whose extraction is
+	// cached (same options, unchanged source) are skipped — this is what
+	// makes single-file re-analysis cheap.
+	p.mu.Lock()
+	fresh := p.lastOpts != nil && optionsEqual(p.lastOpts, &opts)
+	saved := opts
+	p.lastOpts = &saved
+	p.mu.Unlock()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	phaseStart := time.Now()
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, fu := range p.files {
+		if fresh && fu.Table != nil {
+			continue
+		}
+		wg.Add(1)
+		go func(fu *FileUnit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fu.Table = ctypes.NewTable(fu.AST)
+			ex := access.NewExtractor(fu.Name, fu.Table, opts.Access)
+			fu.Sites = ex.ExtractFile(fu.AST)
+		}(fu)
+	}
+	wg.Wait()
+	res.Timing.Extract = time.Since(phaseStart)
+
+	for _, fu := range p.files {
+		res.Sites = append(res.Sites, fu.Sites...)
+		res.ParseErrors = append(res.ParseErrors, fu.Errs...)
+	}
+	sortSites(res.Sites)
+
+	// Phase 2: global pairing (Algorithm 1).
+	phaseStart = time.Now()
+	pairer := newPairer(res.Sites, opts)
+	res.Pairings, res.Unpaired, res.ImplicitIPC = pairer.run()
+	res.Timing.Pair = time.Since(phaseStart)
+
+	// Phase 3: checking.
+	phaseStart = time.Now()
+	ck := &checker{opts: opts}
+	res.Findings = ck.check(res)
+	res.Timing.Check = time.Since(phaseStart)
+	return res
+}
+
+func sortSites(sites []*access.Site) {
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Col < b.Pos.Col
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Pairing (Algorithm 1)
+
+type pairer struct {
+	sites []*access.Site
+	opts  Options
+	// objIndex maps each object to the sites that access it (the
+	// obj_to_barriers hash of Algorithm 1).
+	objIndex map[access.Object][]*access.Site
+	// objDist caches per-site minimal distances per object.
+	objDist map[*access.Site]map[access.Object]int
+	generic map[string]bool
+}
+
+type candidate struct {
+	other  *access.Site
+	weight int
+	o1, o2 access.Object
+}
+
+func newPairer(sites []*access.Site, opts Options) *pairer {
+	pr := &pairer{
+		sites:    sites,
+		opts:     opts,
+		objIndex: map[access.Object][]*access.Site{},
+		objDist:  map[*access.Site]map[access.Object]int{},
+		generic:  map[string]bool{},
+	}
+	for _, g := range opts.GenericStructs {
+		pr.generic[g] = true
+	}
+	for _, s := range sites {
+		objs := pr.filteredObjects(s)
+		pr.objDist[s] = objs
+		for o := range objs {
+			pr.objIndex[o] = append(pr.objIndex[o], s)
+		}
+	}
+	return pr
+}
+
+// filteredObjects returns the site's objects minus generic-struct noise.
+func (pr *pairer) filteredObjects(s *access.Site) map[access.Object]int {
+	out := map[access.Object]int{}
+	for o, d := range s.Objects() {
+		if pr.generic[o.Struct] {
+			continue
+		}
+		out[o] = d
+	}
+	return out
+}
+
+// isWriteSide reports whether the site plays the write-barrier role.
+func isWriteSide(s *access.Site) bool {
+	return s.Kind.OrdersWrites()
+}
+
+// run executes Algorithm 1 and returns pairings, unpaired sites, and
+// implicit-IPC writers.
+func (pr *pairer) run() (pairings []*Pairing, unpaired, implicit []*access.Site) {
+	// tentative[s] holds the best pairing candidate found from/for s.
+	tentative := map[*access.Site][]candidate{}
+
+	for _, b := range pr.sites {
+		if !isWriteSide(b) {
+			continue
+		}
+		objs := pr.objDist[b]
+		best := candidate{weight: -1}
+		// foreach (o1, o2) in make_pairs(b->objs)
+		olist := sortedObjects(objs)
+		for i := 0; i < len(olist); i++ {
+			for j := i + 1; j < len(olist); j++ {
+				o1, o2 := olist[i], olist[j]
+				myWeight := weightOf(objs[o1]) * weightOf(objs[o2])
+				pair, pairWeight := pr.getPair(b, o1, o2)
+				if pair == nil {
+					continue
+				}
+				w := myWeight * pairWeight
+				if (best.weight < 0 || w < best.weight) &&
+					(b.Orders(o1, o2) || pair.Orders(o1, o2)) {
+					best = candidate{other: pair, weight: w, o1: o1, o2: o2}
+				}
+			}
+		}
+		// Ablation path: with MinSharedObjects == 1, a single common object
+		// suffices (the paper requires two; §6.4's precision depends on it).
+		if pr.opts.MinSharedObjects == 1 && best.other == nil {
+			for _, o := range olist {
+				pair, pairWeight := pr.getSingle(b, o)
+				if pair == nil {
+					continue
+				}
+				w := weightOf(objs[o]) * pairWeight
+				if best.weight < 0 || w < best.weight {
+					best = candidate{other: pair, weight: w, o1: o, o2: o}
+				}
+			}
+		}
+		if best.other != nil {
+			// Implicit IPC check (§4.2): when the wake-up call is closer to
+			// the barrier than the pairing's shared objects, the barrier
+			// orders the wake-up; leave it unpaired.
+			if b.WakeUpAfter >= 0 && b.WakeUpAfter <= minObjDistance(b, best.o1, best.o2) {
+				implicit = append(implicit, b)
+				continue
+			}
+			tentative[b] = append(tentative[b], best)
+			tentative[best.other] = append(tentative[best.other], candidate{other: b, weight: best.weight, o1: best.o1, o2: best.o2})
+		} else if b.WakeUpAfter >= 0 {
+			implicit = append(implicit, b)
+		}
+	}
+
+	// Keep only the lowest-weight pairing per barrier.
+	bestOf := map[*access.Site]candidate{}
+	for s, cands := range tentative {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.weight < best.weight {
+				best = c
+			}
+		}
+		bestOf[s] = best
+	}
+
+	// Build the pairing array: a pairing survives only when both sides
+	// still select each other after pruning.
+	paired := map[*access.Site]bool{}
+	for _, b := range pr.sites {
+		if !isWriteSide(b) || paired[b] {
+			continue
+		}
+		c, ok := bestOf[b]
+		if !ok {
+			continue
+		}
+		back, ok := bestOf[c.other]
+		if !ok || back.other != b {
+			continue
+		}
+		pairing := &Pairing{Sites: []*access.Site{b, c.other}, Weight: c.weight}
+		pairing.Common = commonObjects(pr.objDist[b], pr.objDist[c.other])
+		paired[b] = true
+		paired[c.other] = true
+		pairings = append(pairings, pairing)
+	}
+
+	// Extension step: unpaired barriers whose object set contains the
+	// pairing's common objects join the pairing (multi-barrier pairings).
+	for _, pg := range pairings {
+		for _, s := range pr.sites {
+			if paired[s] || len(pg.Common) < pr.opts.MinSharedObjects {
+				continue
+			}
+			if containsAll(pr.objDist[s], pg.Common) {
+				pg.Sites = append(pg.Sites, s)
+				paired[s] = true
+			}
+		}
+	}
+
+	// Pairings built over the same common-object set describe one protocol
+	// (Figure 5: the seqcount duos form a single four-barrier pairing).
+	pairings = mergeByCommon(pairings)
+
+	for _, s := range pr.sites {
+		if !paired[s] && !isImplicitMember(s, implicit) {
+			unpaired = append(unpaired, s)
+		}
+	}
+	return pairings, unpaired, implicit
+}
+
+// getPair implements get_pair of Algorithm 1: the other site, surrounded by
+// both o1 and o2, with the lowest distance product.
+func (pr *pairer) getPair(b *access.Site, o1, o2 access.Object) (*access.Site, int) {
+	s1 := pr.objIndex[o1]
+	s2 := pr.objIndex[o2]
+	in2 := map[*access.Site]bool{}
+	for _, s := range s2 {
+		in2[s] = true
+	}
+	var match *access.Site
+	bestW := -1
+	for _, s := range s1 {
+		if s == b || !in2[s] {
+			continue
+		}
+		if s.ID() == b.ID() {
+			continue // same physical barrier viewed from another function
+		}
+		w := weightOf(pr.objDist[s][o1]) * weightOf(pr.objDist[s][o2])
+		if bestW < 0 || w < bestW {
+			bestW = w
+			match = s
+		}
+	}
+	return match, bestW
+}
+
+// getSingle is the MinSharedObjects==1 ablation variant of getPair: the
+// other site sharing just o, with the lowest distance.
+func (pr *pairer) getSingle(b *access.Site, o access.Object) (*access.Site, int) {
+	var match *access.Site
+	bestW := -1
+	for _, s := range pr.objIndex[o] {
+		if s == b || s.ID() == b.ID() {
+			continue
+		}
+		w := weightOf(pr.objDist[s][o])
+		if bestW < 0 || w < bestW {
+			bestW = w
+			match = s
+		}
+	}
+	return match, bestW
+}
+
+// weightOf maps a distance to a multiplicative weight; distance 0 (the
+// barrier's own combined access) weighs 1.
+func weightOf(d int) int {
+	if d <= 0 {
+		return 1
+	}
+	return d
+}
+
+func minObjDistance(s *access.Site, objs ...access.Object) int {
+	min := -1
+	dist := s.Objects()
+	for _, o := range objs {
+		if d, ok := dist[o]; ok && (min < 0 || d < min) {
+			min = d
+		}
+	}
+	if min < 0 {
+		return 1 << 30
+	}
+	return min
+}
+
+func sortedObjects(m map[access.Object]int) []access.Object {
+	out := make([]access.Object, 0, len(m))
+	for o := range m {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Struct != out[j].Struct {
+			return out[i].Struct < out[j].Struct
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}
+
+func commonObjects(a, b map[access.Object]int) []access.Object {
+	var out []access.Object
+	for o := range a {
+		if _, ok := b[o]; ok {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Struct != out[j].Struct {
+			return out[i].Struct < out[j].Struct
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}
+
+func containsAll(objs map[access.Object]int, want []access.Object) bool {
+	if len(want) == 0 {
+		return false
+	}
+	for _, o := range want {
+		if _, ok := objs[o]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeByCommon coalesces pairings with identical common-object sets.
+func mergeByCommon(pairings []*Pairing) []*Pairing {
+	byKey := map[string]*Pairing{}
+	var out []*Pairing
+	for _, pg := range pairings {
+		key := ""
+		for _, o := range pg.Common {
+			key += o.String() + "|"
+		}
+		ex, ok := byKey[key]
+		if !ok {
+			byKey[key] = pg
+			out = append(out, pg)
+			continue
+		}
+		for _, s := range pg.Sites {
+			dup := false
+			for _, have := range ex.Sites {
+				if have == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ex.Sites = append(ex.Sites, s)
+			}
+		}
+		if pg.Weight < ex.Weight {
+			ex.Weight = pg.Weight
+		}
+	}
+	return out
+}
+
+func isImplicitMember(s *access.Site, implicit []*access.Site) bool {
+	for _, i := range implicit {
+		if i == s {
+			return true
+		}
+	}
+	return false
+}

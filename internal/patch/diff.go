@@ -1,0 +1,152 @@
+package patch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unified computes a unified diff (3 lines of context) between two texts.
+// name labels both sides of the header.
+func Unified(name, before, after string) string {
+	a := splitLines(before)
+	b := splitLines(after)
+	ops := diffOps(a, b)
+	if len(ops) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", name, name)
+	const ctx = 3
+
+	// Group ops into hunks separated by > 2*ctx equal lines.
+	type hunk struct{ start, end int } // op index range
+	var hunks []hunk
+	i := 0
+	for i < len(ops) {
+		if ops[i].kind == opEq {
+			i++
+			continue
+		}
+		start := i
+		end := i
+		run := 0
+		for j := i + 1; j < len(ops); j++ {
+			if ops[j].kind == opEq {
+				run++
+				if run > 2*ctx {
+					break
+				}
+			} else {
+				run = 0
+				end = j
+			}
+		}
+		hunks = append(hunks, hunk{start, end})
+		i = end + 1
+	}
+
+	for _, h := range hunks {
+		lo := h.start
+		for k := 0; k < ctx && lo > 0 && ops[lo-1].kind == opEq; k++ {
+			lo--
+		}
+		hi := h.end
+		for k := 0; k < ctx && hi+1 < len(ops) && ops[hi+1].kind == opEq; k++ {
+			hi++
+		}
+		aStart, bStart := ops[lo].aLine, ops[lo].bLine
+		var aCount, bCount int
+		var body strings.Builder
+		for _, op := range ops[lo : hi+1] {
+			switch op.kind {
+			case opEq:
+				body.WriteString(" " + op.text + "\n")
+				aCount++
+				bCount++
+			case opDel:
+				body.WriteString("-" + op.text + "\n")
+				aCount++
+			case opAdd:
+				body.WriteString("+" + op.text + "\n")
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		sb.WriteString(body.String())
+	}
+	return sb.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+type opKind int
+
+const (
+	opEq opKind = iota
+	opDel
+	opAdd
+)
+
+type diffOp struct {
+	kind         opKind
+	text         string
+	aLine, bLine int
+}
+
+// diffOps computes an edit script via the classic LCS dynamic program; the
+// inputs (single functions) are small, so O(n*m) is fine.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	changed := false
+	for i < n && j < m {
+		if a[i] == b[j] {
+			ops = append(ops, diffOp{opEq, a[i], i, j})
+			i++
+			j++
+		} else if lcs[i+1][j] >= lcs[i][j+1] {
+			ops = append(ops, diffOp{opDel, a[i], i, j})
+			i++
+			changed = true
+		} else {
+			ops = append(ops, diffOp{opAdd, b[j], i, j})
+			j++
+			changed = true
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{opDel, a[i], i, j})
+		changed = true
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{opAdd, b[j], i, j})
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	return ops
+}

@@ -1,0 +1,323 @@
+// Package patch turns OFence findings into patches, mirroring §5.4 of the
+// paper: each patch carries the mechanical fix (a rewritten function) plus a
+// rationale documenting which shared objects paired the barriers and why the
+// original ordering was wrong — the property the paper credits for its
+// patches being merged within 24 hours.
+//
+// Patches are produced by cloning the offending function's AST, applying the
+// fix to the clone, and emitting a unified diff between the printed original
+// and the printed fix.
+package patch
+
+import (
+	"fmt"
+	"strings"
+
+	"ofence/internal/access"
+	"ofence/internal/cast"
+	"ofence/internal/ctoken"
+	"ofence/internal/memmodel"
+	"ofence/internal/ofence"
+)
+
+// Patch is one generated fix.
+type Patch struct {
+	Finding *ofence.Finding
+	// Function is the rewritten function's name.
+	Function string
+	// Before and After are the printed original and fixed functions.
+	Before, After string
+	// Diff is the unified diff between them.
+	Diff string
+	// Rationale is the human-readable explanation embedded in the header.
+	Rationale string
+}
+
+// String renders the patch as it would be submitted: rationale, then diff.
+func (p *Patch) String() string {
+	var b strings.Builder
+	b.WriteString("ofence: fix ")
+	b.WriteString(p.Finding.Kind.String())
+	b.WriteString(" in ")
+	b.WriteString(p.Function)
+	b.WriteString("\n\n")
+	b.WriteString(p.Rationale)
+	b.WriteString("\n\n")
+	b.WriteString(p.Diff)
+	return b.String()
+}
+
+// Generate produces the patch for a finding. Findings whose fix cannot be
+// applied mechanically (e.g. the offending statement and the barrier are not
+// siblings) return an error; the caller reports them as review-only.
+func Generate(f *ofence.Finding) (*Patch, error) {
+	switch f.Kind {
+	case ofence.MisplacedAccess:
+		return moveRead(f)
+	case ofence.WrongBarrierType:
+		return replaceBarrier(f)
+	case ofence.RepeatedRead:
+		return reuseValue(f)
+	case ofence.UnneededBarrier:
+		return removeBarrier(f)
+	case ofence.MissingOnce:
+		return annotateOnce(f)
+	}
+	return nil, fmt.Errorf("patch: unsupported finding kind %v", f.Kind)
+}
+
+// GenerateAll produces patches for every finding, collecting failures.
+func GenerateAll(findings []*ofence.Finding) (patches []*Patch, failed []error) {
+	for _, f := range findings {
+		p, err := Generate(f)
+		if err != nil {
+			failed = append(failed, fmt.Errorf("%s: %w", f.Site.Pos, err))
+			continue
+		}
+		patches = append(patches, p)
+	}
+	return patches, failed
+}
+
+// rationale builds the §5.4 explanation: pairing objects + the deviation.
+func rationale(f *ofence.Finding) string {
+	var b strings.Builder
+	if f.Pairing != nil {
+		b.WriteString("The barriers were paired using the shared objects ")
+		for i, o := range f.Pairing.Common {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("(struct " + o.Struct + ", field " + o.Field + ")")
+		}
+		b.WriteString(".\n")
+	}
+	b.WriteString(strings.ToUpper(f.Explanation[:1]) + f.Explanation[1:] + ".")
+	return b.String()
+}
+
+func finish(f *ofence.Finding, orig, fixed *cast.FuncDecl) (*Patch, error) {
+	before := cast.Print(orig)
+	after := cast.Print(fixed)
+	if before == after {
+		return nil, fmt.Errorf("fix produced no change in %s", orig.Name)
+	}
+	return &Patch{
+		Finding:   f,
+		Function:  orig.Name,
+		Before:    before,
+		After:     after,
+		Diff:      Unified(f.Site.File+"/"+orig.Name, before, after),
+		Rationale: rationale(f),
+	}, nil
+}
+
+// moveRead fixes deviation #1 by moving the statement containing the
+// misplaced read to the other side of the barrier (§5.2: the patch always
+// moves the read, trusting the writer).
+func moveRead(f *ofence.Finding) (*Patch, error) {
+	if f.Access == nil || f.Access.Expr == nil {
+		return nil, fmt.Errorf("misplaced access without expression")
+	}
+	fn := f.Site.Fn
+	clone, m := cast.CloneFunc(fn)
+
+	barrierStmt := mappedStmt(m, barrierStmtOf(f.Site))
+	accessStmt := mappedStmt(m, stmtOf(fn, f.Access))
+	if barrierStmt == nil || accessStmt == nil {
+		return nil, fmt.Errorf("cannot locate barrier or access statement in %s", fn.Name)
+	}
+	bBlock, _ := cast.ParentBlock(clone, barrierStmt)
+	aBlock, _ := cast.ParentBlock(clone, accessStmt)
+	if bBlock == nil || aBlock == nil || bBlock != aBlock {
+		return nil, fmt.Errorf("access and barrier are not siblings in %s; manual fix required", fn.Name)
+	}
+	if !cast.RemoveStmt(clone, accessStmt) {
+		return nil, fmt.Errorf("cannot remove access statement")
+	}
+	var ok bool
+	if f.Access.Before {
+		// Read was before the barrier but belongs after.
+		ok = cast.InsertAfter(clone, barrierStmt, accessStmt)
+	} else {
+		// Read was after the barrier but belongs before.
+		ok = cast.InsertBefore(clone, barrierStmt, accessStmt)
+	}
+	if !ok {
+		return nil, fmt.Errorf("cannot reinsert access statement")
+	}
+	return finish(f, fn, clone)
+}
+
+// replaceBarrier fixes deviation #2 by swapping the barrier primitive.
+func replaceBarrier(f *ofence.Finding) (*Patch, error) {
+	if f.SuggestedBarrier == "" || f.Site.Call == nil {
+		return nil, fmt.Errorf("wrong-type finding without suggestion")
+	}
+	fn := f.Site.Fn
+	clone, m := cast.CloneFunc(fn)
+	call, _ := m[f.Site.Call].(*cast.CallExpr)
+	if call == nil {
+		return nil, fmt.Errorf("barrier call not found in clone")
+	}
+	id, ok := call.Fun.(*cast.Ident)
+	if !ok {
+		return nil, fmt.Errorf("barrier callee is not an identifier")
+	}
+	id.Name = f.SuggestedBarrier
+	return finish(f, fn, clone)
+}
+
+// reuseValue fixes deviation #3: the re-read is replaced with the initially
+// read value, introducing a local when the first read is not already bound
+// to one.
+func reuseValue(f *ofence.Finding) (*Patch, error) {
+	if f.Access == nil || f.Access.Expr == nil || f.FirstAccess == nil {
+		return nil, fmt.Errorf("repeated-read finding without both accesses")
+	}
+	fn := f.Site.Fn
+	clone, m := cast.CloneFunc(fn)
+	reread, _ := m[f.Access.Expr].(cast.Expr)
+	if reread == nil {
+		return nil, fmt.Errorf("re-read expression not found in clone")
+	}
+
+	// Case 1: the first read already initializes a local; reuse its name.
+	if ds, ok := f.FirstAccess.Unit.Stmt.(*cast.DeclStmt); ok && ds.Name != "" {
+		if cast.ReplaceExpr(clone, reread, &cast.Ident{Position: f.Access.Expr.Position, Name: ds.Name}) {
+			return finish(f, fn, clone)
+		}
+		return nil, fmt.Errorf("cannot substitute local %s", ds.Name)
+	}
+
+	// Case 2: bind the first read to a new local and reuse it.
+	first, _ := m[f.FirstAccess.Expr].(cast.Expr)
+	firstStmt := mappedStmt(m, stmtOf(fn, f.FirstAccess))
+	if first == nil || firstStmt == nil {
+		return nil, fmt.Errorf("first read not found in clone")
+	}
+	local := "val_" + f.Object.Field
+	decl := &cast.DeclStmt{
+		Position: firstStmt.Pos(),
+		Name:     local,
+		Type:     &cast.TypeExpr{Position: firstStmt.Pos(), Name: "long"},
+		Init:     first,
+	}
+	ref := func() cast.Expr { return &cast.Ident{Position: firstStmt.Pos(), Name: local} }
+	if !cast.ReplaceExpr(clone, first, ref()) {
+		return nil, fmt.Errorf("cannot bind first read")
+	}
+	if !cast.InsertBefore(clone, firstStmt, decl) {
+		return nil, fmt.Errorf("cannot insert local declaration")
+	}
+	if !cast.ReplaceExpr(clone, reread, ref()) {
+		return nil, fmt.Errorf("cannot substitute re-read")
+	}
+	return finish(f, fn, clone)
+}
+
+// removeBarrier fixes §5.1 unneeded barriers by deleting the barrier
+// statement.
+func removeBarrier(f *ofence.Finding) (*Patch, error) {
+	fn := f.Site.Fn
+	clone, m := cast.CloneFunc(fn)
+	barrierStmt := mappedStmt(m, barrierStmtOf(f.Site))
+	if barrierStmt == nil {
+		return nil, fmt.Errorf("barrier statement not found")
+	}
+	// Only remove when the statement is exactly the barrier call.
+	es, ok := barrierStmt.(*cast.ExprStmt)
+	if !ok {
+		return nil, fmt.Errorf("barrier embedded in a larger statement")
+	}
+	if c, ok := es.X.(*cast.CallExpr); !ok || !memmodel.IsBarrier(c.FunName()) {
+		return nil, fmt.Errorf("barrier statement has side effects")
+	}
+	if !cast.RemoveStmt(clone, barrierStmt) {
+		return nil, fmt.Errorf("cannot remove barrier statement")
+	}
+	return finish(f, fn, clone)
+}
+
+// annotateOnce implements the §7 extension: wrap the access in
+// READ_ONCE/WRITE_ONCE.
+func annotateOnce(f *ofence.Finding) (*Patch, error) {
+	if f.Access == nil || f.Access.Expr == nil {
+		return nil, fmt.Errorf("annotation finding without expression")
+	}
+	fn := f.Site.Fn
+	clone, m := cast.CloneFunc(fn)
+	expr, _ := m[f.Access.Expr].(cast.Expr)
+	if expr == nil {
+		return nil, fmt.Errorf("access expression not found in clone")
+	}
+	pos := f.Access.Expr.Position
+	if f.Access.Kind == access.Load {
+		wrapped := &cast.CallExpr{
+			Position: pos,
+			Fun:      &cast.Ident{Position: pos, Name: memmodel.ReadOnce},
+			Args:     []cast.Expr{expr},
+		}
+		if !cast.ReplaceExpr(clone, expr, wrapped) {
+			return nil, fmt.Errorf("cannot wrap load")
+		}
+		return finish(f, fn, clone)
+	}
+	// Store: rewrite "x = v" into "WRITE_ONCE(x, v)".
+	asg := assignOf(clone, expr)
+	if asg == nil || asg.Op != ctoken.Assign {
+		return nil, fmt.Errorf("store is not a plain assignment; manual annotation required")
+	}
+	call := &cast.CallExpr{
+		Position: pos,
+		Fun:      &cast.Ident{Position: pos, Name: memmodel.WriteOnce},
+		Args:     []cast.Expr{asg.X, asg.Y},
+	}
+	if !cast.ReplaceExpr(clone, asg, call) {
+		return nil, fmt.Errorf("cannot rewrite assignment")
+	}
+	return finish(f, fn, clone)
+}
+
+// assignOf finds the AssignExpr whose left-hand side is exactly target.
+func assignOf(root cast.Node, target cast.Expr) *cast.AssignExpr {
+	var found *cast.AssignExpr
+	cast.Walk(root, func(n cast.Node) bool {
+		if a, ok := n.(*cast.AssignExpr); ok && a.X == target {
+			found = a
+			return false
+		}
+		return found == nil
+	})
+	return found
+}
+
+// stmtOf returns the outermost statement of fn containing the access.
+func stmtOf(fn *cast.FuncDecl, a *access.Access) cast.Stmt {
+	if a.Unit != nil && a.Unit.Fn == fn && a.Unit.Stmt != nil {
+		if s := cast.ContainingStmt(fn, a.Unit.Stmt); s != nil {
+			return s
+		}
+		return a.Unit.Stmt
+	}
+	if a.Expr != nil {
+		return cast.ContainingStmt(fn, a.Expr)
+	}
+	return nil
+}
+
+// barrierStmtOf returns the outermost statement holding the barrier call.
+func barrierStmtOf(s *access.Site) cast.Stmt {
+	if s.Call == nil {
+		return nil
+	}
+	return cast.ContainingStmt(s.Fn, s.Call)
+}
+
+func mappedStmt(m cast.CloneMap, s cast.Stmt) cast.Stmt {
+	if s == nil {
+		return nil
+	}
+	c, _ := m[s].(cast.Stmt)
+	return c
+}

@@ -1,0 +1,443 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ofence/internal/corpus"
+	"ofence/internal/ofence"
+)
+
+func smallCorpus(seed int64) *corpus.Corpus {
+	cfg := corpus.DefaultConfig(seed)
+	cfg.Counts = map[corpus.PatternKind]int{
+		corpus.InitFlag:     12,
+		corpus.Seqcount:     3,
+		corpus.ImplicitIPC:  4,
+		corpus.Unneeded:     3,
+		corpus.Misplaced:    3,
+		corpus.RepeatedRead: 2,
+		corpus.WrongType:    1,
+		corpus.LockPaired:   10,
+		corpus.GenericDecoy: 2,
+		corpus.Noise:        15,
+	}
+	return corpus.Generate(cfg)
+}
+
+func TestRunCorpusNoParseErrors(t *testing.T) {
+	c := smallCorpus(42)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	for _, err := range ev.Result.ParseErrors {
+		t.Errorf("corpus parse error: %v", err)
+	}
+	if len(ev.Result.Sites) == 0 {
+		t.Fatal("no barrier sites found in corpus")
+	}
+}
+
+func TestTable1Table2Render(t *testing.T) {
+	t1 := Table1()
+	for _, p := range []string{"smp_rmb", "smp_wmb", "smp_mb", "smp_store_release", "smp_load_acquire"} {
+		if !strings.Contains(t1, p) {
+			t.Errorf("Table 1 missing %s:\n%s", p, t1)
+		}
+	}
+	t2 := Table2()
+	for _, f := range []string{"atomic_inc", "test_and_set_bit", "wake_up_process"} {
+		if !strings.Contains(t2, f) {
+			t.Errorf("Table 2 missing %s", f)
+		}
+	}
+}
+
+func TestTable3AgainstTruth(t *testing.T) {
+	c := smallCorpus(7)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	rows := Table3(ev)
+	byDesc := map[string]Table3Row{}
+	for _, r := range rows {
+		byDesc[r.Description] = r
+	}
+	mis := byDesc["Misplaced memory access"]
+	if mis.Expected != 3 {
+		t.Errorf("misplaced expected = %d, want 3", mis.Expected)
+	}
+	if mis.Found != mis.Expected {
+		t.Errorf("misplaced found %d of %d injected", mis.Found, mis.Expected)
+	}
+	rr := byDesc["Racy variable re-read"]
+	if rr.Found != rr.Expected || rr.Expected != 2 {
+		t.Errorf("repeated-read found %d of %d", rr.Found, rr.Expected)
+	}
+	wt := byDesc["Read barrier used instead of a write barrier"]
+	if wt.Found != wt.Expected || wt.Expected != 1 {
+		t.Errorf("wrong-type found %d of %d", wt.Found, wt.Expected)
+	}
+	un := byDesc["Unneeded barrier"]
+	if un.Found != un.Expected || un.Expected != 3 {
+		t.Errorf("unneeded found %d of %d", un.Found, un.Expected)
+	}
+	// The paper's shape: misplaced > repeated-read > wrong-type.
+	if !(mis.Expected > rr.Expected && rr.Expected > wt.Expected) {
+		t.Error("Table 3 ordering not preserved in corpus config")
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "Misplaced memory access") {
+		t.Error("render broken")
+	}
+}
+
+func TestTable3NoFalsePositivesOnCorrectPatterns(t *testing.T) {
+	c := smallCorpus(13)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	for _, r := range Table3(ev) {
+		if r.Extra != 0 {
+			t.Errorf("%s: %d extra findings (false positives)", r.Description, r.Extra)
+		}
+	}
+}
+
+func TestFigure6Saturation(t *testing.T) {
+	c := smallCorpus(21)
+	pts := Figure6(c, []int{0, 1, 3, 5, 10}, ofence.DefaultOptions())
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Window 0 must find far fewer pairings than window 5 (the paper's
+	// Figure 6 shape), and 5 -> 10 must be nearly flat. (The count is not
+	// strictly monotone: very narrow windows can split one protocol into
+	// two pairings, matching the paper's note that window size trades
+	// pairing count against pairing quality.)
+	if pts[0].Pairings >= pts[3].Pairings {
+		t.Errorf("window sweep flat from 0: %v", pts)
+	}
+	w5, w10 := pts[3].Pairings, pts[4].Pairings
+	if w10-w5 > w5/4+1 {
+		t.Errorf("no saturation at 5: w5=%d w10=%d", w5, w10)
+	}
+	if out := RenderFigure6(pts); !strings.Contains(out, "window=5") {
+		t.Error("render broken")
+	}
+}
+
+func TestFigure7LongTail(t *testing.T) {
+	cfg := corpus.DefaultConfig(3)
+	cfg.Counts = map[corpus.PatternKind]int{corpus.InitFlag: 60}
+	c := corpus.Generate(cfg)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	buckets := Figure7(ev)
+	total, tail := 0, 0
+	for _, b := range buckets {
+		total += b.Count
+		if b.Lo > 15 {
+			tail += b.Count
+		}
+	}
+	if total == 0 {
+		t.Fatal("no read distances recorded")
+	}
+	if tail == 0 {
+		t.Error("no long-tail distances: Figure 7 shape lost")
+	}
+	if out := RenderFigure7(buckets); !strings.Contains(out, "Figure 7") {
+		t.Error("render broken")
+	}
+}
+
+func TestCoverageStats(t *testing.T) {
+	c := smallCorpus(5)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	st := Coverage(ev)
+	if st.Files != len(c.Order) {
+		t.Errorf("files = %d", st.Files)
+	}
+	if st.ExpectedPairs == 0 {
+		t.Fatal("no expected pairs in corpus")
+	}
+	// Recall: every pairable pattern should be paired.
+	if st.CorrectlyPaired != st.ExpectedPairs {
+		t.Errorf("paired %d of %d expected", st.CorrectlyPaired, st.ExpectedPairs)
+	}
+	// Precision: no mixed/decoy pairings.
+	if st.IncorrectPairings != 0 {
+		t.Errorf("incorrect pairings = %d", st.IncorrectPairings)
+	}
+	// Paper shape: roughly half the barriers pair (lock-paired ones do not).
+	if st.PairedFraction < 0.25 || st.PairedFraction > 0.9 {
+		t.Errorf("paired fraction = %.2f, outside the plausible band", st.PairedFraction)
+	}
+	if st.ImplicitIPC == 0 {
+		t.Error("implicit IPC writers not detected")
+	}
+	if out := RenderCoverage(st); !strings.Contains(out, "pairings") {
+		t.Error("render broken")
+	}
+}
+
+func TestFigure23AllAsExpected(t *testing.T) {
+	rows := Figure23()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BadState == r.ShouldBeOK {
+			t.Errorf("%s: bad=%v shouldForbid=%v", r.Scenario, r.BadState, r.ShouldBeOK)
+		}
+	}
+	if out := RenderFigure23(rows); strings.Contains(out, "UNEXPECTED") {
+		t.Errorf("litmus verdicts:\n%s", out)
+	}
+}
+
+func TestAcqRelPatternsPair(t *testing.T) {
+	cfg := corpus.DefaultConfig(31)
+	cfg.Counts = map[corpus.PatternKind]int{corpus.AcqRel: 8}
+	c := corpus.Generate(cfg)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	st := Coverage(ev)
+	if st.CorrectlyPaired != 8 {
+		t.Errorf("acquire/release pairs found = %d of 8", st.CorrectlyPaired)
+	}
+	for _, f := range ev.Result.Findings {
+		if f.Kind != ofence.MissingOnce {
+			t.Errorf("clean acq/rel pattern flagged: %v", f)
+		}
+	}
+}
+
+func TestOnceAnnotatedNoAnnotationFindings(t *testing.T) {
+	cfg := corpus.DefaultConfig(33)
+	cfg.Counts = map[corpus.PatternKind]int{corpus.OnceAnnotated: 6}
+	c := corpus.Generate(cfg)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	st := Coverage(ev)
+	if st.CorrectlyPaired != st.ExpectedPairs {
+		t.Errorf("annotated patterns paired %d of %d", st.CorrectlyPaired, st.ExpectedPairs)
+	}
+	for _, f := range ev.Result.Findings {
+		if f.Kind == ofence.MissingOnce {
+			t.Errorf("annotated access flagged: %v", f)
+		}
+	}
+}
+
+func TestValidationStats(t *testing.T) {
+	c := smallCorpus(41)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	st := Validation(ev)
+	if st.Checked == 0 {
+		t.Fatal("no findings litmus-checked")
+	}
+	if st.Unconfirmed != 0 {
+		t.Errorf("unconfirmed verdicts: %d of %d", st.Unconfirmed, st.Checked)
+	}
+	if out := RenderValidation(st); !strings.Contains(out, "confirmed") {
+		t.Error("render broken")
+	}
+}
+
+func TestRunFixturesAllMatch(t *testing.T) {
+	rows := RunFixtures(ofence.DefaultOptions())
+	for _, r := range rows {
+		if !r.Match {
+			t.Errorf("%s: expected %q, found %v (pairings=%d)",
+				r.Fixture.Name, r.Fixture.ExpectFinding, r.Findings, r.Pairings)
+		}
+		if r.Fixture.ExpectPairings > 0 && r.Pairings != r.Fixture.ExpectPairings {
+			t.Errorf("%s: pairings = %d, want %d", r.Fixture.Name, r.Pairings, r.Fixture.ExpectPairings)
+		}
+	}
+	if out := RenderFixtures(rows); !strings.Contains(out, "rpc_xprt.c") {
+		t.Error("render broken")
+	}
+}
+
+func TestRuntimeStats(t *testing.T) {
+	c := smallCorpus(2)
+	st := Runtime(c, ofence.DefaultOptions())
+	if st.FullRun <= 0 || st.SingleFile <= 0 {
+		t.Errorf("timings = %+v", st)
+	}
+	if st.SingleFile > st.FullRun {
+		t.Errorf("single-file reanalysis slower than full run: %+v", st)
+	}
+	if out := RenderRuntime(st); !strings.Contains(out, "full analysis") {
+		t.Error("render broken")
+	}
+}
+
+func TestEverythingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation in -short mode")
+	}
+	out := Everything(42)
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Figure 6", "Figure 7", "Coverage", "Runtime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+	if strings.Contains(out, "UNEXPECTED") {
+		t.Error("litmus section reports unexpected outcome")
+	}
+}
+
+func TestCensusShape(t *testing.T) {
+	// §1's shape: far more functions rely on barrier-dependent APIs than
+	// contain explicit barriers (paper: >6000 vs >2000).
+	c := corpus.Generate(corpus.DefaultConfig(42))
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	st := Census(ev)
+	if st.Functions == 0 || st.WithBarriers == 0 || st.UsingBarrierAPIs == 0 {
+		t.Fatalf("census empty: %+v", st)
+	}
+	if st.UsingBarrierAPIs <= st.WithBarriers {
+		t.Errorf("API users (%d) should exceed barrier-containing functions (%d)",
+			st.UsingBarrierAPIs, st.WithBarriers)
+	}
+	if out := RenderCensus(st); !strings.Contains(out, "census") {
+		t.Error("render broken")
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	cfg := corpus.DefaultConfig(55)
+	cfg.Counts = map[corpus.PatternKind]int{
+		corpus.InitFlag:      15,
+		corpus.Misplaced:     3,
+		corpus.RepeatedRead:  2,
+		corpus.WrongType:     1,
+		corpus.LockProtected: 10,
+		corpus.StatsCounter:  5,
+	}
+	c := corpus.Generate(cfg)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	st := Baseline(ev)
+	// The baseline stays correct on its home turf...
+	if st.LockProtectedWarned != 0 {
+		t.Errorf("lockset warned on %d lock-protected patterns", st.LockProtectedWarned)
+	}
+	if st.BenignCounters != 5 {
+		t.Errorf("benign counters = %d", st.BenignCounters)
+	}
+	// ...but cannot discriminate barrier bugs from correct barrier usage:
+	// it warns on (essentially) everything lockless, buggy or not.
+	if st.BuggyPatterns != 6 {
+		t.Fatalf("buggy patterns = %d", st.BuggyPatterns)
+	}
+	if st.BuggyWarned != st.BuggyPatterns {
+		t.Errorf("lockset warned on %d/%d buggy patterns", st.BuggyWarned, st.BuggyPatterns)
+	}
+	if st.CorrectWarned != st.CorrectPatterns {
+		t.Errorf("lockset warned on %d/%d correct patterns — same verdict expected",
+			st.CorrectWarned, st.CorrectPatterns)
+	}
+	// OFence pinpoints exactly the bugs.
+	if st.OFenceBugsFound != 6 {
+		t.Errorf("ofence found %d of 6 bugs", st.OFenceBugsFound)
+	}
+	if st.OFenceCorrectFlags != 0 {
+		t.Errorf("ofence flagged %d correct patterns", st.OFenceCorrectFlags)
+	}
+	if out := RenderBaseline(st); !strings.Contains(out, "lockset") {
+		t.Error("render broken")
+	}
+}
+
+func TestCrossFilePatternsPair(t *testing.T) {
+	cfg := corpus.DefaultConfig(61)
+	cfg.Counts = map[corpus.PatternKind]int{corpus.CrossFile: 9, corpus.Noise: 12}
+	cfg.PatternsPerFile = 3
+	c := corpus.Generate(cfg)
+	// The writer and reader of each pattern must be in different files.
+	split := 0
+	for _, tr := range c.Truths {
+		if tr.Kind != corpus.CrossFile {
+			continue
+		}
+		writerFile, readerFile := "", ""
+		for _, name := range c.Order {
+			if strings.Contains(c.Files[name], "void "+tr.WriterFn+"(") {
+				writerFile = name
+			}
+			if strings.Contains(c.Files[name], "void "+tr.ReaderFn+"(") {
+				readerFile = name
+			}
+		}
+		if writerFile == "" || readerFile == "" {
+			t.Fatalf("pattern %d functions not found", tr.ID)
+		}
+		if writerFile != readerFile {
+			split++
+		}
+	}
+	if split == 0 {
+		t.Fatal("no cross-file pattern actually split across files")
+	}
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	st := Coverage(ev)
+	if st.CorrectlyPaired != 9 {
+		t.Errorf("cross-file pairs found = %d of 9 (global pairing broken?)", st.CorrectlyPaired)
+	}
+}
+
+func TestPairingThresholdAblation(t *testing.T) {
+	cfg := corpus.DefaultConfig(71)
+	cfg.Counts = map[corpus.PatternKind]int{
+		corpus.InitFlag:          10,
+		corpus.SingleObjectDecoy: 6,
+	}
+	c := corpus.Generate(cfg)
+
+	// Default threshold (2 shared objects): decoys stay unpaired.
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	st := Coverage(ev)
+	if st.IncorrectPairings != 0 {
+		t.Errorf("threshold 2 admitted %d incorrect pairings", st.IncorrectPairings)
+	}
+	if st.CorrectlyPaired != st.ExpectedPairs || st.ExpectedPairs < 8 {
+		t.Errorf("threshold 2 paired %d of %d reachable patterns", st.CorrectlyPaired, st.ExpectedPairs)
+	}
+
+	// Ablated threshold (1 shared object): the decoys pair incorrectly —
+	// this is why the paper requires two.
+	opts := ofence.DefaultOptions()
+	opts.MinSharedObjects = 1
+	ev1 := RunCorpus(c, opts)
+	st1 := Coverage(ev1)
+	if st1.IncorrectPairings == 0 {
+		t.Error("threshold 1 should admit incorrect single-object pairings")
+	}
+}
+
+func TestFigure7BugDistancesInTail(t *testing.T) {
+	// The offending accesses of injected bugs sit farther from the barrier
+	// than the typical pairing read (the paper's Figure 7 commentary).
+	cfg := corpus.DefaultConfig(77)
+	cfg.Counts = map[corpus.PatternKind]int{
+		corpus.InitFlag:     20,
+		corpus.Misplaced:    5,
+		corpus.RepeatedRead: 3,
+	}
+	c := corpus.Generate(cfg)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	dists := Figure7Findings(ev)
+	if len(dists) < 8 {
+		t.Fatalf("bug distances = %v", dists)
+	}
+	sum := 0
+	far := 0
+	for _, d := range dists {
+		sum += d
+		if d >= 5 {
+			far++
+		}
+	}
+	mean := float64(sum) / float64(len(dists))
+	if mean < 5 {
+		t.Errorf("mean bug distance %.1f; expected the far tail", mean)
+	}
+	if far == 0 {
+		t.Error("no distant bug accesses")
+	}
+}

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"encoding/json"
+	"time"
+
+	"ofence/internal/corpus"
+	"ofence/internal/ofence"
+)
+
+// Summary is the machine-readable form of the whole evaluation, stable
+// enough to diff across runs in CI (ofence-eval -json).
+type Summary struct {
+	Seed int64 `json:"seed"`
+
+	Corpus struct {
+		Files    int `json:"files"`
+		Patterns int `json:"patterns"`
+		Barriers int `json:"barrier_sites_expected"`
+	} `json:"corpus"`
+
+	Table3 []Table3Row `json:"table3"`
+
+	Figure6 []Fig6Point `json:"figure6"`
+
+	Figure7 []Fig7Bucket `json:"figure7"`
+
+	Coverage CoverageStats `json:"coverage"`
+
+	Census CensusStats `json:"census"`
+
+	Baseline BaselineStats `json:"baseline"`
+
+	Validation ValidationStats `json:"validation"`
+
+	Litmus []Figure23Row `json:"litmus"`
+
+	Fixtures []FixtureSummary `json:"fixtures"`
+
+	Runtime struct {
+		FullRunMS    float64 `json:"full_run_ms"`
+		SingleFileMS float64 `json:"single_file_ms"`
+	} `json:"runtime"`
+}
+
+// FixtureSummary is the JSON form of one fixture outcome.
+type FixtureSummary struct {
+	Name     string   `json:"name"`
+	Expected string   `json:"expected"`
+	Found    []string `json:"found"`
+	Pairings int      `json:"pairings"`
+	Match    bool     `json:"match"`
+}
+
+// Summarize runs the full evaluation and collects it into a Summary.
+func Summarize(seed int64) *Summary {
+	opts := ofence.DefaultOptions()
+	c := corpus.Generate(corpus.DefaultConfig(seed))
+	ev := RunCorpus(c, opts)
+
+	s := &Summary{Seed: seed}
+	s.Corpus.Files = len(c.Order)
+	s.Corpus.Patterns = len(c.Truths)
+	s.Corpus.Barriers = c.TotalBarriers()
+
+	s.Table3 = Table3(ev)
+	s.Figure6 = Figure6(c, []int{0, 1, 2, 3, 4, 5, 6, 8, 10}, opts)
+	s.Figure7 = Figure7(ev)
+	s.Coverage = Coverage(ev)
+	s.Census = Census(ev)
+	s.Baseline = Baseline(ev)
+	s.Validation = Validation(ev)
+	s.Litmus = Figure23()
+
+	for _, r := range RunFixtures(opts) {
+		s.Fixtures = append(s.Fixtures, FixtureSummary{
+			Name:     r.Fixture.Name,
+			Expected: r.Fixture.ExpectFinding,
+			Found:    r.Findings,
+			Pairings: r.Pairings,
+			Match:    r.Match,
+		})
+	}
+
+	rt := Runtime(c, opts)
+	s.Runtime.FullRunMS = float64(rt.FullRun) / float64(time.Millisecond)
+	s.Runtime.SingleFileMS = float64(rt.SingleFile) / float64(time.Millisecond)
+	return s
+}
+
+// JSON marshals the summary with indentation.
+func (s *Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Healthy reports whether every correctness gate of the evaluation holds:
+// all fixtures match, all injected bugs found with no extras, no incorrect
+// pairings, all findings litmus-confirmed, all litmus scenarios as expected,
+// and the baseline unable to discriminate.
+func (s *Summary) Healthy() (bool, []string) {
+	var problems []string
+	for _, r := range s.Table3 {
+		if r.Found != r.Expected {
+			problems = append(problems, "table3: "+r.Description+" mismatch")
+		}
+		if r.Extra != 0 {
+			problems = append(problems, "table3: "+r.Description+" false positives")
+		}
+	}
+	if s.Coverage.CorrectlyPaired != s.Coverage.ExpectedPairs {
+		problems = append(problems, "coverage: expected pairs missed")
+	}
+	if s.Coverage.IncorrectPairings != 0 {
+		problems = append(problems, "coverage: incorrect pairings")
+	}
+	if s.Validation.Unconfirmed != 0 {
+		problems = append(problems, "validation: unconfirmed findings")
+	}
+	for _, r := range s.Litmus {
+		if r.BadState == r.ShouldBeOK {
+			problems = append(problems, "litmus: "+r.Scenario)
+		}
+	}
+	for _, f := range s.Fixtures {
+		if !f.Match {
+			problems = append(problems, "fixture: "+f.Name)
+		}
+	}
+	if s.Baseline.LockProtectedWarned != 0 {
+		problems = append(problems, "baseline: warned on lock-protected code")
+	}
+	return len(problems) == 0, problems
+}

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSummarizeHealthy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation in -short mode")
+	}
+	sum := Summarize(42)
+	ok, problems := sum.Healthy()
+	if !ok {
+		t.Fatalf("evaluation unhealthy: %v", problems)
+	}
+	data, err := sum.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Corpus.Files != sum.Corpus.Files || len(back.Table3) != len(sum.Table3) {
+		t.Error("round trip lost data")
+	}
+	if back.Runtime.FullRunMS <= 0 {
+		t.Error("runtime missing")
+	}
+}
+
+func TestHealthyDetectsProblems(t *testing.T) {
+	sum := &Summary{}
+	sum.Table3 = []Table3Row{{Description: "x", Expected: 2, Found: 1}}
+	sum.Coverage = CoverageStats{ExpectedPairs: 3, CorrectlyPaired: 2, IncorrectPairings: 1}
+	sum.Validation = ValidationStats{Unconfirmed: 1}
+	sum.Litmus = []Figure23Row{{Scenario: "s", BadState: true, ShouldBeOK: true}}
+	sum.Fixtures = []FixtureSummary{{Name: "f", Match: false}}
+	sum.Baseline = BaselineStats{LockProtectedWarned: 1}
+	ok, problems := sum.Healthy()
+	if ok {
+		t.Fatal("unhealthy summary reported healthy")
+	}
+	if len(problems) < 6 {
+		t.Errorf("problems = %v", problems)
+	}
+}

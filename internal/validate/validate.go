@@ -1,0 +1,551 @@
+// Package validate mechanically confirms OFence findings: it compiles the
+// writer/reader access layout of a finding's pairing into litmus programs
+// and exhaustively checks, under the weak memory model, that
+//
+//  1. the deviation admits a bad observable state as written, and
+//  2. the suggested fix makes that state unreachable.
+//
+// The paper verified its pairings by reading kernel comments (§8); with a
+// simulator in hand we can do better and verify the *semantics* of every
+// generated patch. A finding whose fix does not eliminate the bad state is
+// downgraded rather than patched.
+package validate
+
+import (
+	"fmt"
+	"sort"
+
+	"ofence/internal/access"
+	"ofence/internal/litmus"
+	"ofence/internal/memmodel"
+	"ofence/internal/ofence"
+)
+
+// Verdict is the outcome of validating one finding.
+type Verdict struct {
+	Finding *ofence.Finding
+	// BadBefore is whether the bad state is observable in the code as
+	// written.
+	BadBefore bool
+	// BadAfter is whether the bad state survives the suggested fix.
+	BadAfter bool
+	// Confirmed means the deviation is real and the fix eliminates it (for
+	// unneeded barriers: the removal preserves the outcome set).
+	Confirmed bool
+	// Note explains unconfirmed verdicts.
+	Note string
+}
+
+// String renders the verdict.
+func (v *Verdict) String() string {
+	state := "UNCONFIRMED"
+	if v.Confirmed {
+		state = "confirmed"
+	}
+	s := fmt.Sprintf("%s: bad-state before=%v after=%v (%s)", v.Finding.Kind, v.BadBefore, v.BadAfter, state)
+	if v.Note != "" {
+		s += " — " + v.Note
+	}
+	return s
+}
+
+// Check validates a finding. MissingOnce findings are checked against the
+// tearing model (§7): an unannotated access may be split by the compiler
+// into multiple smaller accesses; READ_ONCE/WRITE_ONCE forbids the split.
+func Check(f *ofence.Finding) (*Verdict, error) {
+	switch f.Kind {
+	case ofence.MisplacedAccess:
+		return checkMisplaced(f)
+	case ofence.RepeatedRead:
+		return checkRepeatedRead(f)
+	case ofence.WrongBarrierType:
+		return checkWrongType(f)
+	case ofence.UnneededBarrier:
+		return checkUnneeded(f)
+	case ofence.MissingOnce:
+		return checkMissingOnce(f)
+	}
+	return nil, fmt.Errorf("validate: unsupported finding kind %v", f.Kind)
+}
+
+// CheckAll validates every checkable finding.
+func CheckAll(findings []*ofence.Finding) []*Verdict {
+	var out []*Verdict
+	for _, f := range findings {
+		v, err := Check(f)
+		if err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Model construction
+
+// varName maps a shared object to a litmus memory variable.
+func varName(o access.Object) string { return o.Struct + "." + o.Field }
+
+// fenceOf maps a barrier kind to a litmus fence.
+func fenceOf(k memmodel.BarrierKind) litmus.Op {
+	switch k {
+	case memmodel.ReadBarrier:
+		return litmus.Fence(litmus.FenceRead)
+	case memmodel.WriteBarrier:
+		return litmus.Fence(litmus.FenceWrite)
+	default:
+		return litmus.Fence(litmus.FenceFull)
+	}
+}
+
+// writerSiteOf picks the pairing site that stores the finding's common
+// objects (the write-side counterpart of the finding's site).
+func writerSiteOf(pg *ofence.Pairing, not *access.Site) *access.Site {
+	var best *access.Site
+	bestStores := -1
+	for _, s := range pg.Sites {
+		if s == not {
+			continue
+		}
+		stores := 0
+		for _, a := range append(append([]*access.Access{}, s.Before...), s.After...) {
+			if a.Kind == access.Store && inCommon(pg, a.Object) {
+				stores++
+			}
+		}
+		if stores > bestStores {
+			bestStores = stores
+			best = s
+		}
+	}
+	if bestStores <= 0 {
+		return nil
+	}
+	return best
+}
+
+func inCommon(pg *ofence.Pairing, o access.Object) bool {
+	for _, c := range pg.Common {
+		if c == o {
+			return true
+		}
+	}
+	return false
+}
+
+// dedupObjects returns the distinct common objects accessed in list with
+// kind k, ordered by code order (decreasing distance for "before" lists,
+// increasing for "after" lists — pass the list as stored on the site).
+func dedupObjects(pg *ofence.Pairing, list []*access.Access, k access.Kind, before bool) []access.Object {
+	type entry struct {
+		o access.Object
+		d int
+	}
+	seen := map[access.Object]int{}
+	for _, a := range list {
+		if a.Kind != k || !inCommon(pg, a.Object) {
+			continue
+		}
+		if d, ok := seen[a.Object]; !ok || a.Distance < d {
+			seen[a.Object] = a.Distance
+		}
+	}
+	entries := make([]entry, 0, len(seen))
+	for o, d := range seen {
+		entries = append(entries, entry{o, d})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].d != entries[j].d {
+			if before {
+				return entries[i].d > entries[j].d // farthest first = code order
+			}
+			return entries[i].d < entries[j].d
+		}
+		if entries[i].o.Struct != entries[j].o.Struct {
+			return entries[i].o.Struct < entries[j].o.Struct
+		}
+		return entries[i].o.Field < entries[j].o.Field
+	})
+	out := make([]access.Object, len(entries))
+	for i, e := range entries {
+		out[i] = e.o
+	}
+	return out
+}
+
+// writerThread renders the writer site's stores around its fence.
+func writerThread(pg *ofence.Pairing, w *access.Site) litmus.Thread {
+	var th litmus.Thread
+	for _, o := range dedupObjects(pg, w.Before, access.Store, true) {
+		th = append(th, litmus.Store(varName(o), 1))
+	}
+	th = append(th, fenceOf(w.Kind))
+	for _, o := range dedupObjects(pg, w.After, access.Store, false) {
+		th = append(th, litmus.Store(varName(o), 1))
+	}
+	return th
+}
+
+// readerLayout captures which common objects the reader loads on each side
+// of its fence.
+type readerLayout struct {
+	before, after []access.Object
+}
+
+func readerLayoutOf(pg *ofence.Pairing, r *access.Site) readerLayout {
+	return readerLayout{
+		before: dedupObjects(pg, r.Before, access.Load, true),
+		after:  dedupObjects(pg, r.After, access.Load, false),
+	}
+}
+
+// regName names the register for a load of o on the given side.
+func regName(o access.Object, before bool) string {
+	side := "a"
+	if before {
+		side = "b"
+	}
+	return "r_" + side + "_" + o.Struct + "_" + o.Field
+}
+
+func (rl readerLayout) thread(fence litmus.Op) litmus.Thread {
+	var th litmus.Thread
+	for _, o := range rl.before {
+		th = append(th, litmus.Load(regName(o, true), varName(o)))
+	}
+	th = append(th, fence)
+	for _, o := range rl.after {
+		th = append(th, litmus.Load(regName(o, false), varName(o)))
+	}
+	return th
+}
+
+// flagAndPayload identifies, from the writer's layout, the "flag" objects
+// (stored after the write fence) and "payload" objects (stored before).
+func flagAndPayload(pg *ofence.Pairing, w *access.Site) (flags, payloads []access.Object) {
+	return dedupObjects(pg, w.After, access.Store, false), dedupObjects(pg, w.Before, access.Store, true)
+}
+
+// mpBad builds the message-passing violation predicate: some flag register
+// saw the new value while some payload register saw the old one. The
+// register side for each object is taken from the layout.
+func mpBad(rl readerLayout, flags, payloads []access.Object) func(litmus.Outcome) bool {
+	sideOf := func(o access.Object) (string, bool) {
+		for _, b := range rl.before {
+			if b == o {
+				return regName(o, true), true
+			}
+		}
+		for _, a := range rl.after {
+			if a == o {
+				return regName(o, false), true
+			}
+		}
+		return "", false
+	}
+	type pair struct{ flagReg, payReg string }
+	var pairs []pair
+	for _, f := range flags {
+		fr, ok := sideOf(f)
+		if !ok {
+			continue
+		}
+		for _, p := range payloads {
+			pr, ok := sideOf(p)
+			if !ok {
+				continue
+			}
+			pairs = append(pairs, pair{fr, pr})
+		}
+	}
+	return func(o litmus.Outcome) bool {
+		for _, p := range pairs {
+			if o[p.flagReg] == 1 && o[p.payReg] == 0 {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-kind checks
+
+func checkMisplaced(f *ofence.Finding) (*Verdict, error) {
+	pg := f.Pairing
+	if pg == nil {
+		return nil, fmt.Errorf("validate: finding without pairing")
+	}
+	w := writerSiteOf(pg, f.Site)
+	if w == nil {
+		return nil, fmt.Errorf("validate: no write-side site in pairing")
+	}
+	rl := readerLayoutOf(pg, f.Site)
+	flags, payloads := flagAndPayload(pg, w)
+	if len(flags) == 0 || len(payloads) == 0 {
+		return nil, fmt.Errorf("validate: writer layout lacks flag/payload split")
+	}
+
+	wt := writerThread(pg, w)
+	fence := fenceOf(f.Site.Kind)
+
+	before := &litmus.Program{Name: "misplaced (as written)",
+		Threads: []litmus.Thread{wt, rl.thread(fence)}}
+	badBefore := litmus.Run(before, litmus.Weak).Has(mpBad(rl, flags, payloads))
+
+	// Apply the fix: move the offending object's load to the other side.
+	fixed := moveObject(rl, f.Object, f.Access.Before)
+	after := &litmus.Program{Name: "misplaced (fixed)",
+		Threads: []litmus.Thread{wt, fixed.thread(fence)}}
+	badAfter := litmus.Run(after, litmus.Weak).Has(mpBad(fixed, flags, payloads))
+
+	v := &Verdict{Finding: f, BadBefore: badBefore, BadAfter: badAfter,
+		Confirmed: badBefore && !badAfter}
+	if !v.Confirmed {
+		v.Note = "simulated fix did not change reachability"
+	}
+	return v, nil
+}
+
+// moveObject returns the layout with object o moved across the fence.
+func moveObject(rl readerLayout, o access.Object, wasBefore bool) readerLayout {
+	out := readerLayout{}
+	for _, x := range rl.before {
+		if x != o {
+			out.before = append(out.before, x)
+		}
+	}
+	for _, x := range rl.after {
+		if x != o {
+			out.after = append(out.after, x)
+		}
+	}
+	if wasBefore {
+		out.after = append(out.after, o)
+	} else {
+		out.before = append([]access.Object{o}, out.before...)
+	}
+	return out
+}
+
+func checkRepeatedRead(f *ofence.Finding) (*Verdict, error) {
+	pg := f.Pairing
+	if pg == nil {
+		return nil, fmt.Errorf("validate: finding without pairing")
+	}
+	w := writerSiteOf(pg, f.Site)
+	if w == nil {
+		return nil, fmt.Errorf("validate: no write-side site in pairing")
+	}
+	rl := readerLayoutOf(pg, f.Site)
+	_, payloads := flagAndPayload(pg, w)
+	// Pick a payload the reader loads after its fence; the bug is that the
+	// RE-READ (after the fence) is unordered with the payload load.
+	var payload access.Object
+	found := false
+	for _, p := range payloads {
+		if p == f.Object {
+			continue
+		}
+		for _, a := range rl.after {
+			if a == p {
+				payload = p
+				found = true
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("validate: no payload read after the barrier")
+	}
+
+	// Thread with BOTH reads of the flag object: one before, one after.
+	fence := fenceOf(f.Site.Kind)
+	var th litmus.Thread
+	for _, o := range rl.before {
+		th = append(th, litmus.Load(regName(o, true), varName(o)))
+	}
+	th = append(th, fence)
+	for _, o := range rl.after {
+		th = append(th, litmus.Load(regName(o, false), varName(o)))
+	}
+	// Ensure the re-read register exists even if dedup dropped it.
+	if !hasObject(rl.after, f.Object) {
+		th = append(th, litmus.Load(regName(f.Object, false), varName(f.Object)))
+	}
+	if !hasObject(rl.before, f.Object) {
+		pre := litmus.Thread{litmus.Load(regName(f.Object, true), varName(f.Object))}
+		th = append(pre, th...)
+	}
+
+	wt := writerThread(pg, w)
+	prog := &litmus.Program{Name: "repeated read", Threads: []litmus.Thread{wt, th}}
+	res := litmus.Run(prog, litmus.Weak)
+
+	// Bug as written: consumers act on the RE-READ value; the payload may
+	// be stale while the re-read is fresh.
+	badUsingReread := func(o litmus.Outcome) bool {
+		return o[regName(f.Object, false)] == 1 && o[regName(payload, false)] == 0
+	}
+	// Fixed: consumers reuse the FIRST read; flag fresh implies payload
+	// fresh by the barrier pair.
+	badUsingFirst := func(o litmus.Outcome) bool {
+		return o[regName(f.Object, true)] == 1 && o[regName(payload, false)] == 0
+	}
+	v := &Verdict{Finding: f,
+		BadBefore: res.Has(badUsingReread),
+		BadAfter:  res.Has(badUsingFirst),
+	}
+	v.Confirmed = v.BadBefore && !v.BadAfter
+	if !v.Confirmed {
+		v.Note = "re-read not distinguishable in simulation"
+	}
+	return v, nil
+}
+
+func hasObject(list []access.Object, o access.Object) bool {
+	for _, x := range list {
+		if x == o {
+			return true
+		}
+	}
+	return false
+}
+
+func checkWrongType(f *ofence.Finding) (*Verdict, error) {
+	pg := f.Pairing
+	if pg == nil {
+		return nil, fmt.Errorf("validate: finding without pairing")
+	}
+	w := writerSiteOf(pg, f.Site)
+	if w == nil {
+		return nil, fmt.Errorf("validate: no write-side site in pairing")
+	}
+	rl := readerLayoutOf(pg, f.Site)
+	flags, payloads := flagAndPayload(pg, w)
+	if len(flags) == 0 || len(payloads) == 0 {
+		return nil, fmt.Errorf("validate: writer layout lacks flag/payload split")
+	}
+	wt := writerThread(pg, w)
+	bad := mpBad(rl, flags, payloads)
+
+	asWritten := &litmus.Program{Name: "wrong type (as written)",
+		Threads: []litmus.Thread{wt, rl.thread(fenceOf(f.Site.Kind))}}
+	suggested := suggestedFence(f.SuggestedBarrier)
+	fixed := &litmus.Program{Name: "wrong type (fixed)",
+		Threads: []litmus.Thread{wt, rl.thread(suggested)}}
+
+	v := &Verdict{Finding: f,
+		BadBefore: litmus.Run(asWritten, litmus.Weak).Has(bad),
+		BadAfter:  litmus.Run(fixed, litmus.Weak).Has(bad),
+	}
+	v.Confirmed = v.BadBefore && !v.BadAfter
+	if !v.Confirmed {
+		v.Note = "barrier substitution did not change reachability"
+	}
+	return v, nil
+}
+
+func suggestedFence(name string) litmus.Op {
+	switch name {
+	case "smp_rmb":
+		return litmus.Fence(litmus.FenceRead)
+	case "smp_wmb":
+		return litmus.Fence(litmus.FenceWrite)
+	default:
+		return litmus.Fence(litmus.FenceFull)
+	}
+}
+
+// checkMissingOnce validates the §7 annotation findings against the
+// compiler-tearing model: an unannotated access to a concurrently-used
+// variable may be split into two half-width accesses ("a 64b variable may
+// contain 32b of the old value and 32b of the new value"); the ONCE
+// annotation forbids the split.
+//
+// Model: the shared variable becomes two halves (v.lo, v.hi). The
+// unannotated side accesses the halves as two independent operations; the
+// annotated side accesses them as an indivisible adjacent pair guarded by
+// checking both halves agree. The bad state is a mixed observation.
+func checkMissingOnce(f *ofence.Finding) (*Verdict, error) {
+	if f.Object == (access.Object{}) {
+		return nil, fmt.Errorf("validate: annotation finding without object")
+	}
+	lo := varName(f.Object) + ".lo"
+	hi := varName(f.Object) + ".hi"
+
+	// Writer stores 1 to both halves; reader loads both. Torn = the two
+	// operations of one side may interleave with the other side's.
+	torn := &litmus.Program{
+		Name: "torn access",
+		Threads: []litmus.Thread{
+			{litmus.Store(lo, 1), litmus.Store(hi, 1)},
+			{litmus.Load("r_lo", lo), litmus.Load("r_hi", hi)},
+		},
+	}
+	mixed := func(o litmus.Outcome) bool { return o["r_lo"] != o["r_hi"] }
+	badBefore := litmus.Run(torn, litmus.Weak).Has(mixed)
+
+	// With ONCE annotations the access is single-copy atomic: both halves
+	// move together. Model the atomic access as one variable.
+	whole := varName(f.Object)
+	atomic := &litmus.Program{
+		Name: "annotated access",
+		Threads: []litmus.Thread{
+			{litmus.Store(whole, 1)},
+			{litmus.Load("r_w", whole)},
+		},
+	}
+	badAfter := litmus.Run(atomic, litmus.Weak).Has(func(o litmus.Outcome) bool {
+		return o["r_w"] != 0 && o["r_w"] != 1 // a torn value is neither old nor new
+	})
+
+	v := &Verdict{Finding: f, BadBefore: badBefore, BadAfter: badAfter,
+		Confirmed: badBefore && !badAfter}
+	if !v.Confirmed {
+		v.Note = "tearing model did not distinguish the annotation"
+	}
+	return v, nil
+}
+
+// checkUnneeded verifies that removing the barrier preserves the observable
+// outcomes, because the following call (wake_up et al.) is itself a full
+// barrier.
+func checkUnneeded(f *ofence.Finding) (*Verdict, error) {
+	s := f.Site
+	if s.NextBarrierAfter != 1 {
+		return nil, fmt.Errorf("validate: no adjacent covering barrier")
+	}
+	// Model: stores before the barrier, [the removable fence], the covering
+	// full fence (the wake-up), a post-store; reader reads post then pre.
+	pre, post := "pre", "post"
+	mk := func(withFence bool) *litmus.Program {
+		w := litmus.Thread{litmus.Store(pre, 1)}
+		if withFence {
+			w = append(w, fenceOf(s.Kind))
+		}
+		w = append(w, litmus.Fence(litmus.FenceFull), litmus.Store(post, 1))
+		r := litmus.Thread{
+			litmus.Load("r_post", post),
+			litmus.Fence(litmus.FenceRead),
+			litmus.Load("r_pre", pre),
+		}
+		return &litmus.Program{Name: "unneeded", Threads: []litmus.Thread{w, r}}
+	}
+	with := litmus.Run(mk(true), litmus.Weak)
+	without := litmus.Run(mk(false), litmus.Weak)
+	same := len(with.Outcomes) == len(without.Outcomes)
+	if same {
+		for k := range with.Outcomes {
+			if _, ok := without.Outcomes[k]; !ok {
+				same = false
+				break
+			}
+		}
+	}
+	v := &Verdict{Finding: f, BadBefore: false, BadAfter: false, Confirmed: same}
+	if !same {
+		v.Note = "outcome sets differ without the barrier"
+	}
+	return v, nil
+}
