@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench eval eval-json corpus clean
+.PHONY: all build vet test test-race race bench serve eval eval-json corpus clean
 
 all: build vet test
 
@@ -18,9 +18,16 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Alias: the race-detector gate for the concurrent analysis paths.
+race: test-race
+
 # One benchmark per paper table/figure (see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the analysis daemon (see README "Running as a service").
+serve:
+	$(GO) run ./cmd/ofence-serve
 
 # Regenerate the paper's evaluation as text.
 eval:

@@ -36,8 +36,19 @@ import (
 	"ofence/internal/validate"
 )
 
-// Project is a set of C files analyzed together; see Analyze.
+// Project is a set of C files analyzed together; see Analyze and
+// AnalyzeParallel. All methods are safe for concurrent use; Analyze calls on
+// one Project are serialized internally, so concurrent analyses of the same
+// file set should each use Project.Clone. Project.AnalyzeParallel(ctx, opts)
+// is the context-aware entry point: it fans per-file extraction and
+// per-pairing checking out across a bounded worker pool and honors
+// cancellation and deadlines. The ofence-serve daemon and the CLIs both
+// route through it.
 type Project = ofence.Project
+
+// SourceFile is one named C source for Project.AddSources, which parses a
+// batch of files in parallel while keeping deterministic order.
+type SourceFile = ofence.SourceFile
 
 // Options configures the analysis; DefaultOptions returns the paper's
 // parameters (windows of 5/50 statements, pairing threshold 2, generic-type

@@ -1,6 +1,7 @@
 package ofence_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -109,5 +110,27 @@ func TestPublicAPIIncremental(t *testing.T) {
 		if f.Kind == ofence.MisplacedAccess {
 			t.Errorf("fixed source still flagged: %v", f)
 		}
+	}
+}
+
+func TestPublicAPIAnalyzeParallel(t *testing.T) {
+	proj := ofence.NewProject()
+	proj.AddSources([]ofence.SourceFile{{Name: "x.c", Src: apiSrc}})
+	res, err := proj.AnalyzeParallel(context.Background(), ofence.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairings) != 1 {
+		t.Fatalf("pairings = %d", len(res.Pairings))
+	}
+	seq := proj.Clone().Analyze(ofence.DefaultOptions())
+	if len(seq.Findings) != len(res.Findings) {
+		t.Errorf("parallel findings %d != sequential %d", len(res.Findings), len(seq.Findings))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := proj.AnalyzeParallel(ctx, ofence.DefaultOptions()); err != context.Canceled {
+		t.Errorf("canceled analysis: err = %v", err)
 	}
 }

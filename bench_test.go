@@ -6,7 +6,9 @@
 package ofence_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"ofence/internal/corpus"
@@ -374,6 +376,37 @@ void r(struct s *p) {
 			}
 		})
 	}
+}
+
+// BenchmarkAnalyzeSequentialVsParallel — the serving-path optimisation: the
+// same corpus analyzed with one worker versus a GOMAXPROCS pool through
+// AnalyzeParallel. The findings must be identical either way; on multi-core
+// machines the parallel variant's wall clock drops with the pool size.
+func BenchmarkAnalyzeSequentialVsParallel(b *testing.B) {
+	c := benchCorpus(0.5, 23)
+	srcs := c.Sources()
+	want := -1
+	run := func(b *testing.B, workers int) {
+		opts := ofence.DefaultOptions()
+		opts.Workers = workers
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			proj := ofence.NewProject()
+			proj.AddSources(srcs)
+			res, err := proj.AnalyzeParallel(context.Background(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if want == -1 {
+				want = len(res.Findings)
+			} else if len(res.Findings) != want {
+				b.Fatalf("findings = %d, want %d (sequential and parallel runs disagree)",
+					len(res.Findings), want)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
 }
 
 // BenchmarkParserThroughput — substrate: parsing speed over the corpus,

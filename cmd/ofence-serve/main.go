@@ -1,0 +1,87 @@
+// Command ofence-serve runs the OFence analysis as an HTTP/JSON daemon.
+//
+//	ofence-serve -addr :8080 -workers 4
+//
+// Endpoints:
+//
+//	POST /v1/analyze   {"files": {"drivers/foo.c": "..."}, "options": {...}}
+//	GET  /v1/jobs/{id} poll an asynchronous job
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus text metrics
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
+// queued and running jobs finish (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ofence/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "queued-job bound; beyond it POST /v1/analyze returns 429")
+		cacheN   = flag.Int("cache", 256, "result cache capacity (entries)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-job analysis timeout")
+		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
+		maxBytes = flag.Int("max-source-bytes", 8<<20, "total source size bound per request")
+	)
+	flag.Parse()
+	if err := run(*addr, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheN,
+		JobTimeout:     *timeout,
+		MaxSourceBytes: *maxBytes,
+	}, *drain); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, cfg service.Config, drain time.Duration) error {
+	svc := service.New(cfg)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ofence-serve listening on %s", addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("received %s, draining (budget %s)", s, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Close(ctx); err != nil {
+		return fmt.Errorf("drain incomplete, in-flight jobs canceled: %w", err)
+	}
+	log.Print("drained cleanly")
+	return nil
+}

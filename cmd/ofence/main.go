@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -56,21 +57,29 @@ func main() {
 	opts.Workers = *workers
 	opts.CheckOnce = *checkOnce
 
-	proj := ofence.NewProject()
-	kernelhdr.Register(proj)
-	files := 0
+	var srcs []ofence.SourceFile
 	for _, arg := range flag.Args() {
-		if err := addPath(proj, arg, &files); err != nil {
+		found, err := addPath(arg)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
 			os.Exit(1)
 		}
+		srcs = append(srcs, found...)
 	}
+	files := len(srcs)
 	if files == 0 {
 		fmt.Fprintln(os.Stderr, "ofence: no .c files found")
 		os.Exit(1)
 	}
 
-	res := proj.Analyze(opts)
+	proj := ofence.NewProject()
+	kernelhdr.Register(proj)
+	proj.AddSources(srcs) // parallel parse, deterministic order
+	res, err := proj.AnalyzeParallel(context.Background(), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *jsonOut {
 		data, err := json.MarshalIndent(res.View(), "", "  ")
@@ -128,33 +137,42 @@ func main() {
 	}
 }
 
-func addPath(proj *ofence.Project, path string, files *int) error {
+// addPath collects the .c sources under path in walk order.
+func addPath(path string) ([]ofence.SourceFile, error) {
 	info, err := os.Stat(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if !info.IsDir() {
-		return addFile(proj, path, files)
+		fu, err := readSource(path)
+		if err != nil {
+			return nil, err
+		}
+		return []ofence.SourceFile{fu}, nil
 	}
-	return filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
+	var srcs []ofence.SourceFile
+	err = filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
 		if !d.IsDir() && strings.HasSuffix(p, ".c") {
-			return addFile(proj, p, files)
+			fu, err := readSource(p)
+			if err != nil {
+				return err
+			}
+			srcs = append(srcs, fu)
 		}
 		return nil
 	})
+	return srcs, err
 }
 
-func addFile(proj *ofence.Project, path string, files *int) error {
+func readSource(path string) (ofence.SourceFile, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return ofence.SourceFile{}, err
 	}
-	proj.AddSource(path, string(src))
-	*files++
-	return nil
+	return ofence.SourceFile{Name: path, Src: string(src)}, nil
 }
 
 func indent(s, pad string) string {

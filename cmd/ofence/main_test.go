@@ -1,8 +1,11 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -44,27 +47,30 @@ func writeTree(t *testing.T) string {
 
 func TestAddPathWalksTree(t *testing.T) {
 	dir := writeTree(t)
-	proj := ofence.NewProject()
-	files := 0
-	if err := addPath(proj, dir, &files); err != nil {
+	srcs, err := addPath(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if files != 2 {
-		t.Errorf("files = %d, want 2 (.txt skipped)", files)
+	if len(srcs) != 2 {
+		t.Errorf("files = %d, want 2 (.txt skipped)", len(srcs))
 	}
 }
 
 func TestAddPathSingleFile(t *testing.T) {
 	dir := writeTree(t)
-	proj := ofence.NewProject()
-	files := 0
-	if err := addPath(proj, filepath.Join(dir, "a.c"), &files); err != nil {
+	srcs, err := addPath(filepath.Join(dir, "a.c"))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if files != 1 {
-		t.Errorf("files = %d", files)
+	if len(srcs) != 1 {
+		t.Errorf("files = %d", len(srcs))
 	}
-	res := proj.Analyze(ofence.DefaultOptions())
+	proj := ofence.NewProject()
+	proj.AddSources(srcs)
+	res, err := proj.AnalyzeParallel(context.Background(), ofence.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Pairings) != 1 {
 		t.Errorf("pairings = %d", len(res.Pairings))
 	}
@@ -80,10 +86,40 @@ func TestAddPathSingleFile(t *testing.T) {
 }
 
 func TestAddPathMissing(t *testing.T) {
-	proj := ofence.NewProject()
-	files := 0
-	if err := addPath(proj, "/nonexistent/path.c", &files); err == nil {
+	if _, err := addPath("/nonexistent/path.c"); err == nil {
 		t.Error("expected error for missing path")
+	}
+}
+
+// TestJSONRoundTrip checks the -json output contract: the marshaled
+// Result.View survives an unmarshal back into ResultView unchanged, so
+// downstream consumers can rely on the field names.
+func TestJSONRoundTrip(t *testing.T) {
+	proj := ofence.NewProject()
+	proj.AddSources([]ofence.SourceFile{{Name: "a.c", Src: testSrc}})
+	res, err := proj.AnalyzeParallel(context.Background(), ofence.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := res.View()
+	if len(view.Pairings) != 1 || len(view.Findings) == 0 {
+		t.Fatalf("view = %+v", view)
+	}
+	data, err := json.MarshalIndent(view, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ofence.ResultView
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal -json output: %v", err)
+	}
+	if !reflect.DeepEqual(view, back) {
+		t.Errorf("round trip changed the view:\n%+v\nvs\n%+v", view, back)
+	}
+	for _, want := range []string{`"barrier_sites"`, `"pairings"`, `"findings"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("-json output missing %s", want)
+		}
 	}
 }
 

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"ofence/internal/ofence"
 )
 
 // PatternKind labels one generated pattern.
@@ -766,6 +768,16 @@ func (g *generator) noise(t *Truth) string {
 	}
 	sb.WriteString("\treturn acc;\n}\n")
 	return sb.String()
+}
+
+// Sources returns the corpus files in deterministic order, ready for
+// Project.AddSources (which parses them in parallel).
+func (c *Corpus) Sources() []ofence.SourceFile {
+	srcs := make([]ofence.SourceFile, 0, len(c.Order))
+	for _, name := range c.Order {
+		srcs = append(srcs, ofence.SourceFile{Name: name, Src: c.Files[name]})
+	}
+	return srcs
 }
 
 // TotalBarriers sums the barrier sites the corpus should produce.

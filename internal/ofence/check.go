@@ -1,8 +1,10 @@
 package ofence
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"ofence/internal/access"
 	"ofence/internal/cfg"
@@ -76,10 +78,38 @@ type checker struct {
 	opts Options
 }
 
-func (c *checker) check(res *Result) []*Finding {
+// checkParallel runs the deviation checkers with per-pairing fan-out across
+// a pool of workers goroutines. Findings are collected per pairing index and
+// merged in order (then sorted by position), so the output is deterministic
+// regardless of scheduling. It stops early and returns ctx's error when the
+// context is canceled.
+func (c *checker) checkParallel(ctx context.Context, res *Result, workers int) ([]*Finding, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	perPairing := make([][]*Finding, len(res.Pairings))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pg := range res.Pairings {
+		wg.Add(1)
+		go func(i int, pg *Pairing) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			perPairing[i] = c.checkPairing(pg)
+		}(i, pg)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	var out []*Finding
-	for _, pg := range res.Pairings {
-		out = append(out, c.checkPairing(pg)...)
+	for _, fs := range perPairing {
+		out = append(out, fs...)
 	}
 	for _, s := range res.Unpaired {
 		if f := c.checkUnneeded(s, nil); f != nil {
@@ -101,7 +131,7 @@ func (c *checker) check(res *Result) []*Finding {
 		}
 		return a.Kind < b.Kind
 	})
-	return out
+	return out, nil
 }
 
 // checkPairing dispatches on pairing arity (§5.2 vs §5.3).

@@ -1,4 +1,4 @@
-package ofence
+package ofence_test
 
 import (
 	"testing"
@@ -6,12 +6,13 @@ import (
 
 	"ofence/internal/access"
 	"ofence/internal/corpus"
+	ofence "ofence/internal/ofence"
 )
 
 // Structural invariants of the pairing algorithm, checked over randomly
 // seeded corpora.
 
-func analyzeCorpusSeed(seed int64) (*Result, *corpus.Corpus) {
+func analyzeCorpusSeed(seed int64) (*ofence.Result, *corpus.Corpus) {
 	cfg := corpus.DefaultConfig(seed)
 	cfg.Counts = map[corpus.PatternKind]int{
 		corpus.InitFlag:     10,
@@ -27,11 +28,11 @@ func analyzeCorpusSeed(seed int64) (*Result, *corpus.Corpus) {
 		corpus.Noise:        8,
 	}
 	c := corpus.Generate(cfg)
-	p := NewProject()
+	p := ofence.NewProject()
 	for _, name := range c.Order {
 		p.AddSource(name, c.Files[name])
 	}
-	return p.Analyze(DefaultOptions()), c
+	return p.Analyze(ofence.DefaultOptions()), c
 }
 
 func TestQuickPairingInvariants(t *testing.T) {

@@ -10,6 +10,7 @@
 package ofence
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -63,6 +64,11 @@ type FileUnit struct {
 // and extraction are per-file. Extraction results are cached per file, so
 // re-analyzing after ReplaceSource only re-extracts the changed file (the
 // paper's incremental mode, §6.1).
+//
+// Concurrency: every method is safe to call concurrently, and independent
+// Projects never share mutable state. Analyze calls on the SAME project are
+// serialized internally (they mutate the per-file extraction cache); to
+// overlap analyses of one file set, give each goroutine its own Clone.
 type Project struct {
 	mu      sync.Mutex
 	files   []*FileUnit
@@ -71,6 +77,10 @@ type Project struct {
 	// lastOpts invalidates the extraction cache when analysis options
 	// change between Analyze calls.
 	lastOpts *Options
+	// runMu serializes Analyze calls on this project: extraction writes the
+	// per-file cache (FileUnit.Table/Sites), which concurrent runs would
+	// race on.
+	runMu sync.Mutex
 }
 
 // NewProject returns an empty project.
@@ -114,8 +124,81 @@ func (p *Project) AddSource(name, src string) *FileUnit {
 	return fu
 }
 
-// Files returns the file units in insertion order.
-func (p *Project) Files() []*FileUnit { return p.files }
+// SourceFile is one named C source for batch addition.
+type SourceFile struct {
+	Name string
+	Src  string
+}
+
+// AddSources parses a batch of files into the project, fanning the parses
+// out over a worker pool sized by GOMAXPROCS. The units are appended in the
+// order given, so results are deterministic regardless of scheduling.
+func (p *Project) AddSources(srcs []SourceFile) []*FileUnit {
+	p.mu.Lock()
+	include := make(map[string]string, len(p.headers))
+	for k, v := range p.headers {
+		include[k] = v
+	}
+	defines := make(map[string]string, len(p.defines))
+	for k, v := range p.defines {
+		defines[k] = v
+	}
+	p.mu.Unlock()
+
+	units := make([]*FileUnit, len(srcs))
+	workers := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, sf := range srcs {
+		wg.Add(1)
+		go func(i int, sf SourceFile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ast, errs := cparser.ParseSource(sf.Name, sf.Src, cpp.Options{Include: include, Defines: defines})
+			units[i] = &FileUnit{Name: sf.Name, AST: ast, Errs: errs}
+		}(i, sf)
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	p.files = append(p.files, units...)
+	p.mu.Unlock()
+	return units
+}
+
+// Files returns a snapshot of the file units in insertion order.
+func (p *Project) Files() []*FileUnit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*FileUnit, len(p.files))
+	copy(out, p.files)
+	return out
+}
+
+// Clone returns a project with the same headers, defines and parsed files
+// but a fresh extraction cache. The immutable ASTs are shared; everything
+// analysis writes to (FileUnit.Table/Sites, the options cache) is new, so a
+// clone may be analyzed concurrently with the original.
+func (p *Project) Clone() *Project {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q := &Project{
+		headers: make(map[string]string, len(p.headers)),
+		defines: make(map[string]string, len(p.defines)),
+		files:   make([]*FileUnit, 0, len(p.files)),
+	}
+	for k, v := range p.headers {
+		q.headers[k] = v
+	}
+	for k, v := range p.defines {
+		q.defines[k] = v
+	}
+	for _, fu := range p.files {
+		q.files = append(q.files, &FileUnit{Name: fu.Name, AST: fu.AST, Errs: fu.Errs})
+	}
+	return q
+}
 
 // ReplaceSource re-parses one file in place, keeping every other file's
 // cached extraction valid. It returns the new unit, or nil when no file of
@@ -237,15 +320,35 @@ type Result struct {
 
 // Analyze runs extraction, pairing and checking over every file.
 func (p *Project) Analyze(opts Options) *Result {
+	res, _ := p.analyze(context.Background(), opts)
+	return res
+}
+
+// AnalyzeParallel is Analyze with request-scoped cancellation: per-file
+// extraction and per-pairing checking fan out across a bounded worker pool,
+// and the analysis aborts between work items as soon as ctx is canceled or
+// times out, returning ctx's error. This is the entry point the serving
+// subsystem (internal/service) and the CLIs route through.
+func (p *Project) AnalyzeParallel(ctx context.Context, opts Options) (*Result, error) {
+	return p.analyze(ctx, opts)
+}
+
+// analyze is the shared pipeline behind Analyze and AnalyzeParallel.
+func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	if opts.MinSharedObjects <= 0 {
 		opts.MinSharedObjects = 2
 	}
+	// Serialize runs on this project: extraction mutates the per-file cache.
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
 	res := &Result{}
 
 	// Phase 1: per-file extraction, in parallel. Files whose extraction is
 	// cached (same options, unchanged source) are skipped — this is what
 	// makes single-file re-analysis cheap.
 	p.mu.Lock()
+	files := make([]*FileUnit, len(p.files))
+	copy(files, p.files)
 	fresh := p.lastOpts != nil && optionsEqual(p.lastOpts, &opts)
 	saved := opts
 	p.lastOpts = &saved
@@ -258,7 +361,7 @@ func (p *Project) Analyze(opts Options) *Result {
 	phaseStart := time.Now()
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for _, fu := range p.files {
+	for _, fu := range files {
 		if fresh && fu.Table != nil {
 			continue
 		}
@@ -267,6 +370,9 @@ func (p *Project) Analyze(opts Options) *Result {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return // canceled: leave the unit unextracted
+			}
 			fu.Table = ctypes.NewTable(fu.AST)
 			ex := access.NewExtractor(fu.Name, fu.Table, opts.Access)
 			fu.Sites = ex.ExtractFile(fu.AST)
@@ -274,8 +380,11 @@ func (p *Project) Analyze(opts Options) *Result {
 	}
 	wg.Wait()
 	res.Timing.Extract = time.Since(phaseStart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	for _, fu := range p.files {
+	for _, fu := range files {
 		res.Sites = append(res.Sites, fu.Sites...)
 		res.ParseErrors = append(res.ParseErrors, fu.Errs...)
 	}
@@ -286,13 +395,20 @@ func (p *Project) Analyze(opts Options) *Result {
 	pairer := newPairer(res.Sites, opts)
 	res.Pairings, res.Unpaired, res.ImplicitIPC = pairer.run()
 	res.Timing.Pair = time.Since(phaseStart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	// Phase 3: checking.
+	// Phase 3: checking, fanned out per pairing.
 	phaseStart = time.Now()
 	ck := &checker{opts: opts}
-	res.Findings = ck.check(res)
+	findings, err := ck.checkParallel(ctx, res, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Findings = findings
 	res.Timing.Check = time.Since(phaseStart)
-	return res
+	return res, nil
 }
 
 func sortSites(sites []*access.Site) {

@@ -1,0 +1,185 @@
+package ofence
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parallelTestSrc holds a pairing with a misplaced-access deviation plus an
+// unneeded barrier, so every checker path produces output.
+const parallelTestSrc = `
+struct ps { int flag; int data; struct task_struct *task; };
+void pw(struct ps *p) {
+	p->data = 1;
+	smp_wmb();
+	p->flag = 1;
+}
+void pr(struct ps *p) {
+	smp_rmb();
+	if (!p->flag)
+		return;
+	use(p->data);
+}
+int pu(struct ps *p) {
+	p->data = 2;
+	smp_wmb();
+	wake_up_process(p->task);
+	return 1;
+}`
+
+func newParallelTestProject(t *testing.T) *Project {
+	t.Helper()
+	p := NewProject()
+	p.AddSource("p.c", parallelTestSrc)
+	return p
+}
+
+// viewEqual compares two results through their stable JSON projection.
+func viewEqual(t *testing.T, a, b *Result) {
+	t.Helper()
+	aj, err := json.Marshal(a.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("results differ:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+func TestAnalyzeParallelMatchesSequential(t *testing.T) {
+	seq := newParallelTestProject(t).Analyze(DefaultOptions())
+
+	opts := DefaultOptions()
+	opts.Workers = 4
+	par, err := newParallelTestProject(t).AnalyzeParallel(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Findings) == 0 {
+		t.Fatal("test source produced no findings")
+	}
+	viewEqual(t, seq, par)
+}
+
+func TestAnalyzeParallelCanceledContext(t *testing.T) {
+	p := newParallelTestProject(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := p.AnalyzeParallel(ctx, DefaultOptions())
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("canceled analysis returned a result")
+	}
+	// The project must recover: a fresh call succeeds and re-extracts
+	// whatever the canceled run skipped.
+	res, err = p.AnalyzeParallel(context.Background(), DefaultOptions())
+	if err != nil || len(res.Pairings) == 0 {
+		t.Fatalf("post-cancel analysis: res=%v err=%v", res, err)
+	}
+}
+
+func TestAnalyzeParallelDeadline(t *testing.T) {
+	p := newParallelTestProject(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := p.AnalyzeParallel(ctx, DefaultOptions()); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestConcurrentAnalyzeIndependentProjects is the race-detector audit for
+// hidden shared state: many goroutines analyze independent projects (and
+// clones of one project) at once.
+func TestConcurrentAnalyzeIndependentProjects(t *testing.T) {
+	base := newParallelTestProject(t)
+	want := base.Clone().Analyze(DefaultOptions())
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var p *Project
+			if g%2 == 0 {
+				p = newParallelTestProject(t) // independent project
+			} else {
+				p = base.Clone() // clone sharing immutable ASTs
+			}
+			res, err := p.AnalyzeParallel(context.Background(), DefaultOptions())
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			if len(res.Findings) != len(want.Findings) || len(res.Pairings) != len(want.Pairings) {
+				t.Errorf("goroutine %d: findings %d pairings %d, want %d/%d",
+					g, len(res.Findings), len(res.Pairings), len(want.Findings), len(want.Pairings))
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentAnalyzeSameProject exercises the internal serialization:
+// concurrent Analyze calls on ONE project must not race on the extraction
+// cache and must each return complete results.
+func TestConcurrentAnalyzeSameProject(t *testing.T) {
+	p := newParallelTestProject(t)
+	want := len(p.Analyze(DefaultOptions()).Findings)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := len(p.Analyze(DefaultOptions()).Findings); got != want {
+				t.Errorf("findings = %d, want %d", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAddSourcesDeterministicOrder(t *testing.T) {
+	srcs := []SourceFile{
+		{Name: "z.c", Src: "struct a { int x; };"},
+		{Name: "a.c", Src: "struct b { int y; };"},
+		{Name: "m.c", Src: "struct c { int z; };"},
+	}
+	for round := 0; round < 3; round++ {
+		p := NewProject()
+		units := p.AddSources(srcs)
+		if len(units) != len(srcs) {
+			t.Fatalf("units = %d", len(units))
+		}
+		for i, fu := range p.Files() {
+			if fu.Name != srcs[i].Name {
+				t.Errorf("round %d: file %d = %s, want %s", round, i, fu.Name, srcs[i].Name)
+			}
+		}
+	}
+}
+
+func TestCloneIsolatesExtractionCache(t *testing.T) {
+	p := newParallelTestProject(t)
+	p.Analyze(DefaultOptions())
+	c := p.Clone()
+	for _, fu := range c.Files() {
+		if fu.Table != nil || fu.Sites != nil {
+			t.Error("clone inherited extraction state")
+		}
+	}
+	// Replacing a source in the clone must not disturb the original.
+	c.ReplaceSource("p.c", "struct ps { int flag; };")
+	res := p.Analyze(DefaultOptions())
+	if len(res.Pairings) == 0 {
+		t.Error("original project affected by clone mutation")
+	}
+}

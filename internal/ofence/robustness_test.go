@@ -1,10 +1,11 @@
-package ofence
+package ofence_test
 
 import (
 	"math/rand"
 	"testing"
 
 	"ofence/internal/corpus"
+	ofence "ofence/internal/ofence"
 )
 
 // The pipeline must never panic on malformed input: Smatch-style resilience
@@ -36,11 +37,11 @@ func TestAnalyzeSurvivesMutatedSources(t *testing.T) {
 	}
 
 	for round := 0; round < 50; round++ {
-		p := NewProject()
+		p := ofence.NewProject()
 		for _, name := range c.Order {
 			p.AddSource(name, mutate(c.Files[name]))
 		}
-		res := p.Analyze(DefaultOptions()) // must not panic
+		res := p.Analyze(ofence.DefaultOptions()) // must not panic
 		_ = res.Findings
 		_ = res.View() // nor the serialization
 	}
@@ -53,9 +54,9 @@ func TestAnalyzeSurvivesTruncatedSources(t *testing.T) {
 	for _, name := range c.Order {
 		src := c.Files[name]
 		for cut := 0; cut < len(src); cut += 37 {
-			p := NewProject()
+			p := ofence.NewProject()
 			p.AddSource(name, src[:cut])
-			p.Analyze(DefaultOptions()) // must not panic
+			p.Analyze(ofence.DefaultOptions()) // must not panic
 		}
 	}
 }
@@ -75,8 +76,8 @@ func TestAnalyzeEmptyAndDegenerate(t *testing.T) {
 		"#if 1",
 		"}}}}}}",
 	} {
-		p := NewProject()
+		p := ofence.NewProject()
 		p.AddSource("d.c", src)
-		p.Analyze(DefaultOptions()) // must not panic
+		p.Analyze(ofence.DefaultOptions()) // must not panic
 	}
 }

@@ -5,9 +5,12 @@
 package report
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"ofence/internal/access"
@@ -30,16 +33,52 @@ type Evaluation struct {
 	Elapsed time.Duration
 }
 
-// RunCorpus analyzes the corpus and times the full run.
+// RunCorpus analyzes the corpus and times the full run. Files are parsed in
+// parallel (AddSources) but land in corpus order, so every downstream table
+// is deterministic.
 func RunCorpus(c *corpus.Corpus, opts ofence.Options) *Evaluation {
 	p := ofence.NewProject()
 	kernelhdr.Register(p)
-	for _, name := range c.Order {
-		p.AddSource(name, c.Files[name])
-	}
+	p.AddSources(c.Sources())
 	start := time.Now()
-	res := p.Analyze(opts)
+	res, err := p.AnalyzeParallel(context.Background(), opts)
+	if err != nil {
+		// Unreachable with a background context; keep the evaluation total.
+		panic(err)
+	}
 	return &Evaluation{Corpus: c, Opts: opts, Project: p, Result: res, Elapsed: time.Since(start)}
+}
+
+// forEach runs fn(i) for every index in [0, n) on a GOMAXPROCS-sized worker
+// pool. Callers write results to index i, so output order stays
+// deterministic regardless of scheduling.
+func forEach(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // findingName maps FindingKind to the ground-truth vocabulary.
@@ -170,20 +209,22 @@ type Fig6Point struct {
 }
 
 // Figure6 sweeps the write-barrier exploration window and counts pairings,
-// reproducing the saturation-at-5 shape of the paper's Figure 6.
+// reproducing the saturation-at-5 shape of the paper's Figure 6. The sweep
+// points run concurrently (each on its own Project); out[i] always belongs
+// to windows[i].
 func Figure6(c *corpus.Corpus, windows []int, base ofence.Options) []Fig6Point {
-	out := make([]Fig6Point, 0, len(windows))
-	for _, w := range windows {
+	out := make([]Fig6Point, len(windows))
+	forEach(len(windows), func(i int) {
 		opts := base
-		opts.Access.WriteWindow = w
+		opts.Access.WriteWindow = windows[i]
 		ev := RunCorpus(c, opts)
 		st := Coverage(ev)
-		out = append(out, Fig6Point{
-			Window:    w,
+		out[i] = Fig6Point{
+			Window:    windows[i],
 			Pairings:  len(ev.Result.Pairings),
 			Incorrect: st.IncorrectPairings,
-		})
-	}
+		}
+	})
 	return out
 }
 
@@ -475,10 +516,14 @@ type FixtureResult struct {
 	Match    bool     // expected finding present (or absent when "")
 }
 
-// RunFixtures analyzes every paper fixture.
+// RunFixtures analyzes every paper fixture, fanning the independent
+// fixtures out over a GOMAXPROCS-sized pool; out[i] always belongs to
+// Fixtures()[i], so the rendered table is deterministic.
 func RunFixtures(opts ofence.Options) []FixtureResult {
-	var out []FixtureResult
-	for _, fx := range corpus.Fixtures() {
+	fixtures := corpus.Fixtures()
+	out := make([]FixtureResult, len(fixtures))
+	forEach(len(fixtures), func(i int) {
+		fx := fixtures[i]
 		p := ofence.NewProject()
 		p.AddSource(fx.Name, fx.Source)
 		res := p.Analyze(opts)
@@ -500,8 +545,8 @@ func RunFixtures(opts ofence.Options) []FixtureResult {
 		} else {
 			fr.Match = names[fx.ExpectFinding]
 		}
-		out = append(out, fr)
-	}
+		out[i] = fr
+	})
 	return out
 }
 

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -250,6 +251,35 @@ func TestRunFixturesAllMatch(t *testing.T) {
 	}
 	if out := RenderFixtures(rows); !strings.Contains(out, "rpc_xprt.c") {
 		t.Error("render broken")
+	}
+}
+
+// TestParallelLoopsDeterministic pins the satellite requirement: the
+// parallelized evaluation loops must render identically run to run, with
+// out[i] matching input i regardless of worker scheduling.
+func TestParallelLoopsDeterministic(t *testing.T) {
+	opts := ofence.DefaultOptions()
+	a, b := RunFixtures(opts), RunFixtures(opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("RunFixtures not deterministic across runs")
+	}
+	fixtures := corpus.Fixtures()
+	for i, r := range a {
+		if r.Fixture.Name != fixtures[i].Name {
+			t.Errorf("row %d = %s, want %s", i, r.Fixture.Name, fixtures[i].Name)
+		}
+	}
+
+	c := smallCorpus(7)
+	windows := []int{0, 2, 5}
+	p1, p2 := Figure6(c, windows, opts), Figure6(c, windows, opts)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("Figure6 not deterministic across runs")
+	}
+	for i, pt := range p1 {
+		if pt.Window != windows[i] {
+			t.Errorf("point %d window = %d, want %d", i, pt.Window, windows[i])
+		}
 	}
 }
 

@@ -1,0 +1,198 @@
+// Package rescache is a content-addressed result cache for analysis
+// outcomes. Entries are keyed by the SHA-256 of the inputs that fully
+// determine the result (for OFence: the preprocessed source of every file
+// plus a fingerprint of the analysis options), so invalidation is automatic:
+// any change to the inputs produces a different key, and stale entries age
+// out of the LRU bound.
+//
+// The cache also deduplicates identical in-flight computations
+// (singleflight): when several callers ask for the same key concurrently,
+// one performs the work and the rest wait for its result. Hit, miss,
+// dedup and eviction counters feed the service's /metrics endpoint.
+package rescache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// Key is a content address: the hex SHA-256 of the cached computation's
+// inputs.
+type Key string
+
+// KeyOf hashes an options fingerprint plus any number of input parts into a
+// Key. Parts are length-framed so that concatenation ambiguities cannot
+// collide ("ab","c" hashes differently from "a","bc").
+func KeyOf(fingerprint string, parts ...string) Key {
+	h := sha256.New()
+	var frame [8]byte
+	write := func(s string) {
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(s)))
+		h.Write(frame[:])
+		h.Write([]byte(s))
+	}
+	write(fingerprint)
+	for _, p := range parts {
+		write(p)
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from a stored entry.
+	Hits uint64
+	// Misses counts lookups that had to compute the value.
+	Misses uint64
+	// Dedups counts callers that joined an identical in-flight computation
+	// instead of starting their own.
+	Dedups uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	// Entries is the current number of stored values.
+	Entries int
+}
+
+// HitRate is the fraction of lookups that avoided a computation (stored
+// hits plus in-flight joins), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Dedups + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Dedups) / float64(total)
+}
+
+type entry struct {
+	key Key
+	val any
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a bounded, content-addressed LRU with singleflight deduplication.
+// The zero value is not usable; call New.
+type Cache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[Key]*list.Element
+	inflight  map[Key]*flight
+	hits      uint64
+	misses    uint64
+	dedups    uint64
+	evictions uint64
+}
+
+// New returns a cache bounded to capacity entries (values beyond the bound
+// evict least-recently-used). capacity <= 0 selects the default of 128.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &Cache{
+		cap:      capacity,
+		ll:       list.New(),
+		items:    map[Key]*list.Element{},
+		inflight: map[Key]*flight{},
+	}
+}
+
+// Get returns the stored value for k, if any, marking it recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Add stores v under k, evicting the least-recently-used entry when the
+// bound is exceeded.
+func (c *Cache) Add(k Key, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.add(k, v)
+}
+
+func (c *Cache) add(k Key, v any) {
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Do returns the value for k, computing it with fn on a miss. Concurrent
+// calls for the same key are deduplicated: one caller runs fn, the others
+// wait and share its outcome. hit reports whether the caller avoided running
+// fn itself (stored entry or in-flight join). Errors are returned to every
+// waiter but never cached, so a later call retries.
+func (c *Cache) Do(k Key, fn func() (any, error)) (v any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*entry).val, true, nil
+	}
+	if fl, ok := c.inflight[k]; ok {
+		c.dedups++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, true, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[k] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.val, fl.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	if fl.err == nil {
+		c.add(k, fl.val)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, false, fl.err
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Dedups:    c.dedups,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+	}
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// analyzeRequest is the POST /v1/analyze body: the sources, the options,
+// and whether to wait for the result (default) or return 202 immediately.
+type analyzeRequest struct {
+	Request
+	Options OptionsSpec `json:"options"`
+	Wait    *bool       `json:"wait,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/analyze   submit sources; waits for the result unless
+//	                   {"wait": false}, which returns 202 + a job ID
+//	GET  /v1/jobs/{id} poll a job
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus text metrics
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	// The request body is bounded a little above the source limit so that a
+	// too-large request reports ErrTooLarge, not a JSON parse error.
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+1<<20)
+	var req analyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(&req.Request, req.Options)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			code = http.StatusTooManyRequests
+		case errors.Is(err, ErrClosed):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, ErrTooLarge):
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Wait != nil && !*req.Wait {
+		writeJSON(w, http.StatusAccepted, j.View())
+		return
+	}
+	select {
+	case <-j.Done():
+		writeJSON(w, http.StatusOK, j.View())
+	case <-r.Context().Done():
+		// Client went away; the job keeps running and stays pollable.
+		writeJSON(w, http.StatusAccepted, j.View())
+	}
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.MetricsText()))
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, log-spaced from
+// 1ms to 10s (requests beyond fall into +Inf).
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram (Prometheus-compatible:
+// cumulative bucket counts, sum and count).
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // one per bucket, non-cumulative; rendered cumulatively
+	inf    uint64
+	sum    float64
+	n      uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += s
+	h.n++
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// snapshot returns cumulative bucket counts (per Prometheus convention),
+// the sum of observations in seconds and the total count.
+func (h *histogram) snapshot() (cum []uint64, sum float64, n uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(latencyBuckets)+1)
+	var running uint64
+	for i, c := range h.counts {
+		running += c
+		cum[i] = running
+	}
+	cum[len(latencyBuckets)] = running + h.inf
+	return cum, h.sum, h.n
+}
+
+// metrics aggregates service-level counters. Stage histograms are keyed by
+// stage name ("wait", "hash", "analyze", "total").
+type metrics struct {
+	mu     sync.Mutex
+	stages map[string]*histogram
+
+	jobsSubmitted uint64
+	jobsDone      uint64
+	jobsFailed    uint64
+	jobsCanceled  uint64
+	queueRejected uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{stages: map[string]*histogram{}}
+}
+
+func (m *metrics) stage(name string) *histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.stages[name]
+	if !ok {
+		h = newHistogram()
+		m.stages[name] = h
+	}
+	return h
+}
+
+func (m *metrics) count(field *uint64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+// Render writes the metrics in the Prometheus text exposition format. The
+// caller supplies the live gauges (queue depth, busy workers, cache stats)
+// that do not live on the metrics struct itself.
+func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
+	m.mu.Lock()
+	counters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"ofence_jobs_submitted_total", "Analysis jobs accepted", m.jobsSubmitted},
+		{"ofence_jobs_done_total", "Jobs finished successfully", m.jobsDone},
+		{"ofence_jobs_failed_total", "Jobs that errored or timed out", m.jobsFailed},
+		{"ofence_jobs_canceled_total", "Jobs canceled by shutdown or client", m.jobsCanceled},
+		{"ofence_queue_rejected_total", "Submissions rejected because the queue was full", m.queueRejected},
+	}
+	stageNames := make([]string, 0, len(m.stages))
+	for name := range m.stages {
+		stageNames = append(stageNames, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(stageNames)
+
+	for _, c := range counters {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
+
+	gaugeNames := make([]string, 0, len(gauges))
+	for name := range gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
+	sort.Strings(gaugeNames)
+	for _, name := range gaugeNames {
+		fmt.Fprintf(b, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name])
+	}
+
+	if len(stageNames) > 0 {
+		b.WriteString("# HELP ofence_stage_latency_seconds Per-stage job latency\n")
+		b.WriteString("# TYPE ofence_stage_latency_seconds histogram\n")
+	}
+	for _, name := range stageNames {
+		cum, sum, n := m.stage(name).snapshot()
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(b, "ofence_stage_latency_seconds_bucket{stage=%q,le=\"%g\"} %d\n", name, ub, cum[i])
+		}
+		fmt.Fprintf(b, "ofence_stage_latency_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+		fmt.Fprintf(b, "ofence_stage_latency_seconds_sum{stage=%q} %g\n", name, sum)
+		fmt.Fprintf(b, "ofence_stage_latency_seconds_count{stage=%q} %d\n", name, n)
+	}
+}

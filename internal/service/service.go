@@ -1,0 +1,515 @@
+// Package service is the serving subsystem behind the ofence-serve daemon:
+// an asynchronous job model over a bounded worker pool, with request-scoped
+// timeouts and cancellation, graceful drain on shutdown, and a
+// content-addressed result cache (internal/rescache) so that re-analyzing
+// unchanged source is a hash lookup instead of a full pipeline run.
+//
+// The analysis itself is ofence.Project.AnalyzeParallel — one project per
+// job, so concurrent jobs never share mutable analysis state.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ofence/internal/cpp"
+	"ofence/internal/kernelhdr"
+	"ofence/internal/ofence"
+	"ofence/internal/rescache"
+)
+
+// Sentinel errors surfaced to API clients.
+var (
+	ErrQueueFull = errors.New("analysis queue is full")
+	ErrClosed    = errors.New("service is draining")
+	ErrNoFiles   = errors.New("request has no source files")
+	ErrTooLarge  = errors.New("request exceeds the source size limit")
+)
+
+// Request is one analysis submission: a set of named C sources plus
+// optional preprocessor defines (kernel config symbols). The bundled
+// miniature kernel include tree is always available to #include.
+type Request struct {
+	Files   map[string]string `json:"files"`
+	Defines map[string]string `json:"defines,omitempty"`
+}
+
+// OptionsSpec is the wire form of the analysis options; zero fields keep
+// the paper's defaults.
+type OptionsSpec struct {
+	WriteWindow      int  `json:"write_window,omitempty"`
+	ReadWindow       int  `json:"read_window,omitempty"`
+	InlineDepth      *int `json:"inline_depth,omitempty"`
+	MinSharedObjects int  `json:"min_shared_objects,omitempty"`
+	CheckOnce        bool `json:"check_once,omitempty"`
+	Workers          int  `json:"workers,omitempty"`
+}
+
+// resolve maps the spec onto the engine options.
+func (o OptionsSpec) resolve() ofence.Options {
+	opts := ofence.DefaultOptions()
+	if o.WriteWindow > 0 {
+		opts.Access.WriteWindow = o.WriteWindow
+	}
+	if o.ReadWindow > 0 {
+		opts.Access.ReadWindow = o.ReadWindow
+	}
+	if o.InlineDepth != nil {
+		opts.Access.InlineDepth = *o.InlineDepth
+	}
+	if o.MinSharedObjects > 0 {
+		opts.MinSharedObjects = o.MinSharedObjects
+	}
+	opts.CheckOnce = o.CheckOnce
+	if o.Workers > 0 {
+		opts.Workers = o.Workers
+	}
+	return opts
+}
+
+// fingerprint folds every option that can change analysis RESULTS into the
+// cache key. Workers is deliberately excluded: it changes scheduling, never
+// output.
+func fingerprint(opts ofence.Options) string {
+	return fmt.Sprintf("ofence-v1|ww=%d|rw=%d|inline=%d|maxu=%d|min=%d|once=%t|generic=%s|wake=%s|sem=%s",
+		opts.Access.WriteWindow, opts.Access.ReadWindow, opts.Access.InlineDepth,
+		opts.Access.MaxUnits, opts.MinSharedObjects, opts.CheckOnce,
+		strings.Join(opts.GenericStructs, ","),
+		strings.Join(opts.Access.ExtraWakeUps, ","),
+		strings.Join(opts.Access.ExtraBarrierSemantics, ","))
+}
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+// Job states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one tracked analysis. All mutable fields are guarded by mu; Done
+// is closed exactly once when the job reaches a terminal state.
+type Job struct {
+	id   string
+	req  *Request
+	opts ofence.Options
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     JobState
+	cacheHit  bool
+	errMsg    string
+	result    *ofence.ResultView
+	submitted time.Time
+	waitDur   time.Duration
+	hashDur   time.Duration
+	analyzeD  time.Duration
+	totalDur  time.Duration
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobView is the JSON projection of a job.
+type JobView struct {
+	ID        string             `json:"id"`
+	State     JobState           `json:"state"`
+	CacheHit  bool               `json:"cache_hit"`
+	Error     string             `json:"error,omitempty"`
+	Result    *ofence.ResultView `json:"result,omitempty"`
+	WaitMS    float64            `json:"wait_ms"`
+	HashMS    float64            `json:"hash_ms"`
+	AnalyzeMS float64            `json:"analyze_ms"`
+	TotalMS   float64            `json:"total_ms"`
+}
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return JobView{
+		ID:        j.id,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Error:     j.errMsg,
+		Result:    j.result,
+		WaitMS:    ms(j.waitDur),
+		HashMS:    ms(j.hashDur),
+		AnalyzeMS: ms(j.analyzeD),
+		TotalMS:   ms(j.totalDur),
+	}
+}
+
+// Config sizes the service. Zero fields pick the defaults noted per field.
+type Config struct {
+	// Workers is the analysis pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued-but-unstarted jobs (default 64); beyond it
+	// Submit fails with ErrQueueFull.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256 results).
+	CacheEntries int
+	// JobTimeout bounds one analysis (default 30s).
+	JobTimeout time.Duration
+	// MaxSourceBytes bounds the total source size of one request
+	// (default 8 MiB).
+	MaxSourceBytes int
+	// MaxJobs bounds how many finished jobs stay queryable (default 1024);
+	// the oldest finished jobs are forgotten first.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 30 * time.Second
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 8 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Service runs analysis jobs on a bounded worker pool with a shared result
+// cache. Create with New, stop with Close.
+type Service struct {
+	cfg        Config
+	cache      *rescache.Cache
+	headers    map[string]string
+	met        *metrics
+	queue      chan *Job
+	quit       chan struct{}
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	wg         sync.WaitGroup
+	busy       atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string
+	nextID uint64
+
+	// analyzeFn is the job body; tests may replace it before any Submit to
+	// inject blocking or failing analyses.
+	analyzeFn func(ctx context.Context, req *Request, opts ofence.Options) (*ofence.ResultView, error)
+}
+
+// New starts a service with cfg's worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		cache:      rescache.New(cfg.CacheEntries),
+		headers:    kernelhdr.Headers(),
+		met:        newMetrics(),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		quit:       make(chan struct{}),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		jobs:       map[string]*Job{},
+	}
+	s.analyzeFn = s.defaultAnalyze
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// defaultAnalyze runs the real pipeline: one fresh project per job, so
+// concurrent jobs share no mutable analysis state.
+func (s *Service) defaultAnalyze(ctx context.Context, req *Request, opts ofence.Options) (*ofence.ResultView, error) {
+	proj := ofence.NewProject()
+	kernelhdr.Register(proj)
+	for k, v := range req.Defines {
+		proj.Define(k, v)
+	}
+	srcs := make([]ofence.SourceFile, 0, len(req.Files))
+	for _, name := range sortedNames(req.Files) {
+		srcs = append(srcs, ofence.SourceFile{Name: name, Src: req.Files[name]})
+	}
+	proj.AddSources(srcs)
+	res, err := proj.AnalyzeParallel(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	v := res.View()
+	return &v, nil
+}
+
+func sortedNames(m map[string]string) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// contentKey computes the job's cache key: the SHA-256 of every file's
+// PREPROCESSED token stream (so include resolution, macro expansion and
+// config defines are folded in) combined with the options fingerprint. See
+// DESIGN.md "Result cache" for the invalidation rules.
+func (s *Service) contentKey(req *Request, opts ofence.Options) rescache.Key {
+	names := sortedNames(req.Files)
+	parts := make([]string, 0, 2*len(names))
+	for _, name := range names {
+		pre := cpp.Preprocess(name, req.Files[name], cpp.Options{
+			Include: s.headers,
+			Defines: req.Defines,
+		})
+		var b strings.Builder
+		for _, tok := range pre.Tokens {
+			fmt.Fprintf(&b, "%s\x00%d:%d\n", tok.Text, tok.Pos.Line, tok.Pos.Col)
+		}
+		parts = append(parts, name, b.String())
+	}
+	return rescache.KeyOf(fingerprint(opts), parts...)
+}
+
+// Submit validates and enqueues a job. It never blocks: a full queue fails
+// fast with ErrQueueFull, a draining service with ErrClosed.
+func (s *Service) Submit(req *Request, spec OptionsSpec) (*Job, error) {
+	if len(req.Files) == 0 {
+		return nil, ErrNoFiles
+	}
+	total := 0
+	for name, src := range req.Files {
+		total += len(name) + len(src)
+	}
+	if total > s.cfg.MaxSourceBytes {
+		return nil, ErrTooLarge
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.nextID++
+	j := &Job{
+		id:        fmt.Sprintf("job-%08d", s.nextID),
+		req:       req,
+		opts:      spec.resolve(),
+		done:      make(chan struct{}),
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.met.count(&s.met.queueRejected)
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneLocked()
+	s.mu.Unlock()
+	s.met.count(&s.met.jobsSubmitted)
+	return j, nil
+}
+
+// pruneLocked forgets the oldest finished jobs beyond the retention bound.
+// Caller holds s.mu.
+func (s *Service) pruneLocked() {
+	for len(s.order) > s.cfg.MaxJobs {
+		pruned := false
+		for i, id := range s.order {
+			j := s.jobs[id]
+			j.mu.Lock()
+			terminal := j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return // everything retained is still live
+		}
+	}
+}
+
+// Job returns a submitted job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.run(j)
+		case <-s.quit:
+			// Drain: finish everything already queued, then exit.
+			for {
+				select {
+				case j := <-s.queue:
+					s.run(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run executes one job under the configured timeout.
+func (s *Service) run(j *Job) {
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+
+	start := time.Now()
+	j.mu.Lock()
+	j.state = JobRunning
+	j.waitDur = start.Sub(j.submitted)
+	j.mu.Unlock()
+	s.met.stage("wait").observe(start.Sub(j.submitted))
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	defer cancel()
+
+	hashStart := time.Now()
+	key := s.contentKey(j.req, j.opts)
+	hashDur := time.Since(hashStart)
+	s.met.stage("hash").observe(hashDur)
+
+	analyzeStart := time.Now()
+	v, hit, err := s.cache.Do(key, func() (any, error) {
+		return s.analyzeFn(ctx, j.req, j.opts)
+	})
+	analyzeDur := time.Since(analyzeStart)
+	s.met.stage("analyze").observe(analyzeDur)
+
+	j.mu.Lock()
+	j.hashDur = hashDur
+	j.analyzeD = analyzeDur
+	j.cacheHit = hit
+	j.totalDur = time.Since(j.submitted)
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = v.(*ofence.ResultView)
+	case errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	}
+	state := j.state
+	total := j.totalDur
+	j.mu.Unlock()
+	s.met.stage("total").observe(total)
+	switch state {
+	case JobDone:
+		s.met.count(&s.met.jobsDone)
+	case JobCanceled:
+		s.met.count(&s.met.jobsCanceled)
+	default:
+		s.met.count(&s.met.jobsFailed)
+	}
+	close(j.done)
+}
+
+// Close drains the service: no new submissions are accepted, queued and
+// running jobs are finished, and the workers exit. If ctx expires first the
+// base context is canceled — in-flight analyses abort at their next
+// cancellation point and are marked canceled — and ctx's error is returned.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelBase()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// CacheStats snapshots the result-cache counters.
+func (s *Service) CacheStats() rescache.Stats { return s.cache.Stats() }
+
+// QueueDepth returns the number of queued-but-unstarted jobs.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// BusyWorkers returns the number of workers currently running a job.
+func (s *Service) BusyWorkers() int { return int(s.busy.Load()) }
+
+// MetricsText renders every service metric in the Prometheus text
+// exposition format.
+func (s *Service) MetricsText() string {
+	var b strings.Builder
+	st := s.cache.Stats()
+	util := 0.0
+	if s.cfg.Workers > 0 {
+		util = float64(s.busy.Load()) / float64(s.cfg.Workers)
+	}
+	s.met.render(&b, map[string]float64{
+		"ofence_queue_depth":        float64(len(s.queue)),
+		"ofence_workers":            float64(s.cfg.Workers),
+		"ofence_workers_busy":       float64(s.busy.Load()),
+		"ofence_worker_utilization": util,
+		"ofence_cache_entries":      float64(st.Entries),
+		"ofence_cache_hit_rate":     st.HitRate(),
+	})
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"ofence_cache_hits_total", "Lookups served from the result cache", st.Hits},
+		{"ofence_cache_misses_total", "Lookups that ran the analysis", st.Misses},
+		{"ofence_cache_dedup_total", "Lookups that joined an identical in-flight analysis", st.Dedups},
+		{"ofence_cache_evictions_total", "Entries dropped by the LRU bound", st.Evictions},
+	} {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
+	return b.String()
+}

@@ -1,0 +1,454 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ofence/internal/ofence"
+)
+
+// testSrc carries one write/read barrier pairing with a misplaced-access
+// deviation, so a correct analysis reports 1 pairing and >= 1 finding.
+const testSrc = `
+struct box { int flag; int data; };
+void box_pub(struct box *b) {
+	b->data = 41;
+	smp_wmb();
+	b->flag = 1;
+}
+void box_sub(struct box *b) {
+	smp_rmb();
+	if (!b->flag)
+		return;
+	use(b->data);
+}`
+
+// srcVariant renames every identifier so each variant preprocesses to a
+// distinct token stream (distinct cache key) with the same analysis shape.
+func srcVariant(i int) string {
+	return strings.ReplaceAll(testSrc, "box", fmt.Sprintf("box%d", i))
+}
+
+func testRequest(src string) *Request {
+	return &Request{Files: map[string]string{"a.c": src}}
+}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
+	return s
+}
+
+func waitDone(t *testing.T, j *Job) JobView {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID())
+	}
+	return j.View()
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, MaxSourceBytes: 64})
+	if _, err := s.Submit(&Request{}, OptionsSpec{}); err != ErrNoFiles {
+		t.Errorf("empty request: err = %v", err)
+	}
+	big := &Request{Files: map[string]string{"a.c": strings.Repeat("x", 100)}}
+	if _, err := s.Submit(big, OptionsSpec{}); err != ErrTooLarge {
+		t.Errorf("oversized request: err = %v", err)
+	}
+}
+
+func TestCacheHitOnRepeat(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	first := waitDone(t, mustSubmit(t, s, testRequest(testSrc)))
+	if first.State != JobDone || first.CacheHit {
+		t.Fatalf("first job: %+v", first)
+	}
+	if first.Result == nil || len(first.Result.Pairings) != 1 {
+		t.Fatalf("first result: %+v", first.Result)
+	}
+	second := waitDone(t, mustSubmit(t, s, testRequest(testSrc)))
+	if second.State != JobDone || !second.CacheHit {
+		t.Fatalf("second job should hit the cache: %+v", second)
+	}
+	// Cached and computed results are the same view.
+	aj, _ := json.Marshal(first.Result)
+	bj, _ := json.Marshal(second.Result)
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("cached result differs:\n%s\nvs\n%s", aj, bj)
+	}
+	if st := s.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v", st)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	waitDone(t, mustSubmit(t, s, testRequest(testSrc)))
+
+	// Different options fingerprint -> different key -> miss.
+	j, err := s.Submit(testRequest(testSrc), OptionsSpec{WriteWindow: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitDone(t, j); v.CacheHit {
+		t.Error("changed options must not hit the cache")
+	}
+	// Different source -> miss.
+	if v := waitDone(t, mustSubmit(t, s, testRequest(srcVariant(1)))); v.CacheHit {
+		t.Error("changed source must not hit the cache")
+	}
+	// Workers is scheduling-only and must NOT change the key.
+	j, err = s.Submit(testRequest(testSrc), OptionsSpec{Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitDone(t, j); !v.CacheHit {
+		t.Error("workers option must not miss the cache")
+	}
+}
+
+func mustSubmit(t *testing.T, s *Service, req *Request) *Job {
+	t.Helper()
+	j, err := s.Submit(req, OptionsSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestInflightDeduplication(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	release := make(chan struct{})
+	started := make(chan string, 2)
+	s.analyzeFn = func(ctx context.Context, req *Request, opts ofence.Options) (*ofence.ResultView, error) {
+		started <- "run"
+		<-release
+		return &ofence.ResultView{Sites: 2}, nil
+	}
+	j1 := mustSubmit(t, s, testRequest(testSrc))
+	<-started // leader is inside analyzeFn
+	j2 := mustSubmit(t, s, testRequest(testSrc))
+
+	// The follower must join the leader's flight, not start a second run.
+	deadline := time.After(10 * time.Second)
+	for s.CacheStats().Dedups == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("follower never joined the in-flight analysis")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	v1, v2 := waitDone(t, j1), waitDone(t, j2)
+	if v1.State != JobDone || v2.State != JobDone {
+		t.Fatalf("states: %s / %s", v1.State, v2.State)
+	}
+	if v1.CacheHit || !v2.CacheHit {
+		t.Errorf("cache hits: leader=%t follower=%t", v1.CacheHit, v2.CacheHit)
+	}
+	if len(started) != 0 {
+		t.Error("analysis ran twice for identical requests")
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, JobTimeout: 20 * time.Millisecond})
+	s.analyzeFn = func(ctx context.Context, req *Request, opts ofence.Options) (*ofence.ResultView, error) {
+		<-ctx.Done() // simulate an analysis stuck mid-run
+		return nil, ctx.Err()
+	}
+	v := waitDone(t, mustSubmit(t, s, testRequest(testSrc)))
+	if v.State != JobFailed || !strings.Contains(v.Error, "deadline") {
+		t.Fatalf("timed-out job: %+v", v)
+	}
+	// Errors are not cached: a later identical request retries.
+	if st := s.CacheStats(); st.Entries != 0 {
+		t.Errorf("failed result was cached: %+v", st)
+	}
+}
+
+func TestCloseCancelsInflightJobs(t *testing.T) {
+	s := New(Config{Workers: 1})
+	running := make(chan struct{})
+	s.analyzeFn = func(ctx context.Context, req *Request, opts ofence.Options) (*ofence.ResultView, error) {
+		close(running)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	j := mustSubmit(t, s, testRequest(testSrc))
+	<-running
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // drain budget already exhausted: force cancellation
+	if err := s.Close(ctx); err != context.Canceled {
+		t.Fatalf("Close = %v", err)
+	}
+	if v := waitDone(t, j); v.State != JobCanceled {
+		t.Fatalf("job after forced close: %+v", v)
+	}
+}
+
+func TestGracefulDrainFinishesQueuedJobs(t *testing.T) {
+	s := New(Config{Workers: 2})
+	s.analyzeFn = func(ctx context.Context, req *Request, opts ofence.Options) (*ofence.ResultView, error) {
+		time.Sleep(10 * time.Millisecond)
+		return &ofence.ResultView{Sites: 1}, nil
+	}
+	jobs := make([]*Job, 0, 6)
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, mustSubmit(t, s, testRequest(srcVariant(i))))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	for _, j := range jobs {
+		if v := waitDone(t, j); v.State != JobDone {
+			t.Errorf("job %s drained as %s (%s)", v.ID, v.State, v.Error)
+		}
+	}
+	if _, err := s.Submit(testRequest(testSrc), OptionsSpec{}); err != ErrClosed {
+		t.Errorf("submit after close: err = %v", err)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var once sync.Once
+	s.analyzeFn = func(ctx context.Context, req *Request, opts ofence.Options) (*ofence.ResultView, error) {
+		once.Do(func() { close(running) })
+		<-release
+		return &ofence.ResultView{}, nil
+	}
+	mustSubmit(t, s, testRequest(srcVariant(0)))
+	<-running // worker busy; queue slot free again
+	mustSubmit(t, s, testRequest(srcVariant(1)))
+	if _, err := s.Submit(testRequest(srcVariant(2)), OptionsSpec{}); err != ErrQueueFull {
+		t.Fatalf("third submit: err = %v", err)
+	}
+	close(release)
+}
+
+// --- HTTP layer ---
+
+func postAnalyze(t *testing.T, url string, body any) (*http.Response, JobView) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/analyze", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, v
+}
+
+func TestHTTPAnalyzeSyncAndPoll(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Synchronous analyze.
+	resp, v := postAnalyze(t, srv.URL, analyzeRequest{Request: *testRequest(testSrc)})
+	if resp.StatusCode != http.StatusOK || v.State != JobDone {
+		t.Fatalf("sync analyze: %d %+v", resp.StatusCode, v)
+	}
+	if v.Result == nil || len(v.Result.Pairings) != 1 || len(v.Result.Findings) == 0 {
+		t.Fatalf("sync result: %+v", v.Result)
+	}
+
+	// Async analyze + poll.
+	wait := false
+	resp, v = postAnalyze(t, srv.URL, analyzeRequest{Request: *testRequest(srcVariant(1)), Wait: &wait})
+	if resp.StatusCode != http.StatusAccepted || v.ID == "" {
+		t.Fatalf("async analyze: %d %+v", resp.StatusCode, v)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pv JobView
+		if err := json.NewDecoder(r.Body).Decode(&pv); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if pv.State == JobDone {
+			if pv.Result == nil || len(pv.Result.Pairings) != 1 {
+				t.Fatalf("polled result: %+v", pv.Result)
+			}
+			break
+		}
+		if pv.State == JobFailed || pv.State == JobCanceled || time.Now().After(deadline) {
+			t.Fatalf("poll: %+v", pv)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: %d", resp.StatusCode)
+	}
+
+	resp, _ = postAnalyze(t, srv.URL, analyzeRequest{}) // no files
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("no files: %d", resp.StatusCode)
+	}
+
+	r, err := http.Get(srv.URL + "/v1/jobs/job-unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d", r.StatusCode)
+	}
+
+	if r, err = http.Get(srv.URL + "/healthz"); err != nil || r.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %v %d", err, r.StatusCode)
+	}
+	r.Body.Close()
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	postAnalyze(t, srv.URL, analyzeRequest{Request: *testRequest(testSrc)})
+	postAnalyze(t, srv.URL, analyzeRequest{Request: *testRequest(testSrc)}) // cache hit
+
+	r, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"ofence_jobs_submitted_total 2",
+		"ofence_jobs_done_total 2",
+		"ofence_cache_hits_total 1",
+		"ofence_cache_misses_total 1",
+		"ofence_cache_hit_rate 0.5",
+		"ofence_queue_depth 0",
+		`ofence_stage_latency_seconds_bucket{stage="analyze",le="+Inf"} 2`,
+		`ofence_stage_latency_seconds_count{stage="total"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestHTTPConcurrentAnalyze is the acceptance scenario: >= 8 concurrent
+// POST /v1/analyze requests — half identical, half distinct — through the
+// REAL pipeline, asserting correct results, at least one cache hit for the
+// duplicates, and a clean shutdown afterwards. Run under -race.
+func TestHTTPConcurrentAnalyze(t *testing.T) {
+	s := New(Config{Workers: 4})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	const n = 8
+	views := make([]JobView, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := testSrc // first half: identical requests
+			if i >= n/2 {
+				src = srcVariant(i) // second half: distinct requests
+			}
+			resp, v := postAnalyze(t, srv.URL, analyzeRequest{Request: *testRequest(src)})
+			codes[i], views[i] = resp.StatusCode, v
+		}(i)
+	}
+	wg.Wait()
+
+	hits := 0
+	for i, v := range views {
+		if codes[i] != http.StatusOK || v.State != JobDone {
+			t.Fatalf("request %d: code=%d view=%+v", i, codes[i], v)
+		}
+		if v.Result == nil || len(v.Result.Pairings) != 1 || len(v.Result.Findings) == 0 {
+			t.Fatalf("request %d result: %+v", i, v.Result)
+		}
+		if v.CacheHit {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Errorf("no cache hit among %d duplicate requests (stats %+v)", n/2, s.CacheStats())
+	}
+	if st := s.CacheStats(); st.Hits+st.Dedups == 0 {
+		t.Errorf("cache never hit: %+v", st)
+	}
+
+	// Clean shutdown with nothing lost.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if _, err := s.Submit(testRequest(testSrc), OptionsSpec{}); err != ErrClosed {
+		t.Errorf("submit after close: err = %v", err)
+	}
+}
+
+func TestJobRetentionPrunesFinished(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, MaxJobs: 2})
+	s.analyzeFn = func(ctx context.Context, req *Request, opts ofence.Options) (*ofence.ResultView, error) {
+		return &ofence.ResultView{}, nil
+	}
+	ids := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		j := mustSubmit(t, s, testRequest(srcVariant(i)))
+		waitDone(t, j)
+		ids = append(ids, j.ID())
+	}
+	if _, ok := s.Job(ids[0]); ok {
+		t.Error("oldest finished job not pruned")
+	}
+	if _, ok := s.Job(ids[3]); !ok {
+		t.Error("newest job pruned")
+	}
+}
