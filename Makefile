@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race bench serve eval eval-json corpus clean
+.PHONY: all build vet lint fuzz test test-race race bench serve eval eval-json corpus clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static checks: go vet plus gofmt, failing on any unformatted file.
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Short fuzz pass over the parser robustness target (no panics, no hangs).
+fuzz:
+	$(GO) test ./internal/cparser/ -fuzz FuzzParseSource -fuzztime 30s
+
 test:
 	$(GO) test ./...
 
 test-race:
 	$(GO) test -race ./...
 
-# Alias: the race-detector gate for the concurrent analysis paths.
+# Alias: the race-detector gate for the concurrent analysis paths — the
+# parallel extraction fan-out (including interprocedural mode), the pairing
+# checkers, the serving subsystem, and the diagnostics engine.
 race: test-race
 
 # One benchmark per paper table/figure (see EXPERIMENTS.md).

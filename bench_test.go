@@ -504,3 +504,34 @@ func BenchmarkAblationPairingThreshold(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkInterprocDepth — the cost of interprocedural mode: the full
+// corpus analyzed with the paper's same-file analysis (depth 0) versus the
+// cross-file call graph, fixpoint semantics inference, and resolver-driven
+// inlining at depth 2. Depth 0 must stay byte-identical to the seed
+// pipeline; depth 2 pays for graph construction plus the global site dedup.
+func BenchmarkInterprocDepth(b *testing.B) {
+	c := benchCorpus(0.5, 42)
+	for _, depth := range []int{0, 2} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			opts := ofence.DefaultOptions()
+			opts.InterprocDepth = depth
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				proj := ofence.NewProject()
+				proj.AddSources(c.Sources())
+				res, err := proj.AnalyzeParallel(context.Background(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Pairings) == 0 {
+					b.Fatal("no pairings on the benchmark corpus")
+				}
+				if depth > 0 && res.CallGraph.Functions == 0 {
+					b.Fatal("interproc run built no call graph")
+				}
+			}
+		})
+	}
+}

@@ -6,7 +6,7 @@
 //	ofence-eval [-seed N] [-section name]
 //
 // Sections: table1 table2 table3 fixtures figure6 figure7 coverage litmus
-// runtime all (default all).
+// validation census baseline inferred runtime all (default all).
 package main
 
 import (
@@ -81,6 +81,9 @@ func main() {
 	case "baseline":
 		ev := report.RunCorpus(lazyCorpus(), opts)
 		fmt.Print(report.RenderBaseline(report.Baseline(ev)))
+	case "inferred":
+		ev := report.RunCorpus(lazyCorpus(), opts)
+		fmt.Print(report.RenderInferred(report.Inferred(ev)))
 	case "runtime":
 		fmt.Print(report.RenderRuntime(report.Runtime(lazyCorpus(), opts)))
 	default:

@@ -11,6 +11,10 @@
 //	-patch            print generated patches for each finding
 //	-pairings         print the inferred pairings
 //	-once             report missing READ_ONCE/WRITE_ONCE annotations (§7)
+//	-interproc N      cross-file call-graph depth; infers implicit barrier
+//	                  semantics and inlines helpers across files (default 0,
+//	                  the paper's same-file analysis)
+//	-sarif            emit the diagnostics engine's findings as SARIF 2.1.0
 //	-write-window N   statements explored around write barriers (default 5)
 //	-read-window N    statements explored around read barriers (default 50)
 //	-workers N        parallel file workers (default GOMAXPROCS)
@@ -26,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"ofence/internal/diag"
 	"ofence/internal/kernelhdr"
 	"ofence/internal/ofence"
 	"ofence/internal/patch"
@@ -40,6 +45,8 @@ func main() {
 		checkOnce    = flag.Bool("once", false, "report missing READ_ONCE/WRITE_ONCE annotations")
 		doValidate   = flag.Bool("validate", false, "litmus-check each finding under the weak memory model")
 		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		sarifOut     = flag.Bool("sarif", false, "emit SARIF 2.1.0 diagnostics instead of text")
+		interproc    = flag.Int("interproc", 0, "cross-file call-graph depth (0 = paper-faithful same-file analysis)")
 		writeWindow  = flag.Int("write-window", 5, "statements explored around write barriers")
 		readWindow   = flag.Int("read-window", 50, "statements explored around read barriers")
 		workers      = flag.Int("workers", 0, "parallel file workers (0 = GOMAXPROCS)")
@@ -56,6 +63,7 @@ func main() {
 	opts.Access.ReadWindow = *readWindow
 	opts.Workers = *workers
 	opts.CheckOnce = *checkOnce
+	opts.InterprocDepth = *interproc
 
 	var srcs []ofence.SourceFile
 	for _, arg := range flag.Args() {
@@ -91,8 +99,23 @@ func main() {
 		return
 	}
 
+	if *sarifOut {
+		data, err := sarifReport(res, proj, srcs, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+
 	fmt.Printf("ofence: %d files, %d barrier sites, %d pairings, %d unpaired, %d implicit-IPC\n",
 		files, len(res.Sites), len(res.Pairings), len(res.Unpaired), len(res.ImplicitIPC))
+	if *interproc > 0 {
+		fmt.Printf("ofence: call graph %d functions, %d edges (%d via pointers, %d unresolved); %d inferred barrier functions\n",
+			res.CallGraph.Functions, res.CallGraph.Edges, res.CallGraph.PtrEdges,
+			res.CallGraph.Unresolved, len(res.Inferred))
+	}
 	fmt.Printf("ofence: extract %v, pair %v, check %v\n",
 		res.Timing.Extract.Round(time.Microsecond),
 		res.Timing.Pair.Round(time.Microsecond),
@@ -135,6 +158,23 @@ func main() {
 	if n := len(res.ParseErrors); n > 0 {
 		fmt.Fprintf(os.Stderr, "ofence: %d parse diagnostics (files analyzed best-effort)\n", n)
 	}
+}
+
+// sarifReport runs the diagnostics engine over the analysis result and
+// renders it as a SARIF 2.1.0 document.
+func sarifReport(res *ofence.Result, proj *ofence.Project, srcs []ofence.SourceFile, opts ofence.Options) ([]byte, error) {
+	sources := make(map[string]string, len(srcs))
+	for _, sf := range srcs {
+		sources[sf.Name] = sf.Src
+	}
+	passes := diag.DefaultPasses()
+	ds := diag.Run(&diag.Context{
+		Result:  res,
+		Files:   proj.Files(),
+		Sources: sources,
+		Opts:    opts,
+	}, passes)
+	return diag.MarshalSARIF(ds, diag.Rules(passes))
 }
 
 // addPath collects the .c sources under path in walk order.

@@ -132,3 +132,43 @@ func TestIndent(t *testing.T) {
 		t.Error("single line not indented")
 	}
 }
+
+// TestSARIFReport checks the -sarif output path end to end: analyzing the
+// test source must produce a valid-shape SARIF document whose results carry
+// the engine's rule IDs.
+func TestSARIFReport(t *testing.T) {
+	proj := ofence.NewProject()
+	srcs := []ofence.SourceFile{{Name: "a.c", Src: testSrc}}
+	proj.AddSources(srcs)
+	opts := ofence.DefaultOptions()
+	res, err := proj.AnalyzeParallel(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sarifReport(res, proj, srcs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if m["version"] != "2.1.0" {
+		t.Errorf("version = %v", m["version"])
+	}
+	run0 := m["runs"].([]any)[0].(map[string]any)
+	if name := run0["tool"].(map[string]any)["driver"].(map[string]any)["name"]; name != "ofence" {
+		t.Errorf("driver name = %v", name)
+	}
+	results := run0["results"].([]any)
+	if len(results) == 0 {
+		t.Fatal("no SARIF results for a source with a known deviation")
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.(map[string]any)["ruleId"].(string)] = true
+	}
+	if !seen["OF0001"] {
+		t.Errorf("rule IDs %v missing OF0001 (misplaced access)", seen)
+	}
+}

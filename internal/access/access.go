@@ -160,6 +160,17 @@ type Options struct {
 	// ExtraBarrierSemantics extends the Table 2 catalog: calls to these
 	// functions imply a full barrier and bound exploration.
 	ExtraBarrierSemantics []string
+	// InferredSemantics extends the catalog with interprocedurally inferred
+	// implicit-barrier functions (internal/semprop): calls to these names
+	// bound exploration like Table 2 entries. Nil in the paper-faithful
+	// default mode.
+	InferredSemantics map[string]memmodel.BarrierKind
+	// Resolve maps a callee name to its cross-file definition (the call
+	// graph's per-file view); nil disables cross-file inlining.
+	Resolve func(name string) *cast.FuncDecl
+	// InterprocDepth bounds cross-file callee inlining; 0 keeps the paper's
+	// same-file one-level behavior exactly.
+	InterprocDepth int
 }
 
 // isWakeUp consults the kernel catalog plus the user extensions.
@@ -175,7 +186,8 @@ func (o Options) isWakeUp(name string) bool {
 	return false
 }
 
-// hasSemantics consults the kernel catalog plus the user extensions.
+// hasSemantics consults the kernel catalog plus the user extensions plus the
+// interprocedurally inferred set.
 func (o Options) hasSemantics(name string) bool {
 	if memmodel.HasBarrierSemantics(name) {
 		return true
@@ -185,7 +197,57 @@ func (o Options) hasSemantics(name string) bool {
 			return true
 		}
 	}
+	if o.inferred(name) {
+		return true
+	}
 	return o.isWakeUp(name) && !memmodel.IsWakeUp(name)
+}
+
+// inferred reports whether name carries interprocedurally inferred barrier
+// semantics.
+func (o Options) inferred(name string) bool {
+	k, ok := o.InferredSemantics[name]
+	return ok && k != memmodel.None
+}
+
+// boundsHere reports whether a call to name in unit u has barrier semantics
+// that bound exploration at u. Inferred wrappers whose body was spliced into
+// the stream do not bound at the call unit: the actual barrier they contain
+// follows in the stream and bounds exploration itself (bounding at the call
+// would hide the caller's accesses from the inlined barrier's window).
+func (o Options) boundsHere(name string, u *cfg.Unit) bool {
+	if !o.hasSemantics(name) {
+		return false
+	}
+	if u.InlinedCall && name == rootCallName(u) && o.inferredOnly(name) {
+		return false
+	}
+	return true
+}
+
+// inferredOnly reports whether name's barrier semantics come solely from the
+// inference, not the built-in catalog or user extensions.
+func (o Options) inferredOnly(name string) bool {
+	if !o.inferred(name) {
+		return false
+	}
+	if memmodel.HasBarrierSemantics(name) || o.isWakeUp(name) {
+		return false
+	}
+	for _, n := range o.ExtraBarrierSemantics {
+		if n == name {
+			return false
+		}
+	}
+	return true
+}
+
+// rootCallName names the call a spliced unit's statement consists of.
+func rootCallName(u *cfg.Unit) string {
+	if call, ok := u.Expr.(*cast.CallExpr); ok {
+		return call.FunName()
+	}
+	return ""
 }
 
 // Defaults returns the paper's parameters.
@@ -251,7 +313,7 @@ func classifyUnit(u *cfg.Unit, opts Options) (barriers []barrierInfo, semantics 
 			semantics = true
 			continue
 		}
-		if opts.hasSemantics(name) {
+		if opts.boundsHere(name, u) {
 			semantics = true
 		}
 		if opts.isWakeUp(name) {
@@ -267,9 +329,11 @@ func (e *Extractor) ExtractFn(fn *cast.FuncDecl) []*Site {
 		return nil
 	}
 	units := cfg.Linearize(fn, cfg.LinearizeOptions{
-		Table:       e.table,
-		InlineDepth: e.opts.InlineDepth,
-		MaxUnits:    e.opts.MaxUnits,
+		Table:        e.table,
+		InlineDepth:  e.opts.InlineDepth,
+		MaxUnits:     e.opts.MaxUnits,
+		Resolve:      e.opts.Resolve,
+		ResolveDepth: e.opts.InterprocDepth,
 	})
 	// Pre-classify all units once.
 	type uinfo struct {
@@ -392,7 +456,7 @@ func (e *Extractor) ExtractFile(f *cast.File) []*Site {
 			order = append(order, id)
 			continue
 		}
-		if richness(s) > richness(cur) {
+		if s.Richness() > cur.Richness() {
 			best[id] = s
 		}
 	}
@@ -403,7 +467,10 @@ func (e *Extractor) ExtractFile(f *cast.File) []*Site {
 	return out
 }
 
-func richness(s *Site) int {
+// Richness scores how much context a site's window captured. Deduplication
+// of the same physical barrier — per file here, and globally across files in
+// interprocedural mode — keeps the richest view.
+func (s *Site) Richness() int {
 	r := len(s.Before) + len(s.After)
 	if s.Unit != nil && s.Unit.InlinedFrom == "" {
 		r++ // prefer the lexical owner on ties

@@ -1,0 +1,422 @@
+// Package callgraph builds a whole-corpus, cross-file call graph over the
+// parsed translation units of a project. It is the substrate for
+// interprocedural analyses (internal/semprop's barrier-semantics inference,
+// cross-file exploration in internal/access): the paper bounds extraction at
+// function boundaries plus one level of same-file callees, and this package
+// is what lets later passes cross file boundaries soundly.
+//
+// Resolution covers two call forms:
+//
+//   - Direct calls f(...): resolved to the definition of f, honoring C
+//     linkage — a static definition is only visible from its own file and
+//     shadows an external definition of the same name there; distinct files
+//     may each have their own static f.
+//   - Indirect calls through function pointers (p->op(...), fp(...)):
+//     resolved best-effort from assignments and initializers that store a
+//     function's address into a variable or struct field. A pointer call
+//     with no recorded candidate stays unresolved — analyses must degrade to
+//     intraprocedural behavior there, never error.
+//
+// The graph is deterministic: nodes appear in (file order, declaration
+// order) and edges in call-site order, so downstream fixpoints and reports
+// are reproducible run to run.
+package callgraph
+
+import (
+	"sort"
+
+	"ofence/internal/cast"
+)
+
+// File is one named translation unit to include in the graph.
+type File struct {
+	Name string
+	AST  *cast.File
+}
+
+// EdgeKind classifies how a call site was resolved.
+type EdgeKind int
+
+const (
+	// Direct is a call through the function's name.
+	Direct EdgeKind = iota
+	// Pointer is a call through a function pointer, resolved from
+	// assignment tracking.
+	Pointer
+)
+
+// String renders the kind.
+func (k EdgeKind) String() string {
+	if k == Pointer {
+		return "pointer"
+	}
+	return "direct"
+}
+
+// Edge is one resolved call site. A single call expression yields one edge
+// per candidate callee (pointer calls may have several).
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	Call   *cast.CallExpr
+	Kind   EdgeKind
+}
+
+// Node is one function definition (a FuncDecl with a body).
+type Node struct {
+	// File is the defining translation unit.
+	File string
+	// Fn is the definition.
+	Fn *cast.FuncDecl
+	// Static records file-local linkage.
+	Static bool
+	// Calls are the outgoing resolved edges in call-site order.
+	Calls []*Edge
+	// CalledBy are the incoming edges.
+	CalledBy []*Edge
+	// UnresolvedCalls counts call sites in this function that could not be
+	// resolved to any definition (external functions, unknown pointers).
+	UnresolvedCalls int
+}
+
+// Name returns the function name.
+func (n *Node) Name() string { return n.Fn.Name }
+
+// Graph is the whole-corpus call graph.
+type Graph struct {
+	// Nodes in deterministic (file, declaration) order.
+	Nodes []*Node
+	// byName maps a function name to every definition carrying it (multiple
+	// entries when distinct files define same-named statics).
+	byName map[string][]*Node
+	// byFile maps "file\x00name" to the definition for static lookup.
+	byFile map[string]*Node
+	// ptrTargets maps a slot name (variable or struct-field name) to the
+	// functions whose address is stored into such a slot somewhere in the
+	// corpus.
+	ptrTargets map[string][]*Node
+	// initTargets are functions referenced from initializer lists where the
+	// destination slot could not be named (positional struct initializers);
+	// they are fallback candidates for unmatched field-pointer calls.
+	initTargets []*Node
+}
+
+// Build constructs the graph over files. Files with nil ASTs (parse
+// failures) are skipped; the builder never fails.
+func Build(files []File) *Graph {
+	g := &Graph{
+		byName:     map[string][]*Node{},
+		byFile:     map[string]*Node{},
+		ptrTargets: map[string][]*Node{},
+	}
+	// Pass 1: nodes for every definition.
+	for _, f := range files {
+		if f.AST == nil {
+			continue
+		}
+		for _, fn := range f.AST.Functions() {
+			if fn.Body == nil {
+				continue
+			}
+			n := &Node{File: f.Name, Fn: fn, Static: fn.Static}
+			g.Nodes = append(g.Nodes, n)
+			g.byName[fn.Name] = append(g.byName[fn.Name], n)
+			g.byFile[fileKey(f.Name, fn.Name)] = n
+		}
+	}
+	// Pass 2: function-pointer assignment tracking (file-scope initializers
+	// and statements inside every body).
+	for _, f := range files {
+		if f.AST == nil {
+			continue
+		}
+		for _, d := range f.AST.Decls {
+			if vd, ok := d.(*cast.VarDecl); ok && vd.Init != nil {
+				g.collectPtrExpr(f.Name, vd.Name, vd.Init)
+			}
+		}
+		for _, fn := range f.AST.Functions() {
+			if fn.Body == nil {
+				continue
+			}
+			cast.Walk(fn.Body, func(node cast.Node) bool {
+				switch x := node.(type) {
+				case *cast.AssignExpr:
+					g.collectPtrAssign(f.Name, x)
+				case *cast.DeclStmt:
+					if x.Init != nil {
+						g.collectPtrExpr(f.Name, x.Name, x.Init)
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Pass 3: edges.
+	for _, n := range g.Nodes {
+		for _, call := range cast.Calls(n.Fn.Body) {
+			g.addCallEdges(n, call)
+		}
+	}
+	return g
+}
+
+func fileKey(file, name string) string { return file + "\x00" + name }
+
+// funcNamed returns the definition a bare identifier refers to from file,
+// honoring static visibility.
+func (g *Graph) funcNamed(file, name string) *Node {
+	if n, ok := g.byFile[fileKey(file, name)]; ok {
+		return n // same-file definition (static or not) wins
+	}
+	for _, n := range g.byName[name] {
+		if !n.Static {
+			return n // external linkage: visible everywhere
+		}
+	}
+	return nil
+}
+
+// collectPtrAssign records "slot = fn" and "x->field = fn" assignments.
+func (g *Graph) collectPtrAssign(file string, as *cast.AssignExpr) {
+	slot := slotName(as.X)
+	if slot == "" {
+		return
+	}
+	g.collectPtrExpr(file, slot, as.Y)
+}
+
+// collectPtrExpr records every function referenced by expr under slot.
+// Initializer lists recurse: named slots keep the outer name (best-effort;
+// designated initializers are not distinguished by the parser), and the
+// functions are additionally remembered as fallback init targets.
+func (g *Graph) collectPtrExpr(file, slot string, expr cast.Expr) {
+	switch x := expr.(type) {
+	case *cast.Ident:
+		if n := g.funcNamed(file, x.Name); n != nil {
+			g.addPtrTarget(slot, n)
+		}
+	case *cast.UnaryExpr:
+		g.collectPtrExpr(file, slot, x.X) // &fn
+	case *cast.CastExpr:
+		g.collectPtrExpr(file, slot, x.X)
+	case *cast.CondExpr:
+		g.collectPtrExpr(file, slot, x.Then)
+		g.collectPtrExpr(file, slot, x.Else)
+	case *cast.InitListExpr:
+		for _, el := range x.Elems {
+			if id, ok := unwrapIdent(el); ok {
+				if n := g.funcNamed(file, id); n != nil {
+					g.addPtrTarget(slot, n)
+					g.initTargets = append(g.initTargets, n)
+				}
+			}
+		}
+	}
+}
+
+func unwrapIdent(e cast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *cast.Ident:
+			return x.Name, true
+		case *cast.UnaryExpr:
+			e = x.X
+		case *cast.CastExpr:
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+func (g *Graph) addPtrTarget(slot string, n *Node) {
+	for _, have := range g.ptrTargets[slot] {
+		if have == n {
+			return
+		}
+	}
+	g.ptrTargets[slot] = append(g.ptrTargets[slot], n)
+}
+
+// slotName names the destination of a pointer store: a plain variable or
+// the final field of a field chain.
+func slotName(e cast.Expr) string {
+	switch x := e.(type) {
+	case *cast.Ident:
+		return x.Name
+	case *cast.FieldExpr:
+		return x.Name
+	case *cast.UnaryExpr:
+		return slotName(x.X) // *fp = ...
+	case *cast.IndexExpr:
+		return slotName(x.X) // ops[i] = ...
+	}
+	return ""
+}
+
+// addCallEdges resolves one call site and appends the edges.
+func (g *Graph) addCallEdges(caller *Node, call *cast.CallExpr) {
+	if name := call.FunName(); name != "" {
+		if callee := g.funcNamed(caller.File, name); callee != nil {
+			g.link(caller, callee, call, Direct)
+			return
+		}
+		// A bare identifier that is not a definition may still be a
+		// function-pointer variable: fp(...).
+		if cands := g.ptrTargets[name]; len(cands) > 0 {
+			for _, callee := range cands {
+				g.link(caller, callee, call, Pointer)
+			}
+			return
+		}
+		caller.UnresolvedCalls++
+		return
+	}
+	// Indirect call: p->op(...), (*fp)(...), ops[i].fn(...).
+	slot := slotName(call.Fun)
+	cands := g.ptrTargets[slot]
+	if len(cands) == 0 && slot != "" {
+		// Field calls with no named match fall back to functions seen in
+		// positional initializer lists.
+		if _, isField := unwrapField(call.Fun); isField {
+			cands = g.initTargets
+		}
+	}
+	if len(cands) == 0 {
+		caller.UnresolvedCalls++
+		return
+	}
+	for _, callee := range cands {
+		g.link(caller, callee, call, Pointer)
+	}
+}
+
+func unwrapField(e cast.Expr) (*cast.FieldExpr, bool) {
+	for {
+		switch x := e.(type) {
+		case *cast.FieldExpr:
+			return x, true
+		case *cast.UnaryExpr:
+			e = x.X
+		case *cast.CastExpr:
+			e = x.X
+		case *cast.IndexExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+func (g *Graph) link(caller, callee *Node, call *cast.CallExpr, kind EdgeKind) {
+	e := &Edge{Caller: caller, Callee: callee, Call: call, Kind: kind}
+	caller.Calls = append(caller.Calls, e)
+	callee.CalledBy = append(callee.CalledBy, e)
+}
+
+// Lookup returns every definition named name, in build order.
+func (g *Graph) Lookup(name string) []*Node { return g.byName[name] }
+
+// ResolverFor returns a name resolver with fromFile's visibility: the
+// function cfg-level cross-file inlining uses. It returns nil for names with
+// no visible definition, so callers degrade to the paper's one-level
+// same-file behavior.
+func (g *Graph) ResolverFor(fromFile string) func(name string) *cast.FuncDecl {
+	return func(name string) *cast.FuncDecl {
+		if n := g.funcNamed(fromFile, name); n != nil {
+			return n.Fn
+		}
+		return nil
+	}
+}
+
+// Callees returns the distinct nodes n calls, in first-call order.
+func (n *Node) Callees() []*Node {
+	var out []*Node
+	seen := map[*Node]bool{}
+	for _, e := range n.Calls {
+		if !seen[e.Callee] {
+			seen[e.Callee] = true
+			out = append(out, e.Callee)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the graph for reports and metrics.
+type Stats struct {
+	Functions  int
+	Edges      int
+	PtrEdges   int
+	Unresolved int
+}
+
+// Stats computes the summary.
+func (g *Graph) Stats() Stats {
+	var st Stats
+	st.Functions = len(g.Nodes)
+	for _, n := range g.Nodes {
+		st.Edges += len(n.Calls)
+		st.Unresolved += n.UnresolvedCalls
+		for _, e := range n.Calls {
+			if e.Kind == Pointer {
+				st.PtrEdges++
+			}
+		}
+	}
+	return st
+}
+
+// SCCs returns the strongly connected components of the graph in Tarjan
+// order (reverse topological: callees before callers), each component's
+// nodes in build order. Recursive functions form components of size >= 1
+// with a self or mutual cycle.
+func (g *Graph) SCCs() [][]*Node {
+	index := map[*Node]int{}
+	low := map[*Node]int{}
+	onStack := map[*Node]bool{}
+	var stack []*Node
+	var comps [][]*Node
+	next := 0
+
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range v.Calls {
+			w := e.Callee
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Slice(comp, func(i, j int) bool { return index[comp[i]] < index[comp[j]] })
+			comps = append(comps, comp)
+		}
+	}
+	for _, n := range g.Nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return comps
+}

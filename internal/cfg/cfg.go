@@ -45,6 +45,9 @@ type Unit struct {
 	// InlinedFrom is the name of the callee this unit was spliced from, or
 	// "" for units of the root function.
 	InlinedFrom string
+	// InlinedCall marks call-statement units whose callee body was spliced
+	// into the stream directly after this unit.
+	InlinedCall bool
 	// Pos is the source position.
 	Pos ctoken.Position
 }
@@ -81,12 +84,21 @@ type LinearizeOptions struct {
 	// MaxUnits caps the stream length as a safety valve for pathological
 	// functions; 0 means no cap.
 	MaxUnits int
+	// Resolve maps a callee name to a definition not in Table — the
+	// interprocedural mode's cross-file call-graph lookup. Nil disables.
+	// Cross-file splices consume ResolveDepth, a budget separate from
+	// InlineDepth, so enabling interprocedural exploration never changes the
+	// paper-faithful same-file behavior.
+	Resolve func(name string) *cast.FuncDecl
+	// ResolveDepth is how many levels of cross-file callees to splice via
+	// Resolve; 0 disables cross-file inlining.
+	ResolveDepth int
 }
 
 // Linearize flattens fn's body into the ordered unit stream.
 func Linearize(fn *cast.FuncDecl, opts LinearizeOptions) []*Unit {
 	ln := &linearizer{opts: opts}
-	ln.fn(fn, "", opts.InlineDepth)
+	ln.fn(fn, "", opts.InlineDepth, opts.ResolveDepth)
 	for i, u := range ln.units {
 		u.Index = i
 	}
@@ -107,28 +119,28 @@ func (l *linearizer) add(u *Unit) {
 	l.units = append(l.units, u)
 }
 
-func (l *linearizer) fn(fn *cast.FuncDecl, inlinedFrom string, depth int) {
+func (l *linearizer) fn(fn *cast.FuncDecl, inlinedFrom string, depth, rdepth int) {
 	if fn.Body == nil || l.full {
 		return
 	}
-	l.block(fn.Body, fn, inlinedFrom, depth)
+	l.block(fn.Body, fn, inlinedFrom, depth, rdepth)
 }
 
-func (l *linearizer) block(b *cast.BlockStmt, fn *cast.FuncDecl, inlinedFrom string, depth int) {
+func (l *linearizer) block(b *cast.BlockStmt, fn *cast.FuncDecl, inlinedFrom string, depth, rdepth int) {
 	for _, s := range b.Stmts {
-		l.stmt(s, fn, inlinedFrom, depth)
+		l.stmt(s, fn, inlinedFrom, depth, rdepth)
 		if l.full {
 			return
 		}
 	}
 }
 
-// maybeInline splices the body of a same-table callee when the statement is
-// a plain call and inlining is enabled.
-func (l *linearizer) maybeInline(e cast.Expr, fn *cast.FuncDecl, depth int) bool {
-	if depth <= 0 || l.opts.Table == nil {
-		return false
-	}
+// maybeInline splices the body of a callee when the statement is a plain
+// call and inlining is enabled. Same-table (same-file) callees consume
+// depth; cross-file callees found via Resolve consume rdepth. The table is
+// consulted first so interprocedural mode reproduces the paper's same-file
+// behavior exactly and only adds splices the one-level mode could not see.
+func (l *linearizer) maybeInline(e cast.Expr, fn *cast.FuncDecl, depth, rdepth int) bool {
 	call, ok := e.(*cast.CallExpr)
 	if !ok {
 		return false
@@ -137,55 +149,66 @@ func (l *linearizer) maybeInline(e cast.Expr, fn *cast.FuncDecl, depth int) bool
 	if name == "" || name == fn.Name {
 		return false
 	}
-	callee := l.opts.Table.Func(name)
-	if callee == nil || callee.Body == nil {
-		return false
+	if depth > 0 && l.opts.Table != nil {
+		if callee := l.opts.Table.Func(name); callee != nil && callee.Body != nil {
+			l.fn(callee, name, depth-1, rdepth)
+			return true
+		}
 	}
-	l.fn(callee, name, depth-1)
-	return true
+	if rdepth > 0 && l.opts.Resolve != nil {
+		if callee := l.opts.Resolve(name); callee != nil && callee.Body != nil {
+			l.fn(callee, name, depth, rdepth-1)
+			return true
+		}
+	}
+	return false
 }
 
-func (l *linearizer) stmt(s cast.Stmt, fn *cast.FuncDecl, inlinedFrom string, depth int) {
+func (l *linearizer) stmt(s cast.Stmt, fn *cast.FuncDecl, inlinedFrom string, depth, rdepth int) {
 	if l.full {
 		return
 	}
 	switch x := s.(type) {
 	case *cast.BlockStmt:
-		l.block(x, fn, inlinedFrom, depth)
+		l.block(x, fn, inlinedFrom, depth, rdepth)
 	case *cast.ExprStmt:
-		l.add(&Unit{Kind: UnitStmt, Stmt: x, Expr: x.X, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
-		l.maybeInline(x.X, fn, depth)
+		u := &Unit{Kind: UnitStmt, Stmt: x, Expr: x.X, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position}
+		l.add(u)
+		if l.maybeInline(x.X, fn, depth, rdepth) {
+			u.InlinedCall = true
+		}
 	case *cast.DeclStmt:
-		l.add(&Unit{Kind: UnitStmt, Stmt: x, Expr: x.Init, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
-		if x.Init != nil {
-			l.maybeInline(x.Init, fn, depth)
+		u := &Unit{Kind: UnitStmt, Stmt: x, Expr: x.Init, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position}
+		l.add(u)
+		if x.Init != nil && l.maybeInline(x.Init, fn, depth, rdepth) {
+			u.InlinedCall = true
 		}
 	case *cast.IfStmt:
 		l.add(&Unit{Kind: UnitCond, Stmt: x, Expr: x.Cond, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
-		l.stmt(x.Then, fn, inlinedFrom, depth)
+		l.stmt(x.Then, fn, inlinedFrom, depth, rdepth)
 		if x.Else != nil {
-			l.stmt(x.Else, fn, inlinedFrom, depth)
+			l.stmt(x.Else, fn, inlinedFrom, depth, rdepth)
 		}
 	case *cast.ForStmt:
 		if x.Init != nil {
-			l.stmt(x.Init, fn, inlinedFrom, depth)
+			l.stmt(x.Init, fn, inlinedFrom, depth, rdepth)
 		}
 		if x.Cond != nil {
 			l.add(&Unit{Kind: UnitCond, Stmt: x, Expr: x.Cond, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
 		}
-		l.stmt(x.Body, fn, inlinedFrom, depth)
+		l.stmt(x.Body, fn, inlinedFrom, depth, rdepth)
 		if x.Post != nil {
 			l.add(&Unit{Kind: UnitStmt, Stmt: x, Expr: x.Post, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
 		}
 	case *cast.WhileStmt:
 		l.add(&Unit{Kind: UnitCond, Stmt: x, Expr: x.Cond, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
-		l.stmt(x.Body, fn, inlinedFrom, depth)
+		l.stmt(x.Body, fn, inlinedFrom, depth, rdepth)
 	case *cast.DoWhileStmt:
-		l.stmt(x.Body, fn, inlinedFrom, depth)
+		l.stmt(x.Body, fn, inlinedFrom, depth, rdepth)
 		l.add(&Unit{Kind: UnitCond, Stmt: x, Expr: x.Cond, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
 	case *cast.SwitchStmt:
 		l.add(&Unit{Kind: UnitCond, Stmt: x, Expr: x.Tag, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
-		l.stmt(x.Body, fn, inlinedFrom, depth)
+		l.stmt(x.Body, fn, inlinedFrom, depth, rdepth)
 	case *cast.ReturnStmt:
 		l.add(&Unit{Kind: UnitStmt, Stmt: x, Expr: x.Value, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
 	case *cast.CaseStmt, *cast.LabelStmt, *cast.EmptyStmt,

@@ -1,0 +1,44 @@
+package cparser_test
+
+import (
+	"testing"
+
+	"ofence/internal/corpus"
+	"ofence/internal/cparser"
+	"ofence/internal/cpp"
+	"ofence/internal/kernelhdr"
+)
+
+// FuzzParseSource asserts the parser's robustness contract: arbitrary input
+// — however malformed — must come back as (AST, errors), never a panic. The
+// corpus is seeded with the paper fixtures plus kernel-idiom snippets so the
+// fuzzer mutates realistic C, not just noise.
+func FuzzParseSource(f *testing.F) {
+	for _, fx := range corpus.Fixtures() {
+		f.Add(fx.Source)
+	}
+	for _, seed := range []string{
+		"",
+		"int x;",
+		"struct s { int flag; int data; };\nvoid w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }",
+		"void r(int *p) { if (READ_ONCE(*p)) smp_rmb(); }",
+		"#define A(x) ((x) + 1)\nint f(void) { return A(A(2)); }",
+		"#include \"linux/rcupdate.h\"\nvoid g(void) { rcu_read_lock(); rcu_read_unlock(); }",
+		"void bad( { ) } ;; struct",
+		"int a = 0x; char *s = \"unterminated",
+		"/* unterminated comment int x;",
+		"void deep(void) { if (1) { while (0) { do { } while (1); } } }",
+		"typedef void (*cb_t)(void); cb_t handler = 0;",
+	} {
+		f.Add(seed)
+	}
+	headers := kernelhdr.Headers()
+	f.Fuzz(func(t *testing.T, src string) {
+		ast, errs := cparser.ParseSource("fuzz.c", src, cpp.Options{Include: headers})
+		// Malformed input may produce errors and a partial AST; both are
+		// fine. A nil AST with no errors would lose input silently.
+		if ast == nil && len(errs) == 0 {
+			t.Errorf("nil AST with no errors for %q", src)
+		}
+	})
+}

@@ -721,8 +721,12 @@ func (p *Parser) parseFuncRest(result *cast.TypeExpr, name string, static, inlin
 		}
 		pt := p.parseType()
 		if pt == nil {
-			// K&R or unsupported parameter: skip to ',' or ')'.
+			// K&R or unsupported parameter: skip to ',' or ')'. The comma
+			// must be consumed here or the loop would re-scan it forever.
 			p.skipParam()
+			if !p.accept(ctoken.Comma) {
+				break
+			}
 			continue
 		}
 		prm := &cast.ParamDecl{Position: pt.Position, Type: pt}
@@ -742,6 +746,9 @@ func (p *Parser) parseFuncRest(result *cast.TypeExpr, name string, static, inlin
 			} else {
 				p.i = save
 				p.skipParam()
+				if !p.accept(ctoken.Comma) {
+					break
+				}
 				continue
 			}
 		}

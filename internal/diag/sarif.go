@@ -1,0 +1,156 @@
+package diag
+
+import "encoding/json"
+
+// SARIF 2.1.0 export (https://docs.oasis-open.org/sarif/sarif/v2.1.0/): one
+// run, the tool's rules in tool.driver.rules, one result per diagnostic,
+// in-source suppressions carried through so viewers show them as reviewed
+// rather than dropping them.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+	toolName     = "ofence"
+)
+
+// Log is the top-level SARIF document.
+type Log struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+// SarifRun is one analysis run.
+type SarifRun struct {
+	Tool    Tool          `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver describes the analyzer and its rules.
+type Driver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SarifRule `json:"rules"`
+}
+
+// SarifRule is rule metadata (reportingDescriptor).
+type SarifRule struct {
+	ID                   string      `json:"id"`
+	Name                 string      `json:"name,omitempty"`
+	ShortDescription     *Message    `json:"shortDescription,omitempty"`
+	FullDescription      *Message    `json:"fullDescription,omitempty"`
+	DefaultConfiguration *RuleConfig `json:"defaultConfiguration,omitempty"`
+}
+
+// RuleConfig holds the default severity level.
+type RuleConfig struct {
+	Level string `json:"level"`
+}
+
+// Message is a SARIF text message.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// SarifResult is one finding.
+type SarifResult struct {
+	RuleID       string        `json:"ruleId"`
+	RuleIndex    int           `json:"ruleIndex"`
+	Level        string        `json:"level"`
+	Message      Message       `json:"message"`
+	Locations    []Location    `json:"locations,omitempty"`
+	Suppressions []Suppression `json:"suppressions,omitempty"`
+}
+
+// Location wraps a physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation is a file + region reference.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           *Region          `json:"region,omitempty"`
+}
+
+// ArtifactLocation names the analyzed file.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is the position within the file.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// Suppression records why a result is silenced; kind "inSource" corresponds
+// to ofence:ignore comments.
+type Suppression struct {
+	Kind string `json:"kind"`
+}
+
+// ToSARIF builds the SARIF document for diagnostics produced by passes with
+// the given rules. Diagnostics referencing unknown rules still export (their
+// ruleIndex is the rule's position after it is appended), so external passes
+// cannot produce invalid documents.
+func ToSARIF(ds []Diagnostic, rules []Rule) *Log {
+	driver := Driver{Name: toolName}
+	index := map[string]int{}
+	for _, r := range rules {
+		index[r.ID] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, SarifRule{
+			ID:                   r.ID,
+			Name:                 r.Name,
+			ShortDescription:     &Message{Text: r.Name},
+			FullDescription:      &Message{Text: r.Help},
+			DefaultConfiguration: &RuleConfig{Level: string(r.Severity)},
+		})
+	}
+
+	// Results must be non-nil: the schema requires the property per run.
+	results := []SarifResult{}
+	for _, d := range ds {
+		idx, ok := index[d.RuleID]
+		if !ok {
+			idx = len(driver.Rules)
+			index[d.RuleID] = idx
+			driver.Rules = append(driver.Rules, SarifRule{ID: d.RuleID})
+		}
+		res := SarifResult{
+			RuleID:    d.RuleID,
+			RuleIndex: idx,
+			Level:     string(d.Severity),
+			Message:   Message{Text: d.Message},
+		}
+		if d.File != "" {
+			loc := Location{PhysicalLocation: PhysicalLocation{
+				ArtifactLocation: ArtifactLocation{URI: d.File},
+			}}
+			if d.Line > 0 {
+				loc.PhysicalLocation.Region = &Region{StartLine: d.Line, StartColumn: d.Col}
+			}
+			res.Locations = []Location{loc}
+		}
+		if d.Suppressed {
+			res.Suppressions = []Suppression{{Kind: "inSource"}}
+		}
+		results = append(results, res)
+	}
+
+	return &Log{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs:    []SarifRun{{Tool: Tool{Driver: driver}, Results: results}},
+	}
+}
+
+// MarshalSARIF renders the document as indented JSON.
+func MarshalSARIF(ds []Diagnostic, rules []Rule) ([]byte, error) {
+	return json.MarshalIndent(ToSARIF(ds, rules), "", "  ")
+}

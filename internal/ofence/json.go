@@ -39,14 +39,27 @@ type FindingView struct {
 	Explanation string      `json:"explanation"`
 }
 
-// ResultView is the serializable form of a whole analysis.
+// InferredView is the serializable form of an interprocedurally inferred
+// implicit-barrier function.
+type InferredView struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+	Kind string `json:"kind"`
+	// Known marks functions the built-in catalog (Table 1/2) already lists —
+	// inference re-derived them rather than discovering something new.
+	Known bool `json:"known,omitempty"`
+}
+
+// ResultView is the serializable form of a whole analysis. The interproc
+// fields are omitted when empty so default-mode output is unchanged.
 type ResultView struct {
-	Sites       int           `json:"barrier_sites"`
-	Unpaired    int           `json:"unpaired"`
-	ImplicitIPC int           `json:"implicit_ipc"`
-	Pairings    []PairingView `json:"pairings"`
-	Findings    []FindingView `json:"findings"`
-	ParseErrors []string      `json:"parse_errors,omitempty"`
+	Sites       int            `json:"barrier_sites"`
+	Unpaired    int            `json:"unpaired"`
+	ImplicitIPC int            `json:"implicit_ipc"`
+	Pairings    []PairingView  `json:"pairings"`
+	Findings    []FindingView  `json:"findings"`
+	ParseErrors []string       `json:"parse_errors,omitempty"`
+	Inferred    []InferredView `json:"inferred_semantics,omitempty"`
 }
 
 func siteView(s *access.Site) SiteView {
@@ -98,6 +111,11 @@ func (r *Result) View() ResultView {
 	}
 	for _, err := range r.ParseErrors {
 		v.ParseErrors = append(v.ParseErrors, err.Error())
+	}
+	for _, f := range r.Inferred {
+		v.Inferred = append(v.Inferred, InferredView{
+			Name: f.Name, File: f.File, Kind: f.Kind.String(), Known: f.Known,
+		})
 	}
 	return v
 }

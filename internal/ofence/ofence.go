@@ -18,10 +18,13 @@ import (
 	"time"
 
 	"ofence/internal/access"
+	"ofence/internal/callgraph"
 	"ofence/internal/cast"
 	"ofence/internal/cparser"
 	"ofence/internal/cpp"
 	"ofence/internal/ctypes"
+	"ofence/internal/memmodel"
+	"ofence/internal/semprop"
 )
 
 // Options configures the analysis.
@@ -39,6 +42,12 @@ type Options struct {
 	GenericStructs []string
 	// CheckOnce enables the §7 READ_ONCE/WRITE_ONCE extension.
 	CheckOnce bool
+	// InterprocDepth enables interprocedural mode: a cross-file call graph
+	// (internal/callgraph) plus fixpoint barrier-semantics inference
+	// (internal/semprop), with exploration allowed to splice callee bodies
+	// across file boundaries up to this depth. 0 — the default — preserves
+	// the paper's one-level same-file behavior byte for byte.
+	InterprocDepth int
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -246,6 +255,9 @@ func optionsEqual(a, b *Options) bool {
 	if a.MinSharedObjects != b.MinSharedObjects || a.CheckOnce != b.CheckOnce {
 		return false
 	}
+	if a.InterprocDepth != b.InterprocDepth {
+		return false
+	}
 	if !equalStrings(a.Access.ExtraWakeUps, b.Access.ExtraWakeUps) ||
 		!equalStrings(a.Access.ExtraBarrierSemantics, b.Access.ExtraBarrierSemantics) ||
 		!equalStrings(a.GenericStructs, b.GenericStructs) {
@@ -316,6 +328,12 @@ type Result struct {
 	Findings    []*Finding
 	// ParseErrors aggregates per-file diagnostics.
 	ParseErrors []error
+	// Inferred lists the functions the interprocedural fixpoint classified
+	// as implicit barriers (nil when InterprocDepth is 0).
+	Inferred []semprop.InferredFn
+	// CallGraph holds the interprocedural call-graph statistics (zero when
+	// InterprocDepth is 0).
+	CallGraph callgraph.Stats
 }
 
 // Analyze runs extraction, pairing and checking over every file.
@@ -359,6 +377,29 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	phaseStart := time.Now()
+
+	// Interprocedural mode: build the cross-file call graph and run the
+	// barrier-semantics fixpoint before extraction, so every file's
+	// exploration sees the inferred implicit barriers and can splice callees
+	// across file boundaries. Inference depends on every file's AST, so the
+	// per-file incremental cache is bypassed (a one-file edit can change
+	// other files' extraction through the call graph).
+	var resolve func(file string) func(string) *cast.FuncDecl
+	var inferredNames map[string]memmodel.BarrierKind
+	if opts.InterprocDepth > 0 {
+		fresh = false
+		cgf := make([]callgraph.File, 0, len(files))
+		for _, fu := range files {
+			cgf = append(cgf, callgraph.File{Name: fu.Name, AST: fu.AST})
+		}
+		g := callgraph.Build(cgf)
+		inf := semprop.Infer(g, semprop.Options{ExtraFull: opts.Access.ExtraBarrierSemantics})
+		res.Inferred = inf.Functions()
+		res.CallGraph = g.Stats()
+		inferredNames = inf.NameKinds()
+		resolve = g.ResolverFor
+	}
+
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for _, fu := range files {
@@ -373,8 +414,14 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 			if ctx.Err() != nil {
 				return // canceled: leave the unit unextracted
 			}
+			aopts := opts.Access
+			if opts.InterprocDepth > 0 {
+				aopts.InferredSemantics = inferredNames
+				aopts.Resolve = resolve(fu.Name)
+				aopts.InterprocDepth = opts.InterprocDepth
+			}
 			fu.Table = ctypes.NewTable(fu.AST)
-			ex := access.NewExtractor(fu.Name, fu.Table, opts.Access)
+			ex := access.NewExtractor(fu.Name, fu.Table, aopts)
 			fu.Sites = ex.ExtractFile(fu.AST)
 		}(fu)
 	}
@@ -387,6 +434,12 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	for _, fu := range files {
 		res.Sites = append(res.Sites, fu.Sites...)
 		res.ParseErrors = append(res.ParseErrors, fu.Errs...)
+	}
+	if opts.InterprocDepth > 0 {
+		// Cross-file inlining makes the same physical barrier visible from
+		// callers in other files; keep the richest view, as per-file
+		// extraction already does within one file.
+		res.Sites = dedupSites(res.Sites)
 	}
 	sortSites(res.Sites)
 
@@ -409,6 +462,30 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	res.Findings = findings
 	res.Timing.Check = time.Since(phaseStart)
 	return res, nil
+}
+
+// dedupSites collapses sites with the same canonical barrier identity,
+// keeping the richest view (first seen wins ties), preserving input order.
+func dedupSites(sites []*access.Site) []*access.Site {
+	best := map[string]*access.Site{}
+	var order []string
+	for _, s := range sites {
+		id := s.ID()
+		cur, ok := best[id]
+		if !ok {
+			best[id] = s
+			order = append(order, id)
+			continue
+		}
+		if s.Richness() > cur.Richness() {
+			best[id] = s
+		}
+	}
+	out := make([]*access.Site, 0, len(order))
+	for _, id := range order {
+		out = append(out, best[id])
+	}
+	return out
 }
 
 func sortSites(sites []*access.Site) {

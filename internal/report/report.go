@@ -14,13 +14,17 @@ import (
 	"time"
 
 	"ofence/internal/access"
+	"ofence/internal/callgraph"
 	"ofence/internal/cast"
 	"ofence/internal/corpus"
+	"ofence/internal/cparser"
+	"ofence/internal/cpp"
 	"ofence/internal/kernelhdr"
 	"ofence/internal/litmus"
 	"ofence/internal/lockset"
 	"ofence/internal/memmodel"
 	"ofence/internal/ofence"
+	"ofence/internal/semprop"
 	"ofence/internal/validate"
 )
 
@@ -119,6 +123,94 @@ func Table2() string {
 	fmt.Fprintf(&b, "%-28s %-8s %-8s %s\n", "Primitive", "Compiler", "Memory", "Description")
 	for _, f := range memmodel.Functions {
 		fmt.Fprintf(&b, "%-28s %-8v %-8v %s\n", f.Name+"()", f.CompilerBarrier, f.MemoryBarrier, f.Description)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Inferred implicit-barrier functions vs Table 2
+
+// InferredStats summarizes the interprocedural fixpoint (internal/semprop)
+// over the evaluated corpus plus the Table 2 model bodies: how many
+// functions were inferred to carry implicit barrier semantics, and how the
+// inference overlaps the hand-written Table 2 catalog — full overlap is the
+// sanity check that the fixpoint re-derives the table instead of merely
+// reading it back.
+type InferredStats struct {
+	Functions int  `json:"functions"` // call-graph nodes
+	Inferred  int  `json:"inferred"`  // functions inferred with barrier semantics
+	Known     int  `json:"known"`     // of those, already in the built-in catalog
+	New       int  `json:"new"`       // inferred beyond the catalog
+	Catalog   int  `json:"catalog"`   // Table 2 entries with memory-barrier semantics
+	Rederived int  `json:"rederived"` // catalog entries re-derived from their modeled bodies
+	Rounds    int  `json:"rounds"`
+	Converged bool `json:"converged"`
+}
+
+// Inferred runs the call-graph + fixpoint inference over the evaluation's
+// files together with the Table 2 model unit and compares the result against
+// the catalog. It returns the stats and the full sorted inferred set.
+func Inferred(ev *Evaluation) (InferredStats, []semprop.InferredFn) {
+	files := ev.Project.Files()
+	cgf := make([]callgraph.File, 0, len(files)+1)
+	for _, fu := range files {
+		cgf = append(cgf, callgraph.File{Name: fu.Name, AST: fu.AST})
+	}
+	// Include the Table 2 model bodies so the catalog entries are derived
+	// from (modeled) implementations, not read back out of memmodel.
+	model, _ := cparser.ParseSource(semprop.Table2ModelFile, semprop.Table2ModelSource(),
+		cpp.Options{Include: kernelhdr.Headers()})
+	cgf = append(cgf, callgraph.File{Name: semprop.Table2ModelFile, AST: model})
+
+	g := callgraph.Build(cgf)
+	inf := semprop.Infer(g, semprop.Options{ExtraFull: ev.Opts.Access.ExtraBarrierSemantics})
+	fns := inf.Functions()
+
+	st := InferredStats{Functions: len(g.Nodes), Rounds: inf.Rounds, Converged: inf.Converged}
+	kinds := inf.NameKinds()
+	for _, f := range fns {
+		st.Inferred++
+		if f.Known {
+			st.Known++
+		} else {
+			st.New++
+		}
+	}
+	for _, s := range memmodel.Functions {
+		if !s.MemoryBarrier {
+			continue
+		}
+		st.Catalog++
+		if kinds[s.Name] == memmodel.FullBarrier {
+			st.Rederived++
+		}
+	}
+	return st, fns
+}
+
+// RenderInferred renders the inference summary and the non-catalog tail of
+// the inferred set (the functions Table 2 does not know about).
+func RenderInferred(st InferredStats, fns []semprop.InferredFn) string {
+	var b strings.Builder
+	b.WriteString("Inferred implicit-barrier functions (interprocedural fixpoint vs Table 2)\n")
+	fmt.Fprintf(&b, "call-graph functions:       %d\n", st.Functions)
+	fmt.Fprintf(&b, "inferred barrier functions: %d (%d in Table 2, %d new)\n", st.Inferred, st.Known, st.New)
+	fmt.Fprintf(&b, "Table 2 re-derived:         %d / %d\n", st.Rederived, st.Catalog)
+	fmt.Fprintf(&b, "fixpoint:                   %d rounds, converged=%t\n", st.Rounds, st.Converged)
+	shown := 0
+	for _, f := range fns {
+		if f.Known {
+			continue
+		}
+		if shown == 0 {
+			b.WriteString("beyond the catalog:\n")
+		}
+		if shown == 20 {
+			b.WriteString("  ...\n")
+			break
+		}
+		shown++
+		fmt.Fprintf(&b, "  %-28s %-8s %s\n", f.Name+"()", f.Kind, f.File)
 	}
 	return b.String()
 }
@@ -761,6 +853,9 @@ func Everything(seed int64) string {
 	b.WriteString(RenderValidation(Validation(ev)))
 	b.WriteString("\n")
 	b.WriteString(RenderCensus(Census(ev)))
+	b.WriteString("\n")
+	ist, fns := Inferred(ev)
+	b.WriteString(RenderInferred(ist, fns))
 	b.WriteString("\n")
 	b.WriteString(RenderRuntime(Runtime(c, opts)))
 	return b.String()

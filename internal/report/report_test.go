@@ -471,3 +471,27 @@ func TestFigure7BugDistancesInTail(t *testing.T) {
 		t.Error("no distant bug accesses")
 	}
 }
+
+func TestInferredRederivesTable2(t *testing.T) {
+	c := smallCorpus(42)
+	ev := RunCorpus(c, ofence.DefaultOptions())
+	st, fns := Inferred(ev)
+	if !st.Converged {
+		t.Fatalf("fixpoint did not converge after %d rounds", st.Rounds)
+	}
+	if st.Catalog == 0 {
+		t.Fatal("Table 2 catalog empty")
+	}
+	if st.Rederived != st.Catalog {
+		t.Errorf("Table 2 re-derived %d / %d entries", st.Rederived, st.Catalog)
+	}
+	if st.Inferred != st.Known+st.New || len(fns) != st.Inferred {
+		t.Errorf("inconsistent stats: %+v over %d functions", st, len(fns))
+	}
+	out := RenderInferred(st, fns)
+	for _, want := range []string{"Table 2 re-derived:", "converged=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

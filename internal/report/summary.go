@@ -31,6 +31,8 @@ type Summary struct {
 
 	Baseline BaselineStats `json:"baseline"`
 
+	Inferred InferredStats `json:"inferred"`
+
 	Validation ValidationStats `json:"validation"`
 
 	Litmus []Figure23Row `json:"litmus"`
@@ -69,6 +71,7 @@ func Summarize(seed int64) *Summary {
 	s.Coverage = Coverage(ev)
 	s.Census = Census(ev)
 	s.Baseline = Baseline(ev)
+	s.Inferred, _ = Inferred(ev)
 	s.Validation = Validation(ev)
 	s.Litmus = Figure23()
 
@@ -128,6 +131,12 @@ func (s *Summary) Healthy() (bool, []string) {
 	}
 	if s.Baseline.LockProtectedWarned != 0 {
 		problems = append(problems, "baseline: warned on lock-protected code")
+	}
+	if !s.Inferred.Converged {
+		problems = append(problems, "inferred: fixpoint did not converge")
+	}
+	if s.Inferred.Rederived != s.Inferred.Catalog {
+		problems = append(problems, "inferred: Table 2 not fully re-derived")
 	}
 	return len(problems) == 0, problems
 }

@@ -1,0 +1,330 @@
+// Package semprop infers implicit barrier semantics interprocedurally: a
+// function whose every path from entry to exit executes a memory barrier —
+// an explicit Table 1 primitive, a Table 2 function, or a call to an
+// already-inferred function — is itself classified as an implicit read,
+// write, or full barrier.
+//
+// This automatically re-derives the paper's hand-curated Table 2 from
+// function bodies instead of hardcoding it, and extends it with
+// corpus-specific wrappers (the paper's main source of missed pairings when
+// barrier and accesses live in different files).
+//
+// # The lattice
+//
+// Kinds form a diamond lattice ordered by "how much the function orders":
+//
+//	    full
+//	   /    \
+//	read    write
+//	   \    /
+//	    none
+//
+// join(read, write) = full (executing both orders both); meet(read, write)
+// = none (a path guaranteed only one of them guarantees neither to a caller
+// that needs both).
+//
+// # The analysis
+//
+// Per function, a forward MUST dataflow over the control-flow graph
+// (internal/cfg): in(b) is the meet over predecessors' out (entry starts at
+// none — nothing has executed), out(b) joins in(b) with the barriers the
+// block itself executes. The function's kind is the meet over all exit
+// blocks — the ordering guaranteed on EVERY path. Blocks start at full
+// (top) and only descend, so the inner fixpoint terminates.
+//
+// Interprocedurally, all functions start at none and the per-function
+// analysis is re-run — calls contributing their callee's current kind —
+// until nothing changes. Kinds only ascend (the transfer function is
+// monotone in the callee kinds), each function can ascend at most twice
+// (none -> read/write -> full), so the outer fixpoint terminates within
+// 2*|functions|+1 rounds. Recursive and mutually recursive functions are
+// handled by the same iteration: they start at none (a sound
+// under-approximation) and stabilize like every other node. Calls through
+// unresolved function pointers contribute none — degrading to the paper's
+// intraprocedural behavior, never erroring.
+package semprop
+
+import (
+	"sort"
+
+	"ofence/internal/callgraph"
+	"ofence/internal/cast"
+	"ofence/internal/cfg"
+	"ofence/internal/memmodel"
+)
+
+// join is the least upper bound of the kind lattice.
+func join(a, b memmodel.BarrierKind) memmodel.BarrierKind {
+	if a == b {
+		return a
+	}
+	if a == memmodel.None {
+		return b
+	}
+	if b == memmodel.None {
+		return a
+	}
+	return memmodel.FullBarrier // read ∨ write, or anything ∨ full
+}
+
+// meet is the greatest lower bound of the kind lattice.
+func meet(a, b memmodel.BarrierKind) memmodel.BarrierKind {
+	if a == b {
+		return a
+	}
+	if a == memmodel.FullBarrier {
+		return b
+	}
+	if b == memmodel.FullBarrier {
+		return a
+	}
+	return memmodel.None // read ∧ write, or anything ∧ none
+}
+
+// Options configures the inference.
+type Options struct {
+	// ExtraFull lists functions assumed to imply a full barrier, mirroring
+	// access.Options.ExtraBarrierSemantics (user extensions of Table 2).
+	ExtraFull []string
+	// MaxRounds bounds the interprocedural fixpoint; 0 derives the
+	// theoretical bound 2*|functions|+1.
+	MaxRounds int
+}
+
+// InferredFn is one function with inferred barrier semantics.
+type InferredFn struct {
+	Name string
+	File string
+	Kind memmodel.BarrierKind
+	// Known marks functions already in the built-in memmodel catalog
+	// (Table 1 or Table 2) — inference re-derived them rather than
+	// discovering something new.
+	Known bool
+}
+
+// Inference is the fixpoint result.
+type Inference struct {
+	Graph *callgraph.Graph
+	// Rounds is how many interprocedural passes ran.
+	Rounds int
+	// Converged reports whether a fixpoint was reached within the round
+	// bound (always true for the derived bound; false only when a smaller
+	// MaxRounds cut iteration short).
+	Converged bool
+
+	kinds map[*callgraph.Node]memmodel.BarrierKind
+}
+
+// Kind returns the inferred kind for a graph node.
+func (inf *Inference) Kind(n *callgraph.Node) memmodel.BarrierKind { return inf.kinds[n] }
+
+// Functions returns every function with non-none inferred semantics, sorted
+// by (name, file) for deterministic reports.
+func (inf *Inference) Functions() []InferredFn {
+	var out []InferredFn
+	for n, k := range inf.kinds {
+		if k == memmodel.None {
+			continue
+		}
+		known := memmodel.IsBarrier(n.Name()) || memmodel.Lookup(n.Name()) != nil ||
+			memmodel.SeqcountKind(n.Name()) != memmodel.None
+		out = append(out, InferredFn{Name: n.Name(), File: n.File, Kind: k, Known: known})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].File < out[j].File
+	})
+	return out
+}
+
+// NameKinds flattens the inference to a name-keyed map for extraction
+// (access.Options.InferredSemantics). When several definitions share a name
+// (file-local statics), the meet is taken — the semantics any call site can
+// rely on regardless of which definition it binds to. Names with kind none
+// are omitted.
+func (inf *Inference) NameKinds() map[string]memmodel.BarrierKind {
+	byName := map[string]memmodel.BarrierKind{}
+	seen := map[string]bool{}
+	for n, k := range inf.kinds {
+		name := n.Name()
+		if !seen[name] {
+			seen[name] = true
+			byName[name] = k
+			continue
+		}
+		byName[name] = meet(byName[name], k)
+	}
+	for name, k := range byName {
+		if k == memmodel.None {
+			delete(byName, name)
+		}
+	}
+	return byName
+}
+
+// fnInfo is the per-function precomputation reused across fixpoint rounds.
+type fnInfo struct {
+	graph *cfg.Graph
+	// static is each block's barrier contribution from the catalogs alone.
+	static []memmodel.BarrierKind
+	// dynamic lists, per block, the resolved call candidates whose inferred
+	// kinds contribute on re-evaluation.
+	dynamic [][][]*callgraph.Node
+	// exits are the reachable no-successor block IDs.
+	exits []int
+	preds [][]int
+}
+
+// Infer runs the interprocedural fixpoint over g.
+func Infer(g *callgraph.Graph, opts Options) *Inference {
+	extra := map[string]bool{}
+	for _, name := range opts.ExtraFull {
+		extra[name] = true
+	}
+
+	infos := make([]*fnInfo, len(g.Nodes))
+	for i, n := range g.Nodes {
+		infos[i] = precompute(n, extra)
+	}
+
+	inf := &Inference{Graph: g, kinds: map[*callgraph.Node]memmodel.BarrierKind{}}
+	for _, n := range g.Nodes {
+		inf.kinds[n] = memmodel.None
+	}
+
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 2*len(g.Nodes) + 1
+	}
+	changed := true
+	for changed && inf.Rounds < maxRounds {
+		changed = false
+		inf.Rounds++
+		for i, n := range g.Nodes {
+			k := evaluate(infos[i], inf.kinds)
+			if k != inf.kinds[n] {
+				inf.kinds[n] = k
+				changed = true
+			}
+		}
+	}
+	inf.Converged = !changed
+	return inf
+}
+
+// precompute builds the CFG and splits each block's barrier contribution
+// into the static part (catalog lookups, fixed across rounds) and the
+// dynamic part (resolved callees whose kinds evolve).
+func precompute(n *callgraph.Node, extra map[string]bool) *fnInfo {
+	g := cfg.Build(n.Fn)
+	info := &fnInfo{
+		graph:   g,
+		static:  make([]memmodel.BarrierKind, len(g.Blocks)),
+		dynamic: make([][][]*callgraph.Node, len(g.Blocks)),
+	}
+
+	// Candidate targets per call site, from the resolved edges.
+	cands := map[*cast.CallExpr][]*callgraph.Node{}
+	for _, e := range n.Calls {
+		cands[e.Call] = append(cands[e.Call], e.Callee)
+	}
+
+	for bi, blk := range g.Blocks {
+		for _, u := range blk.Units {
+			root := u.Root()
+			if root == nil {
+				continue
+			}
+			for _, call := range cast.Calls(root) {
+				// A call resolved to definitions is judged by those
+				// definitions — re-derived, not hardcoded.
+				if cs := cands[call]; len(cs) > 0 {
+					info.dynamic[bi] = append(info.dynamic[bi], cs)
+					continue
+				}
+				name := call.FunName()
+				if name == "" {
+					continue // unresolved pointer call: contributes none
+				}
+				switch {
+				case memmodel.Barrier(name) != nil:
+					info.static[bi] = join(info.static[bi], memmodel.Barrier(name).Kind)
+				case memmodel.SeqcountKind(name) != memmodel.None:
+					info.static[bi] = join(info.static[bi], memmodel.SeqcountKind(name))
+				case memmodel.HasBarrierSemantics(name) || extra[name]:
+					info.static[bi] = join(info.static[bi], memmodel.FullBarrier)
+				}
+			}
+		}
+	}
+
+	reach := g.Reachable()
+	for id := range g.Blocks {
+		if reach[id] && len(g.Blocks[id].Succs) == 0 {
+			info.exits = append(info.exits, id)
+		}
+	}
+	info.preds = make([][]int, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			info.preds[s.ID] = append(info.preds[s.ID], blk.ID)
+		}
+	}
+	return info
+}
+
+// evaluate runs the per-function MUST dataflow under the current
+// interprocedural kinds and returns the function's barrier kind.
+func evaluate(info *fnInfo, cur map[*callgraph.Node]memmodel.BarrierKind) memmodel.BarrierKind {
+	nb := len(info.graph.Blocks)
+	if nb == 0 || len(info.exits) == 0 {
+		return memmodel.None
+	}
+
+	// blockKind = static ∨ (for each dynamic call site, the meet over its
+	// candidate targets: the semantics guaranteed whichever binds).
+	blockKind := func(bi int) memmodel.BarrierKind {
+		k := info.static[bi]
+		for _, cs := range info.dynamic[bi] {
+			ck := memmodel.FullBarrier
+			for _, c := range cs {
+				ck = meet(ck, cur[c])
+			}
+			k = join(k, ck)
+		}
+		return k
+	}
+
+	out := make([]memmodel.BarrierKind, nb)
+	for i := range out {
+		out[i] = memmodel.FullBarrier // top: optimistic for a must-analysis
+	}
+	// Iterate to the inner fixpoint; values only descend.
+	for changed := true; changed; {
+		changed = false
+		for bi := 0; bi < nb; bi++ {
+			in := memmodel.None
+			if bi != 0 { // entry keeps in = none: nothing executed yet
+				if ps := info.preds[bi]; len(ps) > 0 {
+					in = memmodel.FullBarrier
+					for _, p := range ps {
+						in = meet(in, out[p])
+					}
+				}
+			}
+			o := join(in, blockKind(bi))
+			if o != out[bi] {
+				out[bi] = o
+				changed = true
+			}
+		}
+	}
+
+	k := memmodel.FullBarrier
+	for _, e := range info.exits {
+		k = meet(k, out[e])
+	}
+	return k
+}

@@ -1,0 +1,35 @@
+package semprop
+
+import (
+	"fmt"
+	"strings"
+
+	"ofence/internal/memmodel"
+)
+
+// Table2ModelSource returns a C translation unit modeling the kernel
+// implementations of every built-in Table 2 function: entries the catalog
+// marks as barriers contain an smp_mb() in their body (the kernel realizes
+// them via asm with memory clobbers); entries without barrier semantics are
+// plain read-modify-write bodies.
+//
+// Feeding this file to the inference must re-classify exactly the
+// MemoryBarrier entries as full barriers — the sanity check that semprop
+// re-derives the paper's hand-curated table from code instead of
+// hardcoding it (see report.Inferred and the tests here).
+func Table2ModelSource() string {
+	var b strings.Builder
+	b.WriteString("/* generated model of the kernel's Table 2 implementations */\n")
+	b.WriteString("typedef struct atomic { int counter; } atomic_t;\n")
+	for _, s := range memmodel.Functions {
+		if s.MemoryBarrier {
+			fmt.Fprintf(&b, "int %s(atomic_t *v) { v->counter += 1; smp_mb(); return v->counter; }\n", s.Name)
+		} else {
+			fmt.Fprintf(&b, "int %s(atomic_t *v) { v->counter += 1; return v->counter; }\n", s.Name)
+		}
+	}
+	return b.String()
+}
+
+// Table2ModelFile is the canonical name the model unit is registered under.
+const Table2ModelFile = "table2_model.c"

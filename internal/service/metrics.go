@@ -69,6 +69,9 @@ type metrics struct {
 	jobsFailed    uint64
 	jobsCanceled  uint64
 	queueRejected uint64
+	// inferredSemantics totals the implicit-barrier functions inferred by
+	// interprocedural jobs (zero unless clients request interproc_depth).
+	inferredSemantics uint64
 }
 
 func newMetrics() *metrics {
@@ -92,6 +95,12 @@ func (m *metrics) count(field *uint64) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) add(field *uint64, n uint64) {
+	m.mu.Lock()
+	*field += n
+	m.mu.Unlock()
+}
+
 // Render writes the metrics in the Prometheus text exposition format. The
 // caller supplies the live gauges (queue depth, busy workers, cache stats)
 // that do not live on the metrics struct itself.
@@ -106,6 +115,7 @@ func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
 		{"ofence_jobs_failed_total", "Jobs that errored or timed out", m.jobsFailed},
 		{"ofence_jobs_canceled_total", "Jobs canceled by shutdown or client", m.jobsCanceled},
 		{"ofence_queue_rejected_total", "Submissions rejected because the queue was full", m.queueRejected},
+		{"ofence_inferred_semantics_total", "Implicit-barrier functions inferred by interprocedural jobs", m.inferredSemantics},
 	}
 	stageNames := make([]string, 0, len(m.stages))
 	for name := range m.stages {

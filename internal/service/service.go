@@ -47,6 +47,7 @@ type OptionsSpec struct {
 	WriteWindow      int  `json:"write_window,omitempty"`
 	ReadWindow       int  `json:"read_window,omitempty"`
 	InlineDepth      *int `json:"inline_depth,omitempty"`
+	InterprocDepth   int  `json:"interproc_depth,omitempty"`
 	MinSharedObjects int  `json:"min_shared_objects,omitempty"`
 	CheckOnce        bool `json:"check_once,omitempty"`
 	Workers          int  `json:"workers,omitempty"`
@@ -64,6 +65,9 @@ func (o OptionsSpec) resolve() ofence.Options {
 	if o.InlineDepth != nil {
 		opts.Access.InlineDepth = *o.InlineDepth
 	}
+	if o.InterprocDepth > 0 {
+		opts.InterprocDepth = o.InterprocDepth
+	}
 	if o.MinSharedObjects > 0 {
 		opts.MinSharedObjects = o.MinSharedObjects
 	}
@@ -78,9 +82,9 @@ func (o OptionsSpec) resolve() ofence.Options {
 // cache key. Workers is deliberately excluded: it changes scheduling, never
 // output.
 func fingerprint(opts ofence.Options) string {
-	return fmt.Sprintf("ofence-v1|ww=%d|rw=%d|inline=%d|maxu=%d|min=%d|once=%t|generic=%s|wake=%s|sem=%s",
+	return fmt.Sprintf("ofence-v1|ww=%d|rw=%d|inline=%d|ip=%d|maxu=%d|min=%d|once=%t|generic=%s|wake=%s|sem=%s",
 		opts.Access.WriteWindow, opts.Access.ReadWindow, opts.Access.InlineDepth,
-		opts.Access.MaxUnits, opts.MinSharedObjects, opts.CheckOnce,
+		opts.InterprocDepth, opts.Access.MaxUnits, opts.MinSharedObjects, opts.CheckOnce,
 		strings.Join(opts.GenericStructs, ","),
 		strings.Join(opts.Access.ExtraWakeUps, ","),
 		strings.Join(opts.Access.ExtraBarrierSemantics, ","))
@@ -425,6 +429,7 @@ func (s *Service) run(j *Job) {
 	case err == nil:
 		j.state = JobDone
 		j.result = v.(*ofence.ResultView)
+		s.met.add(&s.met.inferredSemantics, uint64(len(j.result.Inferred)))
 	case errors.Is(err, context.Canceled):
 		j.state = JobCanceled
 		j.errMsg = err.Error()
