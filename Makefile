@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fuzz test test-race race bench serve eval eval-json corpus clean
+.PHONY: all build vet lint fuzz test test-race race bench serve eval eval-json corpus trace-demo clean
 
 all: build lint test
 
@@ -12,10 +12,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static checks: go vet plus gofmt, failing on any unformatted file.
+# Static checks: go vet, gofmt (failing on any unformatted file), and the
+# documentation lint — docs/CLI.md must cover every registered CLI flag and
+# internal/obs must document every exported identifier (docs_test.go).
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) test . -run TestDocs
 
 # Short fuzz pass over the parser robustness target (no panics, no hangs).
 fuzz:
@@ -52,6 +55,11 @@ eval-json:
 corpus:
 	$(GO) run ./cmd/ofence-corpus -seed 42 -truth corpus-out
 
+# Traced analysis over the synthetic corpus: stage tree on stderr plus a
+# Perfetto-loadable trace-demo.json (see docs/OBSERVABILITY.md).
+trace-demo: corpus
+	$(GO) run ./cmd/ofence -trace -trace-out trace-demo.json corpus-out
+
 clean:
-	rm -rf corpus-out
+	rm -rf corpus-out trace-demo.json
 	$(GO) clean ./...

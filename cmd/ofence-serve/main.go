@@ -9,8 +9,15 @@
 //	GET  /healthz      liveness (503 while draining)
 //	GET  /metrics      Prometheus text metrics
 //
+// With -pprof-addr a second listener serves the net/http/pprof profiling
+// endpoints (/debug/pprof/...) on its own address, kept off the API
+// listener so profiling is never exposed to API clients by accident.
+//
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
 // queued and running jobs finish (up to -drain), then the process exits.
+//
+// See docs/SERVICE.md for the API reference and docs/OBSERVABILITY.md for
+// the metrics and profiling guide.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +44,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-job analysis timeout")
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 		maxBytes = flag.Int("max-source-bytes", 8<<20, "total source size bound per request")
+		pprofA   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
 	if err := run(*addr, service.Config{
@@ -44,12 +53,24 @@ func main() {
 		CacheEntries:   *cacheN,
 		JobTimeout:     *timeout,
 		MaxSourceBytes: *maxBytes,
-	}, *drain); err != nil {
+	}, *drain, *pprofA); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, cfg service.Config, drain time.Duration) error {
+// pprofHandler builds the profiling mux on a dedicated ServeMux so nothing
+// leaks onto http.DefaultServeMux or the API listener.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(addr string, cfg service.Config, drain time.Duration, pprofAddr string) error {
 	svc := service.New(cfg)
 	srv := &http.Server{
 		Addr:              addr,
@@ -65,6 +86,21 @@ func run(addr string, cfg service.Config, drain time.Duration) error {
 		}
 	}()
 
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		pprofSrv = &http.Server{
+			Addr:              pprofAddr,
+			Handler:           pprofHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("pprof listening on %s", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				errc <- fmt.Errorf("pprof listener: %w", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -78,6 +114,11 @@ func run(addr string, cfg service.Config, drain time.Duration) error {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(ctx); err != nil {
+			log.Printf("pprof shutdown: %v", err)
+		}
 	}
 	if err := svc.Close(ctx); err != nil {
 		return fmt.Errorf("drain incomplete, in-flight jobs canceled: %w", err)

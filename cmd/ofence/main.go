@@ -15,9 +15,15 @@
 //	                  semantics and inlines helpers across files (default 0,
 //	                  the paper's same-file analysis)
 //	-sarif            emit the diagnostics engine's findings as SARIF 2.1.0
+//	-trace            print the per-stage observability tree to stderr
+//	-trace-out FILE   write a Chrome trace_event JSON trace (Perfetto-loadable)
+//	-exit-code        exit 1 when findings are reported (CI gating)
 //	-write-window N   statements explored around write barriers (default 5)
 //	-read-window N    statements explored around read barriers (default 50)
 //	-workers N        parallel file workers (default GOMAXPROCS)
+//
+// See docs/CLI.md for the full flag reference and docs/OBSERVABILITY.md for
+// the tracing guide.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 
 	"ofence/internal/diag"
 	"ofence/internal/kernelhdr"
+	"ofence/internal/obs"
 	"ofence/internal/ofence"
 	"ofence/internal/patch"
 	"ofence/internal/validate"
@@ -47,6 +54,9 @@ func main() {
 		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		sarifOut     = flag.Bool("sarif", false, "emit SARIF 2.1.0 diagnostics instead of text")
 		interproc    = flag.Int("interproc", 0, "cross-file call-graph depth (0 = paper-faithful same-file analysis)")
+		traceFlag    = flag.Bool("trace", false, "print the per-stage observability tree to stderr")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+		useExitCode  = flag.Bool("exit-code", false, "exit with status 1 when findings are reported (SARIF-tool convention for CI gates)")
 		writeWindow  = flag.Int("write-window", 5, "statements explored around write barriers")
 		readWindow   = flag.Int("read-window", 50, "statements explored around read barriers")
 		workers      = flag.Int("workers", 0, "parallel file workers (0 = GOMAXPROCS)")
@@ -80,10 +90,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx, tracer := traceContext(*traceFlag || *traceOut != "")
+
 	proj := ofence.NewProject()
 	kernelhdr.Register(proj)
-	proj.AddSources(srcs) // parallel parse, deterministic order
-	res, err := proj.AnalyzeParallel(context.Background(), opts)
+	proj.AddSourcesCtx(ctx, srcs) // parallel parse, deterministic order
+	res, err := proj.AnalyzeParallel(ctx, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
 		os.Exit(1)
@@ -96,17 +108,19 @@ func main() {
 			os.Exit(1)
 		}
 		os.Stdout.Write(append(data, '\n'))
-		return
+		finishTrace(tracer, *traceFlag, *traceOut)
+		os.Exit(exitStatus(*useExitCode, len(res.Findings)))
 	}
 
 	if *sarifOut {
-		data, err := sarifReport(res, proj, srcs, opts)
+		data, nDiags, err := sarifReport(ctx, res, proj, srcs, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
 			os.Exit(1)
 		}
 		os.Stdout.Write(append(data, '\n'))
-		return
+		finishTrace(tracer, *traceFlag, *traceOut)
+		os.Exit(exitStatus(*useExitCode, nDiags))
 	}
 
 	fmt.Printf("ofence: %d files, %d barrier sites, %d pairings, %d unpaired, %d implicit-IPC\n",
@@ -134,12 +148,15 @@ func main() {
 
 	if len(res.Findings) == 0 {
 		fmt.Println("no deviations found")
+		finishTrace(tracer, *traceFlag, *traceOut)
 		return
 	}
 	for _, f := range res.Findings {
 		fmt.Printf("%s\n", f)
 		if *doValidate {
+			_, vsp := obs.Start(ctx, "validate")
 			v, err := validate.Check(f)
+			vsp.End()
 			if err != nil {
 				fmt.Printf("  (not litmus-checkable: %v)\n", err)
 			} else {
@@ -147,7 +164,9 @@ func main() {
 			}
 		}
 		if *showPatch {
+			_, psp := obs.Start(ctx, "patch")
 			p, err := patch.Generate(f)
+			psp.End()
 			if err != nil {
 				fmt.Printf("  (no mechanical patch: %v)\n", err)
 				continue
@@ -158,15 +177,62 @@ func main() {
 	if n := len(res.ParseErrors); n > 0 {
 		fmt.Fprintf(os.Stderr, "ofence: %d parse diagnostics (files analyzed best-effort)\n", n)
 	}
+	finishTrace(tracer, *traceFlag, *traceOut)
+	os.Exit(exitStatus(*useExitCode, len(res.Findings)))
+}
+
+// traceContext returns the analysis context, attaching a memstats-sampling
+// tracer when tracing was requested; tracer is nil otherwise.
+func traceContext(enabled bool) (context.Context, *obs.Tracer) {
+	ctx := context.Background()
+	if !enabled {
+		return ctx, nil
+	}
+	tracer := obs.New(obs.WithMemStats())
+	return obs.WithTracer(ctx, tracer), tracer
+}
+
+// finishTrace emits the requested trace exports: the stage tree on stderr
+// (-trace) and/or a Chrome trace_event JSON file (-trace-out).
+func finishTrace(tracer *obs.Tracer, tree bool, out string) {
+	if tracer == nil {
+		return
+	}
+	if tree {
+		fmt.Fprint(os.Stderr, tracer.Tree())
+	}
+	if out != "" {
+		data, err := tracer.ChromeTrace()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ofence: trace export: %v\n", err)
+			return
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ofence: trace export: %v\n", err)
+		}
+	}
+}
+
+// exitStatus implements -exit-code: status 1 when findings were reported
+// and gating was requested, 0 otherwise (the SARIF-tool convention CI
+// consumers expect).
+func exitStatus(gate bool, findings int) int {
+	if gate && findings > 0 {
+		return 1
+	}
+	return 0
 }
 
 // sarifReport runs the diagnostics engine over the analysis result and
-// renders it as a SARIF 2.1.0 document.
-func sarifReport(res *ofence.Result, proj *ofence.Project, srcs []ofence.SourceFile, opts ofence.Options) ([]byte, error) {
+// renders it as a SARIF 2.1.0 document, also returning the diagnostic
+// count for -exit-code gating. Under a tracing context the engine run is
+// recorded as a "diag" span.
+func sarifReport(ctx context.Context, res *ofence.Result, proj *ofence.Project, srcs []ofence.SourceFile, opts ofence.Options) ([]byte, int, error) {
 	sources := make(map[string]string, len(srcs))
 	for _, sf := range srcs {
 		sources[sf.Name] = sf.Src
 	}
+	_, sp := obs.Start(ctx, "diag")
 	passes := diag.DefaultPasses()
 	ds := diag.Run(&diag.Context{
 		Result:  res,
@@ -174,7 +240,10 @@ func sarifReport(res *ofence.Result, proj *ofence.Project, srcs []ofence.SourceF
 		Sources: sources,
 		Opts:    opts,
 	}, passes)
-	return diag.MarshalSARIF(ds, diag.Rules(passes))
+	sp.Add("diagnostics", int64(len(ds)))
+	sp.End()
+	data, err := diag.MarshalSARIF(ds, diag.Rules(passes))
+	return data, len(ds), err
 }
 
 // addPath collects the .c sources under path in walk order.

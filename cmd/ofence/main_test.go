@@ -123,6 +123,70 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestExitStatus covers the -exit-code contract: status 1 only when gating
+// is on AND the run reported findings.
+func TestExitStatus(t *testing.T) {
+	cases := []struct {
+		gate     bool
+		findings int
+		want     int
+	}{
+		{gate: false, findings: 0, want: 0},
+		{gate: false, findings: 3, want: 0},
+		{gate: true, findings: 0, want: 0},
+		{gate: true, findings: 1, want: 1},
+		{gate: true, findings: 7, want: 1},
+	}
+	for _, c := range cases {
+		if got := exitStatus(c.gate, c.findings); got != c.want {
+			t.Errorf("exitStatus(%v, %d) = %d, want %d", c.gate, c.findings, got, c.want)
+		}
+	}
+}
+
+// TestTraceFlow drives the CLI tracing plumbing end to end: an analysis
+// under traceContext must produce a stage tree naming the pipeline phases
+// and a Chrome trace file with valid JSON.
+func TestTraceFlow(t *testing.T) {
+	ctx, tracer := traceContext(true)
+	if tracer == nil {
+		t.Fatal("traceContext(true) returned no tracer")
+	}
+	proj := ofence.NewProject()
+	proj.AddSourcesCtx(ctx, []ofence.SourceFile{{Name: "a.c", Src: testSrc}})
+	if _, err := proj.AnalyzeParallel(ctx, ofence.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	tree := tracer.Tree()
+	for _, stage := range []string{"analyze", "preprocess", "parse", "cfg", "extract", "pair", "check"} {
+		if !strings.Contains(tree, stage) {
+			t.Errorf("trace tree missing stage %q:\n%s", stage, tree)
+		}
+	}
+
+	out := filepath.Join(t.TempDir(), "trace.json")
+	finishTrace(tracer, false, out)
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-trace-out wrote invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 7 {
+		t.Errorf("trace events = %d, want at least one per stage", len(doc.TraceEvents))
+	}
+
+	// Tracing off: nil tracer, no-op finish.
+	if _, tr := traceContext(false); tr != nil {
+		t.Error("traceContext(false) returned a tracer")
+	}
+	finishTrace(nil, true, "")
+}
+
 func TestIndent(t *testing.T) {
 	got := indent("a\nb\n", "  ")
 	if got != "  a\n  b" {
@@ -145,9 +209,12 @@ func TestSARIFReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := sarifReport(res, proj, srcs, opts)
+	data, nDiags, err := sarifReport(context.Background(), res, proj, srcs, opts)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if nDiags == 0 {
+		t.Error("diagnostic count = 0 for a source with a known deviation")
 	}
 	var m map[string]any
 	if err := json.Unmarshal(data, &m); err != nil {

@@ -1,0 +1,148 @@
+package ofence_test
+
+// Documentation lint, run by `make lint` (go test . -run TestDocs):
+//
+//   - every flag registered by a cmd/ binary must be mentioned in
+//     docs/CLI.md, so the flag reference cannot go stale;
+//   - every exported top-level identifier in internal/obs must carry a doc
+//     comment, since obs is the instrumentation API other packages build
+//     against.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// cmdFlags parses one cmd/<name>/main.go and returns the first-argument
+// string literals of every flag.String/Bool/Int/Int64/Float64/Duration
+// call — the registered flag names.
+func cmdFlags(t *testing.T, mainGo string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, mainGo, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", mainGo, err)
+	}
+	registrars := map[string]bool{
+		"String": true, "Bool": true, "Int": true, "Int64": true,
+		"Uint": true, "Uint64": true, "Float64": true, "Duration": true,
+	}
+	var flags []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !registrars[sel.Sel.Name] {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "flag" {
+			return true
+		}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			flags = append(flags, strings.Trim(lit.Value, `"`))
+		}
+		return true
+	})
+	sort.Strings(flags)
+	return flags
+}
+
+// TestDocsCLIFlagCoverage fails when a binary registers a flag that
+// docs/CLI.md does not mention as `-name`.
+func TestDocsCLIFlagCoverage(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "CLI.md"))
+	if err != nil {
+		t.Fatalf("docs/CLI.md missing: %v", err)
+	}
+	text := string(doc)
+
+	cmds, err := filepath.Glob(filepath.Join("cmd", "*", "main.go"))
+	if err != nil || len(cmds) == 0 {
+		t.Fatalf("no cmd/*/main.go found (err=%v)", err)
+	}
+	for _, mainGo := range cmds {
+		binary := filepath.Base(filepath.Dir(mainGo))
+		if !strings.Contains(text, "## "+binary) {
+			t.Errorf("docs/CLI.md has no section for %s", binary)
+		}
+		for _, name := range cmdFlags(t, mainGo) {
+			if !strings.Contains(text, "`-"+name+"`") && !strings.Contains(text, "`-"+name+" ") {
+				t.Errorf("docs/CLI.md does not document %s -%s", binary, name)
+			}
+		}
+	}
+}
+
+// TestDocsObsExportedComments fails when internal/obs exports an
+// identifier without a doc comment.
+func TestDocsObsExportedComments(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join("internal", "obs"), func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for fname, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				for _, missing := range undocumentedExports(decl) {
+					pos := fset.Position(decl.Pos())
+					t.Errorf("%s:%d: exported %s has no doc comment", fname, pos.Line, missing)
+				}
+			}
+		}
+	}
+}
+
+// undocumentedExports returns the exported names a top-level declaration
+// introduces without documentation. For grouped var/const/type blocks a
+// doc comment on either the block or the individual spec counts.
+func undocumentedExports(decl ast.Decl) []string {
+	var missing []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				name = fmt.Sprintf("method %s (on %s)", name, recvType(d.Recv.List[0].Type))
+			}
+			missing = append(missing, name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+					missing = append(missing, "type "+sp.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range sp.Names {
+					if name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+						missing = append(missing, name.Name)
+					}
+				}
+			}
+		}
+	}
+	return missing
+}
+
+func recvType(expr ast.Expr) string {
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}

@@ -13,6 +13,7 @@
 package access
 
 import (
+	"context"
 	"fmt"
 
 	"ofence/internal/cast"
@@ -20,6 +21,7 @@ import (
 	"ofence/internal/ctoken"
 	"ofence/internal/ctypes"
 	"ofence/internal/memmodel"
+	"ofence/internal/obs"
 )
 
 // Object identifies a shared object by data type and field name, the
@@ -328,13 +330,23 @@ func (e *Extractor) ExtractFn(fn *cast.FuncDecl) []*Site {
 	if fn.Body == nil {
 		return nil
 	}
-	units := cfg.Linearize(fn, cfg.LinearizeOptions{
+	return e.extractUnits(fn, e.linearize(fn))
+}
+
+// linearize builds the function's statement stream (the distance domain of
+// the exploration windows), honoring the inlining options.
+func (e *Extractor) linearize(fn *cast.FuncDecl) []*cfg.Unit {
+	return cfg.Linearize(fn, cfg.LinearizeOptions{
 		Table:        e.table,
 		InlineDepth:  e.opts.InlineDepth,
 		MaxUnits:     e.opts.MaxUnits,
 		Resolve:      e.opts.Resolve,
 		ResolveDepth: e.opts.InterprocDepth,
 	})
+}
+
+// extractUnits runs window exploration over a pre-linearized stream.
+func (e *Extractor) extractUnits(fn *cast.FuncDecl, units []*cfg.Unit) []*Site {
 	// Pre-classify all units once.
 	type uinfo struct {
 		barriers []barrierInfo
@@ -442,10 +454,50 @@ func sortByDistance(as []*Access) {
 // window captured the most accesses wins (ties favor the lexically owning
 // function).
 func (e *Extractor) ExtractFile(f *cast.File) []*Site {
-	var all []*Site
-	for _, fn := range f.Functions() {
-		all = append(all, e.ExtractFn(fn)...)
+	return e.ExtractFileCtx(context.Background(), f)
+}
+
+// ExtractFileCtx is ExtractFile under an observability context: when ctx
+// carries an obs.Tracer, the run is recorded as an "extract.file" span with
+// a "cfg" child covering the control-flow linearization of every function,
+// counting the stream units built and the barrier sites found.
+func (e *Extractor) ExtractFileCtx(ctx context.Context, f *cast.File) []*Site {
+	ctx, sp := obs.Start(ctx, "extract.file")
+	defer sp.End()
+	sp.SetAttr("file", e.file)
+
+	fns := f.Functions()
+	// Stage "cfg": build every function's linearized stream up front so the
+	// CFG cost is visible separately from window exploration.
+	_, csp := obs.Start(ctx, "cfg")
+	streams := make([][]*cfg.Unit, len(fns))
+	totalUnits := 0
+	for i, fn := range fns {
+		if fn.Body == nil {
+			continue
+		}
+		streams[i] = e.linearize(fn)
+		totalUnits += len(streams[i])
 	}
+	csp.Add("functions", int64(len(fns)))
+	csp.Add("units", int64(totalUnits))
+	csp.End()
+
+	var all []*Site
+	for i, fn := range fns {
+		if fn.Body == nil {
+			continue
+		}
+		all = append(all, e.extractUnits(fn, streams[i])...)
+	}
+	out := dedupRichest(all)
+	sp.Add("sites", int64(len(out)))
+	return out
+}
+
+// dedupRichest collapses sites sharing a canonical barrier identity,
+// keeping the richest view per the ExtractFile contract.
+func dedupRichest(all []*Site) []*Site {
 	best := map[string]*Site{}
 	var order []string
 	for _, s := range all {

@@ -11,12 +11,14 @@
 package cparser
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"ofence/internal/cast"
 	"ofence/internal/cpp"
 	"ofence/internal/ctoken"
+	"ofence/internal/obs"
 )
 
 // Parser parses one translation unit.
@@ -53,10 +55,24 @@ func New(toks []ctoken.Token) *Parser {
 
 // ParseSource preprocesses and parses src in one call.
 func ParseSource(file, src string, opts cpp.Options) (*cast.File, []error) {
-	res := cpp.Preprocess(file, src, opts)
+	return ParseSourceCtx(context.Background(), file, src, opts)
+}
+
+// ParseSourceCtx is ParseSource under an observability context: when ctx
+// carries an obs.Tracer, the run is recorded as a "parse" span (with the
+// "preprocess" span of cpp.PreprocessCtx as its child) counting tokens,
+// top-level declarations and diagnostics.
+func ParseSourceCtx(ctx context.Context, file, src string, opts cpp.Options) (*cast.File, []error) {
+	ctx, sp := obs.Start(ctx, "parse")
+	defer sp.End()
+	sp.SetAttr("file", file)
+	res := cpp.PreprocessCtx(ctx, file, src, opts)
 	p := New(res.Tokens)
 	f := p.ParseFile(file)
 	errs := append(res.Errors, p.errs...)
+	sp.Add("tokens", int64(len(res.Tokens)))
+	sp.Add("decls", int64(len(f.Decls)))
+	sp.Add("errors", int64(len(errs)))
 	return f, errs
 }
 

@@ -10,11 +10,13 @@
 package cpp
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"ofence/internal/ctoken"
+	"ofence/internal/obs"
 )
 
 // Macro is one #define.
@@ -57,6 +59,24 @@ type preprocessor struct {
 
 // Preprocess runs the preprocessor over src, attributing positions to file.
 func Preprocess(file, src string, opts Options) *Result {
+	return PreprocessCtx(context.Background(), file, src, opts)
+}
+
+// PreprocessCtx is Preprocess under an observability context: when ctx
+// carries an obs.Tracer, the run is recorded as a "preprocess" span with
+// the emitted token and macro counts.
+func PreprocessCtx(ctx context.Context, file, src string, opts Options) *Result {
+	_, sp := obs.Start(ctx, "preprocess")
+	defer sp.End()
+	sp.SetAttr("file", file)
+	res := preprocess(file, src, opts)
+	sp.Add("tokens", int64(len(res.Tokens)))
+	sp.Add("macros", int64(len(res.Macros)))
+	sp.Add("errors", int64(len(res.Errors)))
+	return res
+}
+
+func preprocess(file, src string, opts Options) *Result {
 	if opts.MaxExpansionDepth <= 0 {
 		opts.MaxExpansionDepth = 64
 	}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// chromeEvent is one trace_event record. We emit only "X" (complete)
+// events: timestamps and durations are in microseconds relative to the
+// earliest span, per the Chrome trace-event format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object container format, which lets viewers show
+// the display unit hint.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace exports the finished spans as Chrome trace_event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Spans that
+// overlap in time without nesting (the parallel per-file fan-outs) are
+// assigned separate tid lanes so every stage renders on its own track;
+// strictly nested spans share their parent's lane and render as a flame.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	spans := t.Spans()
+	finished := spans[:0:0]
+	for _, sp := range spans {
+		if _, ok := sp.Elapsed(); ok {
+			finished = append(finished, sp)
+		}
+	}
+	sortSpans(finished)
+	if len(finished) == 0 {
+		return json.MarshalIndent(chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}, "", "  ")
+	}
+
+	base := finished[0].StartTime()
+	lanes := assignLanes(finished)
+	events := make([]chromeEvent, 0, len(finished))
+	for _, sp := range finished {
+		d, _ := sp.Elapsed()
+		ev := chromeEvent{
+			Name: sp.Name(),
+			Ph:   "X",
+			Ts:   float64(sp.StartTime().Sub(base).Microseconds()),
+			Dur:  float64(d.Microseconds()),
+			Pid:  1,
+			Tid:  lanes[sp],
+		}
+		args := map[string]any{}
+		for _, a := range sp.Attrs() {
+			args[a.Key] = a.Value
+		}
+		for _, c := range sp.Counters() {
+			args[c.Name] = c.Value
+		}
+		if alloc, mallocs, ok := sp.MemStats(); ok {
+			args["alloc_bytes"] = alloc
+			args["mallocs"] = mallocs
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+	return json.MarshalIndent(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", "  ")
+}
+
+// assignLanes gives every span a tid such that spans sharing a lane
+// strictly nest: a span inherits its parent's lane unless an
+// already-placed sibling on that lane overlaps it in time, in which case
+// it gets a fresh lane. Deterministic given span start order.
+func assignLanes(spans []*Span) map[*Span]int {
+	type laneState struct{ lastEnd int64 } // latest end (µs since epoch) placed on the lane
+	lanes := map[*Span]int{}
+	states := []laneState{}
+	// ends caches each span's absolute end in µs.
+	endOf := func(sp *Span) int64 {
+		d, _ := sp.Elapsed()
+		return sp.StartTime().Add(d).UnixMicro()
+	}
+	// Sort by (start, id): parents start before (or with) their children,
+	// so a parent's lane is always assigned first.
+	ordered := make([]*Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if !ordered[i].start.Equal(ordered[j].start) {
+			return ordered[i].start.Before(ordered[j].start)
+		}
+		return ordered[i].id < ordered[j].id
+	})
+	for _, sp := range ordered {
+		start := sp.StartTime().UnixMicro()
+		want := 0
+		if p := sp.Parent(); p != nil {
+			if l, ok := lanes[p]; ok {
+				want = l
+			}
+		}
+		// Walk lanes from the preferred one; take the first lane whose last
+		// occupant ended at or before this span's start — except the
+		// parent's own lane, which the first child may always share (it
+		// nests inside the parent by construction).
+		placed := false
+		for l := want; l < len(states); l++ {
+			if l == want && sp.Parent() != nil && onlyParentOverlaps(sp, l, lanes) {
+				lanes[sp] = l
+				if e := endOf(sp); e > states[l].lastEnd {
+					states[l].lastEnd = e
+				}
+				placed = true
+				break
+			}
+			if states[l].lastEnd <= start {
+				lanes[sp] = l
+				states[l].lastEnd = endOf(sp)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lanes[sp] = len(states)
+			states = append(states, laneState{lastEnd: endOf(sp)})
+		}
+	}
+	// Chrome tids are 1-based for readability.
+	for sp, l := range lanes {
+		lanes[sp] = l + 1
+	}
+	return lanes
+}
+
+// onlyParentOverlaps reports whether every span already on lane l that
+// overlaps sp in time is one of sp's ancestors (so sharing the lane keeps
+// strict nesting).
+func onlyParentOverlaps(sp *Span, l int, lanes map[*Span]int) bool {
+	start := sp.StartTime().UnixMicro()
+	d, _ := sp.Elapsed()
+	end := sp.StartTime().Add(d).UnixMicro()
+	for other, ol := range lanes {
+		if ol != l || other == sp {
+			continue
+		}
+		od, _ := other.Elapsed()
+		os, oe := other.StartTime().UnixMicro(), other.StartTime().Add(od).UnixMicro()
+		if oe <= start || os >= end {
+			continue // disjoint
+		}
+		if !isAncestor(other, sp) {
+			return false
+		}
+	}
+	return true
+}
+
+// isAncestor reports whether a is an ancestor of b.
+func isAncestor(a, b *Span) bool {
+	for p := b.Parent(); p != nil; p = p.Parent() {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// buildGoldenTrace constructs a fixed span shape with a deterministic
+// clock: an analyze root with a two-file extract fan-out (overlapping
+// siblings, exercising lane assignment), then pair and check stages.
+func buildGoldenTrace() *Tracer {
+	tr := New(WithClock(fakeClock(time.Millisecond)))
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "analyze")
+	root.Add("files", 2)
+
+	ectx, ex := Start(ctx, "extract")
+	// Two overlapping extract.file spans, as the parallel fan-out produces:
+	// both start before either ends.
+	_, f1 := Start(ectx, "extract.file")
+	f1.SetAttr("file", "a.c")
+	f1.Add("sites", 3)
+	_, f2 := Start(ectx, "extract.file")
+	f2.SetAttr("file", "b.c")
+	f2.Add("sites", 1)
+	f1.End()
+	f2.End()
+	ex.Add("sites", 4)
+	ex.End()
+
+	_, pair := Start(ctx, "pair")
+	pair.Add("pairings", 2)
+	pair.Add("candidates_pruned", 5)
+	pair.End()
+
+	_, check := Start(ctx, "check")
+	check.Add("findings", 1)
+	check.End()
+
+	root.End()
+	return tr
+}
+
+// TestChromeTraceGolden locks the exporter's byte output: Chrome
+// trace_event JSON with X events, microsecond timestamps relative to the
+// first span, and lane (tid) assignment that keeps overlapping siblings on
+// separate tracks. Regenerate with: go test ./internal/obs -run Golden
+// -update-golden
+func TestChromeTraceGolden(t *testing.T) {
+	data, err := buildGoldenTrace().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(append(data, '\n')) != string(want) {
+		t.Errorf("Chrome trace drifted from golden file.\ngot:\n%s\nwant:\n%s", data, want)
+	}
+}
+
+// TestChromeTraceShape checks the semantic contract independent of exact
+// bytes: valid JSON, one event per finished span, complete-event phase,
+// nested spans sharing a lane and overlapping siblings split across lanes.
+func TestChromeTraceShape(t *testing.T) {
+	data, err := buildGoldenTrace().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("events = %d, want 6", len(doc.TraceEvents))
+	}
+	lanes := map[string][]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q phase = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur <= 0 {
+			t.Errorf("event %q dur = %v", ev.Name, ev.Dur)
+		}
+		lanes[ev.Name] = append(lanes[ev.Name], ev.Tid)
+	}
+	// The two overlapping extract.file siblings must not share a lane.
+	files := lanes["extract.file"]
+	if len(files) != 2 || files[0] == files[1] {
+		t.Errorf("overlapping extract.file lanes = %v, want distinct", files)
+	}
+	// analyze nests extract, pair and check: serial stages may stack.
+	if len(lanes["analyze"]) != 1 {
+		t.Errorf("analyze events = %v", lanes["analyze"])
+	}
+}
+
+// TestChromeTraceEmpty covers a tracer with no finished spans.
+func TestChromeTraceEmpty(t *testing.T) {
+	tr := New()
+	data, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Errorf("traceEvents = %v, want empty array", doc["traceEvents"])
+	}
+}

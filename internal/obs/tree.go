@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Tree renders the recorded spans as a human-readable stage tree, one line
+// per span with its duration, attributes, counters and (when sampled)
+// allocation delta:
+//
+//	analyze 1.52ms [files=3] {sites=5}
+//	├─ extract 1.1ms {sites=5}
+//	│  ├─ extract.file 0.6ms [file=a.c] {sites=3}
+//	│  │  └─ cfg 0.1ms {functions=2 units=40}
+//	...
+//
+// Sibling spans print in start order; unfinished spans are marked. This is
+// the -trace output of cmd/ofence.
+func (t *Tracer) Tree() string {
+	var b strings.Builder
+	roots := t.Roots()
+	sortSpans(roots)
+	for _, sp := range roots {
+		writeSpan(&b, sp, "", "")
+	}
+	return b.String()
+}
+
+// sortSpans orders siblings by start time, breaking ties by creation order
+// so concurrent children render deterministically enough to read.
+func sortSpans(spans []*Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].start.Equal(spans[j].start) {
+			return spans[i].start.Before(spans[j].start)
+		}
+		return spans[i].id < spans[j].id
+	})
+}
+
+func writeSpan(b *strings.Builder, sp *Span, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(sp.Name())
+	if d, ok := sp.Elapsed(); ok {
+		fmt.Fprintf(b, " %s", formatDuration(d))
+	} else {
+		b.WriteString(" (unfinished)")
+	}
+	if attrs := sp.Attrs(); len(attrs) > 0 {
+		parts := make([]string, len(attrs))
+		for i, a := range attrs {
+			parts[i] = a.Key + "=" + a.Value
+		}
+		fmt.Fprintf(b, " [%s]", strings.Join(parts, " "))
+	}
+	if counters := sp.Counters(); len(counters) > 0 {
+		parts := make([]string, len(counters))
+		for i, c := range counters {
+			parts[i] = fmt.Sprintf("%s=%d", c.Name, c.Value)
+		}
+		fmt.Fprintf(b, " {%s}", strings.Join(parts, " "))
+	}
+	if alloc, mallocs, ok := sp.MemStats(); ok {
+		fmt.Fprintf(b, " mem=%s/%d-mallocs", formatBytes(alloc), mallocs)
+	}
+	b.WriteByte('\n')
+
+	children := sp.Children()
+	sortSpans(children)
+	for i, c := range children {
+		connector, indent := "├─ ", "│  "
+		if i == len(children)-1 {
+			connector, indent = "└─ ", "   "
+		}
+		writeSpan(b, c, childPrefix+connector, childPrefix+indent)
+	}
+}
+
+// formatDuration rounds to a readable precision without losing sub-ms
+// stages.
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// formatBytes renders an allocation delta with a binary unit.
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

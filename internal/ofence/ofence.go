@@ -24,6 +24,7 @@ import (
 	"ofence/internal/cpp"
 	"ofence/internal/ctypes"
 	"ofence/internal/memmodel"
+	"ofence/internal/obs"
 	"ofence/internal/semprop"
 )
 
@@ -143,6 +144,13 @@ type SourceFile struct {
 // out over a worker pool sized by GOMAXPROCS. The units are appended in the
 // order given, so results are deterministic regardless of scheduling.
 func (p *Project) AddSources(srcs []SourceFile) []*FileUnit {
+	return p.AddSourcesCtx(context.Background(), srcs)
+}
+
+// AddSourcesCtx is AddSources under an observability context: when ctx
+// carries an obs.Tracer, each file's preprocessing and parsing is recorded
+// as "preprocess"/"parse" spans (see internal/obs).
+func (p *Project) AddSourcesCtx(ctx context.Context, srcs []SourceFile) []*FileUnit {
 	p.mu.Lock()
 	include := make(map[string]string, len(p.headers))
 	for k, v := range p.headers {
@@ -164,7 +172,7 @@ func (p *Project) AddSources(srcs []SourceFile) []*FileUnit {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ast, errs := cparser.ParseSource(sf.Name, sf.Src, cpp.Options{Include: include, Defines: defines})
+			ast, errs := cparser.ParseSourceCtx(ctx, sf.Name, sf.Src, cpp.Options{Include: include, Defines: defines})
 			units[i] = &FileUnit{Name: sf.Name, AST: ast, Errs: errs}
 		}(i, sf)
 	}
@@ -359,6 +367,8 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	// Serialize runs on this project: extraction mutates the per-file cache.
 	p.runMu.Lock()
 	defer p.runMu.Unlock()
+	ctx, asp := obs.Start(ctx, "analyze")
+	defer asp.End()
 	res := &Result{}
 
 	// Phase 1: per-file extraction, in parallel. Files whose extraction is
@@ -371,6 +381,7 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	saved := opts
 	p.lastOpts = &saved
 	p.mu.Unlock()
+	asp.Add("files", int64(len(files)))
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -392,14 +403,23 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 		for _, fu := range files {
 			cgf = append(cgf, callgraph.File{Name: fu.Name, AST: fu.AST})
 		}
+		_, gsp := obs.Start(ctx, "callgraph")
 		g := callgraph.Build(cgf)
+		res.CallGraph = g.Stats()
+		gsp.Add("functions", int64(res.CallGraph.Functions))
+		gsp.Add("edges", int64(res.CallGraph.Edges))
+		gsp.Add("unresolved", int64(res.CallGraph.Unresolved))
+		gsp.End()
+		_, ssp := obs.Start(ctx, "semprop")
 		inf := semprop.Infer(g, semprop.Options{ExtraFull: opts.Access.ExtraBarrierSemantics})
 		res.Inferred = inf.Functions()
-		res.CallGraph = g.Stats()
+		ssp.Add("inferred", int64(len(res.Inferred)))
+		ssp.End()
 		inferredNames = inf.NameKinds()
 		resolve = g.ResolverFor
 	}
 
+	ectx, esp := obs.Start(ctx, "extract")
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for _, fu := range files {
@@ -422,12 +442,13 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 			}
 			fu.Table = ctypes.NewTable(fu.AST)
 			ex := access.NewExtractor(fu.Name, fu.Table, aopts)
-			fu.Sites = ex.ExtractFile(fu.AST)
+			fu.Sites = ex.ExtractFileCtx(ectx, fu.AST)
 		}(fu)
 	}
 	wg.Wait()
 	res.Timing.Extract = time.Since(phaseStart)
 	if err := ctx.Err(); err != nil {
+		esp.End()
 		return nil, err
 	}
 
@@ -435,6 +456,9 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 		res.Sites = append(res.Sites, fu.Sites...)
 		res.ParseErrors = append(res.ParseErrors, fu.Errs...)
 	}
+	esp.Add("files", int64(len(files)))
+	esp.Add("sites", int64(len(res.Sites)))
+	esp.End()
 	if opts.InterprocDepth > 0 {
 		// Cross-file inlining makes the same physical barrier visible from
 		// callers in other files; keep the richest view, as per-file
@@ -445,8 +469,14 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 
 	// Phase 2: global pairing (Algorithm 1).
 	phaseStart = time.Now()
+	_, psp := obs.Start(ctx, "pair")
 	pairer := newPairer(res.Sites, opts)
 	res.Pairings, res.Unpaired, res.ImplicitIPC = pairer.run()
+	psp.Add("pairings", int64(len(res.Pairings)))
+	psp.Add("unpaired", int64(len(res.Unpaired)))
+	psp.Add("implicit_ipc", int64(len(res.ImplicitIPC)))
+	psp.Add("candidates_pruned", int64(pairer.pruned))
+	psp.End()
 	res.Timing.Pair = time.Since(phaseStart)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -454,12 +484,16 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 
 	// Phase 3: checking, fanned out per pairing.
 	phaseStart = time.Now()
+	_, ksp := obs.Start(ctx, "check")
 	ck := &checker{opts: opts}
 	findings, err := ck.checkParallel(ctx, res, workers)
 	if err != nil {
+		ksp.End()
 		return nil, err
 	}
 	res.Findings = findings
+	ksp.Add("findings", int64(len(res.Findings)))
+	ksp.End()
 	res.Timing.Check = time.Since(phaseStart)
 	return res, nil
 }
@@ -513,6 +547,9 @@ type pairer struct {
 	// objDist caches per-site minimal distances per object.
 	objDist map[*access.Site]map[access.Object]int
 	generic map[string]bool
+	// pruned counts tentative pairing candidates that did not survive the
+	// mutual-best handshake (observability counter; see internal/obs).
+	pruned int
 }
 
 type candidate struct {
@@ -631,6 +668,11 @@ func (pr *pairer) run() (pairings []*Pairing, unpaired, implicit []*access.Site)
 
 	// Build the pairing array: a pairing survives only when both sides
 	// still select each other after pruning.
+	tentativeTotal := 0
+	for _, cands := range tentative {
+		tentativeTotal += len(cands)
+	}
+	kept := 0
 	paired := map[*access.Site]bool{}
 	for _, b := range pr.sites {
 		if !isWriteSide(b) || paired[b] {
@@ -644,6 +686,7 @@ func (pr *pairer) run() (pairings []*Pairing, unpaired, implicit []*access.Site)
 		if !ok || back.other != b {
 			continue
 		}
+		kept += 2 // b's candidate and the reciprocal one survive
 		pairing := &Pairing{Sites: []*access.Site{b, c.other}, Weight: c.weight}
 		pairing.Common = commonObjects(pr.objDist[b], pr.objDist[c.other])
 		paired[b] = true
@@ -664,6 +707,8 @@ func (pr *pairer) run() (pairings []*Pairing, unpaired, implicit []*access.Site)
 			}
 		}
 	}
+
+	pr.pruned = tentativeTotal - kept
 
 	// Pairings built over the same common-object set describe one protocol
 	// (Figure 5: the seqcount duos form a single four-barrier pairing).

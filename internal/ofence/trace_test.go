@@ -1,0 +1,109 @@
+package ofence
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ofence/internal/obs"
+)
+
+// TestTraceSpansUnderAnalyzeParallel drives the real pipeline with many
+// files and workers under a shared tracer and asserts the span forest it
+// records: every stage present, per-file extraction spans parented under
+// the extract stage, and counters matching the result. Run under -race by
+// make race — this is the concurrent-span-creation coverage for the obs
+// layer in its production call shape.
+func TestTraceSpansUnderAnalyzeParallel(t *testing.T) {
+	const files = 8
+	tracer := obs.New()
+	ctx := obs.WithTracer(context.Background(), tracer)
+
+	proj := NewProject()
+	srcs := make([]SourceFile, files)
+	for i := range srcs {
+		srcs[i] = SourceFile{
+			Name: fmt.Sprintf("f%d.c", i),
+			Src:  strings.ReplaceAll(parallelTestSrc, "ps", fmt.Sprintf("ps%d", i)),
+		}
+	}
+	proj.AddSourcesCtx(ctx, srcs)
+
+	opts := DefaultOptions()
+	opts.Workers = 4
+	res, err := proj.AnalyzeParallel(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairings) != files {
+		t.Fatalf("pairings = %d, want %d", len(res.Pairings), files)
+	}
+
+	byName := map[string][]*obs.Span{}
+	for _, sp := range tracer.Spans() {
+		byName[sp.Name()] = append(byName[sp.Name()], sp)
+		if _, ended := sp.Elapsed(); !ended {
+			t.Errorf("span %q left unfinished", sp.Name())
+		}
+	}
+	for _, stage := range []string{"analyze", "preprocess", "parse", "cfg", "extract", "pair", "check"} {
+		if len(byName[stage]) == 0 {
+			t.Errorf("stage %q recorded no spans", stage)
+		}
+	}
+	if got := len(byName["extract.file"]); got != files {
+		t.Errorf("extract.file spans = %d, want %d", got, files)
+	}
+	for _, sp := range byName["extract.file"] {
+		if sp.Parent() == nil || sp.Parent().Name() != "extract" {
+			t.Errorf("extract.file span parented under %v, want extract", sp.Parent())
+		}
+	}
+	if got := len(byName["parse"]); got != files {
+		t.Errorf("parse spans = %d, want %d (one per file)", got, files)
+	}
+	for _, sp := range byName["parse"] {
+		kids := sp.Children()
+		if len(kids) != 1 || kids[0].Name() != "preprocess" {
+			t.Errorf("parse span children = %v, want one preprocess", kids)
+		}
+	}
+
+	// The analyze root's counters must agree with the result it produced.
+	analyze := byName["analyze"][0]
+	for _, c := range analyze.Counters() {
+		if c.Name == "files" && c.Value != files {
+			t.Errorf("analyze files counter = %d, want %d", c.Value, files)
+		}
+	}
+	var extractSites int64
+	for _, c := range byName["extract"][0].Counters() {
+		if c.Name == "sites" {
+			extractSites = c.Value
+		}
+	}
+	if extractSites != int64(len(res.Sites)) {
+		t.Errorf("extract sites counter = %d, result has %d", extractSites, len(res.Sites))
+	}
+}
+
+// TestAnalyzeWithoutTracerUnchanged guards the no-op contract at the
+// pipeline level: a bare context and a traced context must produce
+// identical results.
+func TestAnalyzeWithoutTracerUnchanged(t *testing.T) {
+	plain := newParallelTestProject(t)
+	resPlain, err := plain.AnalyzeParallel(context.Background(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := obs.WithTracer(context.Background(), obs.New())
+	traced := NewProject()
+	traced.AddSourcesCtx(ctx, []SourceFile{{Name: "p.c", Src: parallelTestSrc}})
+	resTraced, err := traced.AnalyzeParallel(ctx, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewEqual(t, resPlain, resTraced)
+}

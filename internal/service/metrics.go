@@ -58,11 +58,16 @@ func (h *histogram) snapshot() (cum []uint64, sum float64, n uint64) {
 	return cum, h.sum, h.n
 }
 
-// metrics aggregates service-level counters. Stage histograms are keyed by
-// stage name ("wait", "hash", "analyze", "total").
+// metrics aggregates service-level counters. Job-lifecycle histograms
+// (ofence_stage_latency_seconds) are keyed by stage name ("wait", "hash",
+// "analyze", "total"); pipeline-stage histograms
+// (ofence_stage_duration_seconds) are keyed by the obs span name of each
+// pipeline stage ("preprocess", "parse", "cfg", "extract", "pair",
+// "check", ...) and fed from the per-job tracer.
 type metrics struct {
-	mu     sync.Mutex
-	stages map[string]*histogram
+	mu       sync.Mutex
+	stages   map[string]*histogram
+	pipeline map[string]*histogram
 
 	jobsSubmitted uint64
 	jobsDone      uint64
@@ -75,7 +80,7 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{stages: map[string]*histogram{}}
+	return &metrics{stages: map[string]*histogram{}, pipeline: map[string]*histogram{}}
 }
 
 func (m *metrics) stage(name string) *histogram {
@@ -85,6 +90,19 @@ func (m *metrics) stage(name string) *histogram {
 	if !ok {
 		h = newHistogram()
 		m.stages[name] = h
+	}
+	return h
+}
+
+// stageDuration returns the pipeline-stage histogram for one obs span name,
+// creating it on first use.
+func (m *metrics) stageDuration(name string) *histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.pipeline[name]
+	if !ok {
+		h = newHistogram()
+		m.pipeline[name] = h
 	}
 	return h
 }
@@ -121,8 +139,13 @@ func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
 	for name := range m.stages {
 		stageNames = append(stageNames, name)
 	}
+	pipelineNames := make([]string, 0, len(m.pipeline))
+	for name := range m.pipeline {
+		pipelineNames = append(pipelineNames, name)
+	}
 	m.mu.Unlock()
 	sort.Strings(stageNames)
+	sort.Strings(pipelineNames)
 
 	for _, c := range counters {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
@@ -149,5 +172,19 @@ func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
 		fmt.Fprintf(b, "ofence_stage_latency_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
 		fmt.Fprintf(b, "ofence_stage_latency_seconds_sum{stage=%q} %g\n", name, sum)
 		fmt.Fprintf(b, "ofence_stage_latency_seconds_count{stage=%q} %d\n", name, n)
+	}
+
+	if len(pipelineNames) > 0 {
+		b.WriteString("# HELP ofence_stage_duration_seconds Wall time of each analysis pipeline stage (obs span name)\n")
+		b.WriteString("# TYPE ofence_stage_duration_seconds histogram\n")
+	}
+	for _, name := range pipelineNames {
+		cum, sum, n := m.stageDuration(name).snapshot()
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(b, "ofence_stage_duration_seconds_bucket{stage=%q,le=\"%g\"} %d\n", name, ub, cum[i])
+		}
+		fmt.Fprintf(b, "ofence_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+		fmt.Fprintf(b, "ofence_stage_duration_seconds_sum{stage=%q} %g\n", name, sum)
+		fmt.Fprintf(b, "ofence_stage_duration_seconds_count{stage=%q} %d\n", name, n)
 	}
 }

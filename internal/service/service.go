@@ -21,6 +21,7 @@ import (
 
 	"ofence/internal/cpp"
 	"ofence/internal/kernelhdr"
+	"ofence/internal/obs"
 	"ofence/internal/ofence"
 	"ofence/internal/rescache"
 )
@@ -260,7 +261,7 @@ func (s *Service) defaultAnalyze(ctx context.Context, req *Request, opts ofence.
 	for _, name := range sortedNames(req.Files) {
 		srcs = append(srcs, ofence.SourceFile{Name: name, Src: req.Files[name]})
 	}
-	proj.AddSources(srcs)
+	proj.AddSourcesCtx(ctx, srcs)
 	res, err := proj.AnalyzeParallel(ctx, opts)
 	if err != nil {
 		return nil, err
@@ -413,12 +414,23 @@ func (s *Service) run(j *Job) {
 	hashDur := time.Since(hashStart)
 	s.met.stage("hash").observe(hashDur)
 
+	// Each job gets its own tracer; the pipeline spans it records are folded
+	// into the ofence_stage_duration_seconds histograms below. Cache hits and
+	// deduplicated lookups skip the closure and contribute no stage samples.
+	tracer := obs.New()
+	tctx := obs.WithTracer(ctx, tracer)
+
 	analyzeStart := time.Now()
 	v, hit, err := s.cache.Do(key, func() (any, error) {
-		return s.analyzeFn(ctx, j.req, j.opts)
+		return s.analyzeFn(tctx, j.req, j.opts)
 	})
 	analyzeDur := time.Since(analyzeStart)
 	s.met.stage("analyze").observe(analyzeDur)
+	for _, sp := range tracer.Spans() {
+		if d, ok := sp.Elapsed(); ok {
+			s.met.stageDuration(sp.Name()).observe(d)
+		}
+	}
 
 	j.mu.Lock()
 	j.hashDur = hashDur

@@ -452,3 +452,50 @@ func TestJobRetentionPrunesFinished(t *testing.T) {
 		t.Error("newest job pruned")
 	}
 }
+
+// TestPipelineStageMetrics asserts the per-stage histogram family the obs
+// tracer feeds: after one real analysis job, /metrics must expose
+// ofence_stage_duration_seconds series for at least six distinct pipeline
+// stages, and a cache hit must not add samples (the analyze closure never
+// ran, so no spans were recorded).
+func TestPipelineStageMetrics(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	postAnalyze(t, srv.URL, analyzeRequest{Request: *testRequest(testSrc)})
+
+	fetch := func() string {
+		t.Helper()
+		r, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		return string(body)
+	}
+	text := fetch()
+	if !strings.Contains(text, "# TYPE ofence_stage_duration_seconds histogram") {
+		t.Fatalf("stage-duration family missing:\n%s", text)
+	}
+	stages := []string{"analyze", "preprocess", "parse", "cfg", "extract", "extract.file", "pair", "check"}
+	distinct := 0
+	for _, stage := range stages {
+		if strings.Contains(text, fmt.Sprintf(`ofence_stage_duration_seconds_count{stage=%q} 1`, stage)) {
+			distinct++
+		} else {
+			t.Errorf("no samples for stage %q", stage)
+		}
+	}
+	if distinct < 6 {
+		t.Errorf("distinct instrumented stages = %d, want >= 6", distinct)
+	}
+
+	// A repeat of the same request is served from the cache: the pipeline
+	// never runs, so per-stage counts stay at 1.
+	postAnalyze(t, srv.URL, analyzeRequest{Request: *testRequest(testSrc)})
+	text = fetch()
+	if !strings.Contains(text, `ofence_stage_duration_seconds_count{stage="analyze"} 1`) {
+		t.Error("cache hit added pipeline stage samples")
+	}
+}
