@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fuzz test test-race race bench serve eval eval-json corpus trace-demo clean
+.PHONY: all build vet lint fuzz test test-race race bench bench-incremental serve eval eval-json corpus trace-demo clean
 
 all: build lint test
 
@@ -38,6 +38,11 @@ race: test-race
 # One benchmark per paper table/figure (see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The incremental pipeline's headline number: cold vs one-file re-analysis
+# over a 64-file project. Reference results live in BENCH_incremental.json.
+bench-incremental:
+	$(GO) test -run '^$$' -bench BenchmarkReanalyzeOneFile -benchtime 3s .
 
 # Run the analysis daemon (see README "Running as a service").
 serve:

@@ -44,6 +44,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-job analysis timeout")
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 		maxBytes = flag.Int("max-source-bytes", 8<<20, "total source size bound per request")
+		warmN    = flag.Int("warm-lineages", 0, "warm projects kept for incremental re-analysis, one per source-set lineage (0 = default 32, negative = disabled)")
 		pprofA   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 		CacheEntries:   *cacheN,
 		JobTimeout:     *timeout,
 		MaxSourceBytes: *maxBytes,
+		WarmLineages:   *warmN,
 	}, *drain, *pprofA); err != nil {
 		log.Fatal(err)
 	}

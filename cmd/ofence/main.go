@@ -15,6 +15,7 @@
 //	                  semantics and inlines helpers across files (default 0,
 //	                  the paper's same-file analysis)
 //	-sarif            emit the diagnostics engine's findings as SARIF 2.1.0
+//	-stage-stats      print per-stage incremental cache statistics to stderr
 //	-trace            print the per-stage observability tree to stderr
 //	-trace-out FILE   write a Chrome trace_event JSON trace (Perfetto-loadable)
 //	-exit-code        exit 1 when findings are reported (CI gating)
@@ -33,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -57,6 +59,7 @@ func main() {
 		traceFlag    = flag.Bool("trace", false, "print the per-stage observability tree to stderr")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 		useExitCode  = flag.Bool("exit-code", false, "exit with status 1 when findings are reported (SARIF-tool convention for CI gates)")
+		stageStats   = flag.Bool("stage-stats", false, "print per-stage incremental cache statistics to stderr")
 		writeWindow  = flag.Int("write-window", 5, "statements explored around write barriers")
 		readWindow   = flag.Int("read-window", 50, "statements explored around read barriers")
 		workers      = flag.Int("workers", 0, "parallel file workers (0 = GOMAXPROCS)")
@@ -108,6 +111,7 @@ func main() {
 			os.Exit(1)
 		}
 		os.Stdout.Write(append(data, '\n'))
+		printStageStats(*stageStats, proj, res)
 		finishTrace(tracer, *traceFlag, *traceOut)
 		os.Exit(exitStatus(*useExitCode, len(res.Findings)))
 	}
@@ -119,6 +123,7 @@ func main() {
 			os.Exit(1)
 		}
 		os.Stdout.Write(append(data, '\n'))
+		printStageStats(*stageStats, proj, res)
 		finishTrace(tracer, *traceFlag, *traceOut)
 		os.Exit(exitStatus(*useExitCode, nDiags))
 	}
@@ -177,8 +182,32 @@ func main() {
 	if n := len(res.ParseErrors); n > 0 {
 		fmt.Fprintf(os.Stderr, "ofence: %d parse diagnostics (files analyzed best-effort)\n", n)
 	}
+	printStageStats(*stageStats, proj, res)
 	finishTrace(tracer, *traceFlag, *traceOut)
 	os.Exit(exitStatus(*useExitCode, len(res.Findings)))
+}
+
+// printStageStats implements -stage-stats: the incremental file counters of
+// this run plus the per-stage content-addressed cache counters, on stderr
+// so they never pollute -json/-sarif output.
+func printStageStats(enabled bool, proj *ofence.Project, res *ofence.Result) {
+	if !enabled {
+		return
+	}
+	inc := res.Incremental
+	fmt.Fprintf(os.Stderr, "ofence: files %d (%d recomputed, %d reused)\n",
+		inc.FilesTotal, inc.FilesRecomputed, inc.FilesReused)
+	stats := proj.StageStats()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := stats[name]
+		fmt.Fprintf(os.Stderr, "ofence: stage %-10s hits=%d misses=%d dedup=%d evictions=%d entries=%d\n",
+			name, st.Hits, st.Misses, st.Dedups, st.Evictions, st.Entries)
+	}
 }
 
 // traceContext returns the analysis context, attaching a memstats-sampling

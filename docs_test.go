@@ -146,3 +146,121 @@ func recvType(expr ast.Expr) string {
 	}
 	return "?"
 }
+
+// TestDocsMetricsCoverage fails when internal/service registers a
+// Prometheus series (any whole string literal of the form ofence_*) that
+// docs/OBSERVABILITY.md does not mention, or when any obs span counter
+// added anywhere in the tree (a `.Add("name", ...)` literal) is missing
+// from the span documentation. This keeps the metrics catalog — including
+// the incremental-pipeline counters — honest the same way the flag table
+// is.
+func TestDocsMetricsCoverage(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("docs/OBSERVABILITY.md missing: %v", err)
+	}
+	text := string(doc)
+
+	for _, name := range stringLiterals(t, filepath.Join("internal", "service"), isMetricName) {
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("docs/OBSERVABILITY.md does not document metric %s", name)
+		}
+	}
+	for _, name := range spanCounterNames(t) {
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("docs/OBSERVABILITY.md does not document span counter %s", name)
+		}
+	}
+}
+
+// isMetricName reports whether a string literal is a bare Prometheus
+// series name (as opposed to a format string or help text mentioning one).
+func isMetricName(s string) bool {
+	if !strings.HasPrefix(s, "ofence_") {
+		return false
+	}
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && r != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// stringLiterals parses every non-test Go file under dir and returns the
+// distinct string literals accepted by keep, sorted.
+func stringLiterals(t *testing.T, dir string, keep func(string) bool) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					s := strings.Trim(lit.Value, "`\"")
+					if keep(s) {
+						seen[s] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	var out []string
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// spanCounterNames returns the distinct counter names passed to obs
+// span.Add(...) calls across internal/ and cmd/, found syntactically as
+// any method call named Add whose first argument is a string literal.
+func spanCounterNames(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") ||
+				strings.HasSuffix(path, "_test.go") {
+				return err
+			}
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return err
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Add" {
+					return true
+				}
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					seen[strings.Trim(lit.Value, `"`)] = true
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out []string
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

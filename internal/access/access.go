@@ -15,6 +15,7 @@ package access
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"ofence/internal/cast"
 	"ofence/internal/cfg"
@@ -105,10 +106,22 @@ type Site struct {
 	NextBarrierAfter int
 	// NextBarrierName is the name of that following barrier/function.
 	NextBarrierName string
+
+	// objsOnce/objs and idOnce/id memoize Objects() and ID(). Sites are
+	// immutable once extraction publishes them (they live in the
+	// content-addressed incremental cache and are shared across analyses),
+	// so the memos never go stale.
+	objsOnce sync.Once
+	objs     map[Object]int
+	idOnce   sync.Once
+	id       string
 }
 
 // ID returns the canonical identity of the physical barrier.
-func (s *Site) ID() string { return s.Pos.String() + "/" + s.Name }
+func (s *Site) ID() string {
+	s.idOnce.Do(func() { s.id = s.Pos.String() + "/" + s.Name })
+	return s.id
+}
 
 // String renders the site for diagnostics.
 func (s *Site) String() string {
@@ -117,15 +130,21 @@ func (s *Site) String() string {
 }
 
 // Objects returns the distinct objects accessed around the site, with the
-// smallest distance at which each occurs.
+// smallest distance at which each occurs. The map is computed once and
+// shared; callers must not mutate it.
 func (s *Site) Objects() map[Object]int {
-	m := map[Object]int{}
-	for _, a := range append(append([]*Access{}, s.Before...), s.After...) {
-		if d, ok := m[a.Object]; !ok || a.Distance < d {
-			m[a.Object] = a.Distance
+	s.objsOnce.Do(func() {
+		m := make(map[Object]int, len(s.Before)+len(s.After))
+		for _, list := range [2][]*Access{s.Before, s.After} {
+			for _, a := range list {
+				if d, ok := m[a.Object]; !ok || a.Distance < d {
+					m[a.Object] = a.Distance
+				}
+			}
 		}
-	}
-	return m
+		s.objs = m
+	})
+	return s.objs
 }
 
 // Orders reports whether the site orders objects o1 and o2: one accessed

@@ -344,6 +344,59 @@ func (n *Node) Callees() []*Node {
 	return out
 }
 
+// FileDeps returns the conservative file-level dependency map the
+// incremental pipeline keys interprocedural extraction on: file A depends on
+// file B when A's extraction could observe code from B — through a resolved
+// call edge (direct or function-pointer), or because a name called anywhere
+// in A has a definition in B (the superset any per-file resolver may splice,
+// regardless of which visibility context resolves the nested call). The
+// lists are sorted, duplicate-free and never include the file itself.
+//
+// The map is deliberately an over-approximation: a file outside another
+// file's transitive dependency closure can never influence its extraction,
+// so artifacts keyed over the closure's contents are safe to reuse.
+func (g *Graph) FileDeps() map[string][]string {
+	deps := map[string]map[string]bool{}
+	add := func(from, to string) {
+		if from == to {
+			return
+		}
+		m, ok := deps[from]
+		if !ok {
+			m = map[string]bool{}
+			deps[from] = m
+		}
+		m[to] = true
+	}
+	for _, n := range g.Nodes {
+		if _, ok := deps[n.File]; !ok {
+			deps[n.File] = map[string]bool{}
+		}
+		for _, e := range n.Calls {
+			add(n.File, e.Callee.File)
+		}
+		for _, call := range cast.Calls(n.Fn.Body) {
+			name := call.FunName()
+			if name == "" {
+				continue
+			}
+			for _, def := range g.byName[name] {
+				add(n.File, def.File)
+			}
+		}
+	}
+	out := make(map[string][]string, len(deps))
+	for file, set := range deps {
+		list := make([]string, 0, len(set))
+		for to := range set {
+			list = append(list, to)
+		}
+		sort.Strings(list)
+		out[file] = list
+	}
+	return out
+}
+
 // Stats summarizes the graph for reports and metrics.
 type Stats struct {
 	Functions  int

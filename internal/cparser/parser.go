@@ -76,6 +76,24 @@ func ParseSourceCtx(ctx context.Context, file, src string, opts cpp.Options) (*c
 	return f, errs
 }
 
+// ParseTokens parses a preprocess artifact into an AST. It is the pure
+// parse stage of the incremental pipeline: the returned errors combine the
+// artifact's preprocessing diagnostics with the parse diagnostics, exactly
+// as ParseSource reports them, and the output depends only on (file, pre) —
+// never on ambient state — so it may be memoized under pre's fingerprint.
+func ParseTokens(ctx context.Context, file string, pre *cpp.Result) (*cast.File, []error) {
+	_, sp := obs.Start(ctx, "parse")
+	defer sp.End()
+	sp.SetAttr("file", file)
+	p := New(pre.Tokens)
+	f := p.ParseFile(file)
+	errs := append(append([]error{}, pre.Errors...), p.errs...)
+	sp.Add("tokens", int64(len(pre.Tokens)))
+	sp.Add("decls", int64(len(f.Decls)))
+	sp.Add("errors", int64(len(errs)))
+	return f, errs
+}
+
 // Errors returns the parse errors recorded so far.
 func (p *Parser) Errors() []error { return p.errs }
 

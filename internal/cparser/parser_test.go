@@ -1,6 +1,7 @@
 package cparser
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -764,5 +765,33 @@ struct outer {
 	}
 	if !names["member"] || !names["tail"] {
 		t.Errorf("fields = %v", names)
+	}
+}
+
+// ParseTokens is the pure parse-stage entry point of the incremental
+// pipeline: preprocessing happens once, up front, and the parse consumes
+// the token stream. It must agree with the fused ParseSource path.
+func TestParseTokensMatchesParseSource(t *testing.T) {
+	src := `
+struct s { int a; int b; };
+void w(struct s *p) {
+	p->a = 1;
+	smp_wmb();
+	p->b = 1;
+	unterminated(
+`
+	fused, fusedErrs := ParseSource("pt.c", src, cpp.Options{})
+	pre := cpp.Preprocess("pt.c", src, cpp.Options{})
+	split, splitErrs := ParseTokens(context.Background(), "pt.c", pre)
+	if got, want := len(split.Decls), len(fused.Decls); got != want {
+		t.Fatalf("decls = %d, want %d", got, want)
+	}
+	if got, want := len(splitErrs), len(fusedErrs); got != want {
+		t.Fatalf("errors = %d, want %d", got, want)
+	}
+	for i := range splitErrs {
+		if splitErrs[i].Error() != fusedErrs[i].Error() {
+			t.Errorf("error %d: %q vs %q", i, splitErrs[i], fusedErrs[i])
+		}
 	}
 }

@@ -11,6 +11,8 @@ package cpp
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strconv"
 	"strings"
@@ -47,6 +49,24 @@ type Result struct {
 	Errors []error
 	// Macros is the final macro table, useful for tests and tooling.
 	Macros map[string]*Macro
+}
+
+// Fingerprint returns the content address of the preprocess artifact: the
+// hex SHA-256 over the attributed file name, every emitted token (text and
+// position) and every diagnostic. Two runs with the same fingerprint are
+// indistinguishable to every downstream stage — the parser sees the same
+// tokens and the result carries the same errors — so the fingerprint is the
+// cache key the incremental pipeline builds parse/cfg/extract keys from.
+func (r *Result) Fingerprint(file string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00", file)
+	for _, tok := range r.Tokens {
+		fmt.Fprintf(h, "%s\x00%s:%d:%d\n", tok.Text, tok.Pos.File, tok.Pos.Line, tok.Pos.Col)
+	}
+	for _, err := range r.Errors {
+		fmt.Fprintf(h, "E%s\x00", err.Error())
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 type preprocessor struct {

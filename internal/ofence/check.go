@@ -382,24 +382,32 @@ func (c *checker) checkUnneeded(s *access.Site, pg *Pairing) *Finding {
 func (c *checker) checkOnce(pg *Pairing) []*Finding {
 	var out []*Finding
 	for _, s := range pg.Sites {
-		for _, a := range append(append([]*access.Access{}, s.Before...), s.After...) {
-			if !inCommon(pg, a.Object) || a.Once || a.Expr == nil {
-				continue
+		for _, list := range [2][]*access.Access{s.Before, s.After} {
+			for _, a := range list {
+				out = c.checkOnceAccess(pg, s, a, out)
 			}
-			if a.Distance == 0 {
-				continue // combined primitives already have ONCE semantics
-			}
-			ann := memmodel.ReadOnce
-			if a.Kind == access.Store {
-				ann = memmodel.WriteOnce
-			}
-			out = append(out, &Finding{
-				Kind: MissingOnce, Site: s, Pairing: pg, Object: a.Object, Access: a,
-				SuggestedBarrier: ann,
-				Explanation: fmt.Sprintf("%s is accessed concurrently in %s without %s; the compiler may tear or fuse the access",
-					a.Object, s.Fn.Name, ann),
-			})
 		}
 	}
 	return out
+}
+
+// checkOnceAccess appends a MissingOnce finding for one access when it
+// touches a shared object without the required annotation.
+func (c *checker) checkOnceAccess(pg *Pairing, s *access.Site, a *access.Access, out []*Finding) []*Finding {
+	if !inCommon(pg, a.Object) || a.Once || a.Expr == nil {
+		return out
+	}
+	if a.Distance == 0 {
+		return out // combined primitives already have ONCE semantics
+	}
+	ann := memmodel.ReadOnce
+	if a.Kind == access.Store {
+		ann = memmodel.WriteOnce
+	}
+	return append(out, &Finding{
+		Kind: MissingOnce, Site: s, Pairing: pg, Object: a.Object, Access: a,
+		SuggestedBarrier: ann,
+		Explanation: fmt.Sprintf("%s is accessed concurrently in %s without %s; the compiler may tear or fuse the access",
+			a.Object, s.Fn.Name, ann),
+	})
 }

@@ -15,16 +15,16 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ofence/internal/access"
 	"ofence/internal/callgraph"
 	"ofence/internal/cast"
-	"ofence/internal/cparser"
-	"ofence/internal/cpp"
 	"ofence/internal/ctypes"
 	"ofence/internal/memmodel"
 	"ofence/internal/obs"
+	"ofence/internal/rescache"
 	"ofence/internal/semprop"
 )
 
@@ -61,73 +61,101 @@ func DefaultOptions() Options {
 	}
 }
 
-// FileUnit is one analyzed translation unit.
+// FileUnit is one analyzed translation unit. Name/AST/Table/Sites/Errs are
+// read-only mirrors of the unit's current artifact record, refreshed by the
+// project whenever a stage recomputes.
 type FileUnit struct {
 	Name  string
 	AST   *cast.File
 	Table *ctypes.Table
 	Sites []*access.Site
 	Errs  []error
+
+	// src is the raw source, kept so the front-end can re-run when the
+	// macro environment changes (Define/AddHeader dirties every file).
+	src string
+	// art is the immutable per-stage artifact record (see incremental.go);
+	// replaced wholesale on recompute, never mutated, so clones sharing the
+	// old record are undisturbed.
+	art *artifacts
+	// envStale marks that headers/defines changed after art was built; the
+	// next Analyze re-runs the front-end to re-key the file.
+	envStale bool
 }
 
-// Project is a set of files analyzed together. Pairing is global; parsing
-// and extraction are per-file. Extraction results are cached per file, so
-// re-analyzing after ReplaceSource only re-extracts the changed file (the
-// paper's incremental mode, §6.1).
+// Project is a set of files analyzed together. Pairing is global; the
+// per-file pipeline (preprocess → parse → cfg → extract) is incremental:
+// every stage output is an immutable artifact keyed by the content hash of
+// its inputs in a cache shared with clones (see incremental.go), so
+// re-analyzing after ReplaceSource re-runs per-file stages only for the
+// changed file and replays the cheap project-wide phases over cached sites
+// (the paper's incremental mode, §6.1).
 //
-// Concurrency: every method is safe to call concurrently, and independent
-// Projects never share mutable state. Analyze calls on the SAME project are
-// serialized internally (they mutate the per-file extraction cache); to
-// overlap analyses of one file set, give each goroutine its own Clone.
+// Concurrency: every method is safe to call concurrently, and Analyze calls
+// on the SAME project are serialized internally (they swap per-unit
+// artifact pointers); to overlap analyses of one file set, give each
+// goroutine its own Clone — clones share the stage caches, so work done by
+// one is reused by all.
 type Project struct {
 	mu      sync.Mutex
 	files   []*FileUnit
 	headers map[string]string
 	defines map[string]string
-	// lastOpts invalidates the extraction cache when analysis options
-	// change between Analyze calls.
-	lastOpts *Options
-	// runMu serializes Analyze calls on this project: extraction writes the
-	// per-file cache (FileUnit.Table/Sites), which concurrent runs would
-	// race on.
+	// envHash caches the content hash of headers+defines; "" means
+	// recompute (AddHeader/Define reset it).
+	envHash string
+	// stages holds the content-addressed per-file artifact caches, shared
+	// with clones so equal work is never redone.
+	stages *rescache.Stages
+	// runMu serializes Analyze calls on this project: runs swap the
+	// per-unit artifact records, which concurrent runs would race on.
 	runMu sync.Mutex
 }
 
 // NewProject returns an empty project.
 func NewProject() *Project {
-	return &Project{headers: map[string]string{}, defines: map[string]string{}}
+	return &Project{
+		headers: map[string]string{},
+		defines: map[string]string{},
+		stages:  rescache.NewStages(0),
+	}
 }
 
-// AddHeader registers an include-resolvable header shared by sources.
+// AddHeader registers an include-resolvable header shared by sources. Every
+// existing file is marked stale: header text can reach any translation unit
+// through #include, so the next Analyze re-keys them all (files whose
+// preprocessed content is unchanged keep their cached artifacts).
 func (p *Project) AddHeader(path, src string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.headers[path] = src
+	p.markEnvChangedLocked()
 }
 
-// Define seeds a preprocessor symbol (kernel config) for all sources.
+// Define seeds a preprocessor symbol (kernel config) for all sources. Like
+// AddHeader, it conservatively dirties every file.
 func (p *Project) Define(name, value string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.defines[name] = value
+	p.markEnvChangedLocked()
+}
+
+// markEnvChangedLocked invalidates the cached environment hash and marks
+// every unit for a front-end refresh. Callers hold p.mu.
+func (p *Project) markEnvChangedLocked() {
+	p.envHash = ""
+	for _, fu := range p.files {
+		fu.envStale = true
+	}
 }
 
 // AddSource parses one C file into the project. Parse errors are recorded on
 // the file unit, not fatal (Smatch-style resilience).
 func (p *Project) AddSource(name, src string) *FileUnit {
-	p.mu.Lock()
-	include := make(map[string]string, len(p.headers))
-	for k, v := range p.headers {
-		include[k] = v
-	}
-	defines := make(map[string]string, len(p.defines))
-	for k, v := range p.defines {
-		defines[k] = v
-	}
-	p.mu.Unlock()
-
-	ast, errs := cparser.ParseSource(name, src, cpp.Options{Include: include, Defines: defines})
-	fu := &FileUnit{Name: name, AST: ast, Errs: errs}
+	env := p.envSnapshot()
+	art := p.frontend(context.Background(), name, src, env)
+	fu := &FileUnit{Name: name, AST: art.ast, Errs: art.errs, src: src, art: art}
 	p.mu.Lock()
 	p.files = append(p.files, fu)
 	p.mu.Unlock()
@@ -151,17 +179,7 @@ func (p *Project) AddSources(srcs []SourceFile) []*FileUnit {
 // carries an obs.Tracer, each file's preprocessing and parsing is recorded
 // as "preprocess"/"parse" spans (see internal/obs).
 func (p *Project) AddSourcesCtx(ctx context.Context, srcs []SourceFile) []*FileUnit {
-	p.mu.Lock()
-	include := make(map[string]string, len(p.headers))
-	for k, v := range p.headers {
-		include[k] = v
-	}
-	defines := make(map[string]string, len(p.defines))
-	for k, v := range p.defines {
-		defines[k] = v
-	}
-	p.mu.Unlock()
-
+	env := p.envSnapshot()
 	units := make([]*FileUnit, len(srcs))
 	workers := runtime.GOMAXPROCS(0)
 	sem := make(chan struct{}, workers)
@@ -172,8 +190,8 @@ func (p *Project) AddSourcesCtx(ctx context.Context, srcs []SourceFile) []*FileU
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ast, errs := cparser.ParseSourceCtx(ctx, sf.Name, sf.Src, cpp.Options{Include: include, Defines: defines})
-			units[i] = &FileUnit{Name: sf.Name, AST: ast, Errs: errs}
+			art := p.frontend(ctx, sf.Name, sf.Src, env)
+			units[i] = &FileUnit{Name: sf.Name, AST: art.ast, Errs: art.errs, src: sf.Src, art: art}
 		}(i, sf)
 	}
 	wg.Wait()
@@ -193,10 +211,12 @@ func (p *Project) Files() []*FileUnit {
 	return out
 }
 
-// Clone returns a project with the same headers, defines and parsed files
-// but a fresh extraction cache. The immutable ASTs are shared; everything
-// analysis writes to (FileUnit.Table/Sites, the options cache) is new, so a
-// clone may be analyzed concurrently with the original.
+// Clone returns a project with the same headers, defines and parsed files.
+// The clone shares the originals' immutable artifact records and the stage
+// caches (copy-on-write: recomputation installs fresh records on one
+// project without touching the other), so a clone may be analyzed
+// concurrently with the original and re-analyzing a clone after one
+// ReplaceSource recomputes exactly that file.
 func (p *Project) Clone() *Project {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -204,6 +224,8 @@ func (p *Project) Clone() *Project {
 		headers: make(map[string]string, len(p.headers)),
 		defines: make(map[string]string, len(p.defines)),
 		files:   make([]*FileUnit, 0, len(p.files)),
+		envHash: p.envHash,
+		stages:  p.stages,
 	}
 	for k, v := range p.headers {
 		q.headers[k] = v
@@ -212,15 +234,27 @@ func (p *Project) Clone() *Project {
 		q.defines[k] = v
 	}
 	for _, fu := range p.files {
-		q.files = append(q.files, &FileUnit{Name: fu.Name, AST: fu.AST, Errs: fu.Errs})
+		q.files = append(q.files, &FileUnit{
+			Name: fu.Name, AST: fu.AST, Table: fu.Table, Sites: fu.Sites,
+			Errs: fu.Errs, src: fu.src, art: fu.art, envStale: fu.envStale,
+		})
 	}
 	return q
 }
 
-// ReplaceSource re-parses one file in place, keeping every other file's
-// cached extraction valid. It returns the new unit, or nil when no file of
-// that name exists.
+// ReplaceSource swaps one file's source in place, keeping every other
+// file's cached artifacts valid. When the new source preprocesses to the
+// same content hash (whitespace or comment-only edit), the existing unit —
+// including its cached extraction — is kept as is. It returns the unit, or
+// nil when no file of that name exists.
 func (p *Project) ReplaceSource(name, src string) *FileUnit {
+	return p.ReplaceSourceCtx(context.Background(), name, src)
+}
+
+// ReplaceSourceCtx is ReplaceSource under an observability context: when the
+// front-end actually runs (changed content), it is recorded as
+// "preprocess"/"parse" spans on ctx's tracer.
+func (p *Project) ReplaceSourceCtx(ctx context.Context, name, src string) *FileUnit {
 	p.mu.Lock()
 	idx := -1
 	for i, fu := range p.files {
@@ -229,61 +263,22 @@ func (p *Project) ReplaceSource(name, src string) *FileUnit {
 			break
 		}
 	}
-	include := make(map[string]string, len(p.headers))
-	for k, v := range p.headers {
-		include[k] = v
-	}
-	defines := make(map[string]string, len(p.defines))
-	for k, v := range p.defines {
-		defines[k] = v
-	}
 	p.mu.Unlock()
 	if idx < 0 {
 		return nil
 	}
-	ast, errs := cparser.ParseSource(name, src, cpp.Options{Include: include, Defines: defines})
-	fu := &FileUnit{Name: name, AST: ast, Errs: errs}
+	env := p.envSnapshot()
+	art := p.frontend(ctx, name, src, env)
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.files[idx]
+	if old.art != nil && old.art.preHash == art.preHash && !old.envStale {
+		old.src = src
+		return old
+	}
+	fu := &FileUnit{Name: name, AST: art.ast, Errs: art.errs, src: src, art: art}
 	p.files[idx] = fu
-	p.mu.Unlock()
 	return fu
-}
-
-// optionsEqual compares the fields that affect extraction.
-func optionsEqual(a, b *Options) bool {
-	if a == nil || b == nil {
-		return false
-	}
-	if a.Access.WriteWindow != b.Access.WriteWindow ||
-		a.Access.ReadWindow != b.Access.ReadWindow ||
-		a.Access.InlineDepth != b.Access.InlineDepth ||
-		a.Access.MaxUnits != b.Access.MaxUnits {
-		return false
-	}
-	if a.MinSharedObjects != b.MinSharedObjects || a.CheckOnce != b.CheckOnce {
-		return false
-	}
-	if a.InterprocDepth != b.InterprocDepth {
-		return false
-	}
-	if !equalStrings(a.Access.ExtraWakeUps, b.Access.ExtraWakeUps) ||
-		!equalStrings(a.Access.ExtraBarrierSemantics, b.Access.ExtraBarrierSemantics) ||
-		!equalStrings(a.GenericStructs, b.GenericStructs) {
-		return false
-	}
-	return true
-}
-
-func equalStrings(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Pairing is a set of barrier sites inferred to run concurrently. Sites[0]
@@ -342,6 +337,9 @@ type Result struct {
 	// CallGraph holds the interprocedural call-graph statistics (zero when
 	// InterprocDepth is 0).
 	CallGraph callgraph.Stats
+	// Incremental reports per-file cache reuse for this call. Excluded from
+	// ResultView so incremental and cold runs serialize identically.
+	Incremental IncrementalStats
 }
 
 // Analyze runs extraction, pairing and checking over every file.
@@ -364,22 +362,18 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	if opts.MinSharedObjects <= 0 {
 		opts.MinSharedObjects = 2
 	}
-	// Serialize runs on this project: extraction mutates the per-file cache.
+	// Serialize runs on this project: runs swap per-unit artifact records.
 	p.runMu.Lock()
 	defer p.runMu.Unlock()
 	ctx, asp := obs.Start(ctx, "analyze")
 	defer asp.End()
 	res := &Result{}
+	fp := opts.Fingerprint()
 
-	// Phase 1: per-file extraction, in parallel. Files whose extraction is
-	// cached (same options, unchanged source) are skipped — this is what
-	// makes single-file re-analysis cheap.
+	env := p.envSnapshot()
 	p.mu.Lock()
 	files := make([]*FileUnit, len(p.files))
 	copy(files, p.files)
-	fresh := p.lastOpts != nil && optionsEqual(p.lastOpts, &opts)
-	saved := opts
-	p.lastOpts = &saved
 	p.mu.Unlock()
 	asp.Add("files", int64(len(files)))
 
@@ -389,16 +383,24 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	}
 	phaseStart := time.Now()
 
+	// Phase 0: re-run the front-end for units dirtied by Define/AddHeader,
+	// so every unit's artifacts are keyed by current content.
+	p.refreshStale(ctx, files, env, workers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// Interprocedural mode: build the cross-file call graph and run the
 	// barrier-semantics fixpoint before extraction, so every file's
 	// exploration sees the inferred implicit barriers and can splice callees
-	// across file boundaries. Inference depends on every file's AST, so the
-	// per-file incremental cache is bypassed (a one-file edit can change
-	// other files' extraction through the call graph).
+	// across file boundaries. Both phases are cheap and project-wide, so
+	// they always run; the per-file extract cache stays sound because its
+	// keys fold in each file's dependency-closure hash — a one-file edit
+	// re-keys (and so re-extracts) every transitive caller, and only those.
 	var resolve func(file string) func(string) *cast.FuncDecl
 	var inferredNames map[string]memmodel.BarrierKind
+	var closures map[string]string
 	if opts.InterprocDepth > 0 {
-		fresh = false
 		cgf := make([]callgraph.File, 0, len(files))
 		for _, fu := range files {
 			cgf = append(cgf, callgraph.File{Name: fu.Name, AST: fu.AST})
@@ -417,33 +419,63 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 		ssp.End()
 		inferredNames = inf.NameKinds()
 		resolve = g.ResolverFor
+		closures = interprocClosures(g.FileDeps(), files)
 	}
 
+	// Phase 1: per-file extraction, in parallel. A unit whose artifact
+	// record already carries sites for the wanted key is served in place; a
+	// key found in the shared stage cache (e.g. computed by a clone) is
+	// adopted without running; only genuinely new (file content × options ×
+	// closure) combinations execute.
 	ectx, esp := obs.Start(ctx, "extract")
+	var reused, recomputed atomic.Int64
+	extractCache := p.stages.Stage(stageExtract)
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for _, fu := range files {
-		if fresh && fu.Table != nil {
+		p.mu.Lock()
+		art := fu.art
+		p.mu.Unlock()
+		want := extractKeyFor(fp, fu.Name, art.preHash, closures[fu.Name])
+		if art.sitesKey == want {
+			reused.Add(1)
+			p.mu.Lock()
+			fu.Table, fu.Sites = art.table, art.sites
+			p.mu.Unlock()
 			continue
 		}
 		wg.Add(1)
-		go func(fu *FileUnit) {
+		go func(fu *FileUnit, art *artifacts, want rescache.Key) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if ctx.Err() != nil {
-				return // canceled: leave the unit unextracted
+				return // canceled: leave the unit's artifacts as they were
 			}
-			aopts := opts.Access
-			if opts.InterprocDepth > 0 {
-				aopts.InferredSemantics = inferredNames
-				aopts.Resolve = resolve(fu.Name)
-				aopts.InterprocDepth = opts.InterprocDepth
+			v, hit, _ := extractCache.Do(want, func() (any, error) {
+				recomputed.Add(1)
+				table := p.tableFor(fu.Name, art)
+				aopts := opts.Access
+				if opts.InterprocDepth > 0 {
+					aopts.InferredSemantics = inferredNames
+					aopts.Resolve = resolve(fu.Name)
+					aopts.InterprocDepth = opts.InterprocDepth
+				}
+				ex := access.NewExtractor(fu.Name, table, aopts)
+				sites := ex.ExtractFileCtx(ectx, art.ast)
+				return &extractArtifact{table: table, sites: sites}, nil
+			})
+			if hit {
+				reused.Add(1)
 			}
-			fu.Table = ctypes.NewTable(fu.AST)
-			ex := access.NewExtractor(fu.Name, fu.Table, aopts)
-			fu.Sites = ex.ExtractFileCtx(ectx, fu.AST)
-		}(fu)
+			ea := v.(*extractArtifact)
+			next := *art
+			next.table, next.sites, next.sitesKey = ea.table, ea.sites, want
+			p.mu.Lock()
+			fu.art = &next
+			fu.Table, fu.Sites = ea.table, ea.sites
+			p.mu.Unlock()
+		}(fu, art, want)
 	}
 	wg.Wait()
 	res.Timing.Extract = time.Since(phaseStart)
@@ -456,7 +488,14 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 		res.Sites = append(res.Sites, fu.Sites...)
 		res.ParseErrors = append(res.ParseErrors, fu.Errs...)
 	}
+	res.Incremental = IncrementalStats{
+		FilesTotal:      len(files),
+		FilesReused:     int(reused.Load()),
+		FilesRecomputed: int(recomputed.Load()),
+	}
 	esp.Add("files", int64(len(files)))
+	esp.Add("files_reused", reused.Load())
+	esp.Add("files_recomputed", recomputed.Load())
 	esp.Add("sites", int64(len(res.Sites)))
 	esp.End()
 	if opts.InterprocDepth > 0 {
@@ -546,6 +585,9 @@ type pairer struct {
 	objIndex map[access.Object][]*access.Site
 	// objDist caches per-site minimal distances per object.
 	objDist map[*access.Site]map[access.Object]int
+	// ids caches Site.ID per site: the same-physical-barrier test inside
+	// get_pair runs per candidate, and formatting the ID there dominates.
+	ids     map[*access.Site]string
 	generic map[string]bool
 	// pruned counts tentative pairing candidates that did not survive the
 	// mutual-best handshake (observability counter; see internal/obs).
@@ -564,6 +606,7 @@ func newPairer(sites []*access.Site, opts Options) *pairer {
 		opts:     opts,
 		objIndex: map[access.Object][]*access.Site{},
 		objDist:  map[*access.Site]map[access.Object]int{},
+		ids:      map[*access.Site]string{},
 		generic:  map[string]bool{},
 	}
 	for _, g := range opts.GenericStructs {
@@ -572,6 +615,7 @@ func newPairer(sites []*access.Site, opts Options) *pairer {
 	for _, s := range sites {
 		objs := pr.filteredObjects(s)
 		pr.objDist[s] = objs
+		pr.ids[s] = s.ID()
 		for o := range objs {
 			pr.objIndex[o] = append(pr.objIndex[o], s)
 		}
@@ -580,9 +624,22 @@ func newPairer(sites []*access.Site, opts Options) *pairer {
 }
 
 // filteredObjects returns the site's objects minus generic-struct noise.
+// When no object is filtered — the common case — it returns the site's
+// shared memoized map directly; objDist consumers never mutate it.
 func (pr *pairer) filteredObjects(s *access.Site) map[access.Object]int {
-	out := map[access.Object]int{}
-	for o, d := range s.Objects() {
+	all := s.Objects()
+	drop := false
+	for o := range all {
+		if pr.generic[o.Struct] {
+			drop = true
+			break
+		}
+	}
+	if !drop {
+		return all
+	}
+	out := make(map[access.Object]int, len(all))
+	for o, d := range all {
 		if pr.generic[o.Struct] {
 			continue
 		}
@@ -737,7 +794,7 @@ func (pr *pairer) getPair(b *access.Site, o1, o2 access.Object) (*access.Site, i
 		if s == b || !in2[s] {
 			continue
 		}
-		if s.ID() == b.ID() {
+		if pr.ids[s] == pr.ids[b] {
 			continue // same physical barrier viewed from another function
 		}
 		w := weightOf(pr.objDist[s][o1]) * weightOf(pr.objDist[s][o2])
@@ -755,7 +812,7 @@ func (pr *pairer) getSingle(b *access.Site, o access.Object) (*access.Site, int)
 	var match *access.Site
 	bestW := -1
 	for _, s := range pr.objIndex[o] {
-		if s == b || s.ID() == b.ID() {
+		if s == b || pr.ids[s] == pr.ids[b] {
 			continue
 		}
 		w := weightOf(pr.objDist[s][o])

@@ -167,19 +167,50 @@ func TestAddSourcesDeterministicOrder(t *testing.T) {
 	}
 }
 
-func TestCloneIsolatesExtractionCache(t *testing.T) {
+func TestCloneSharesArtifactsCopyOnWrite(t *testing.T) {
 	p := newParallelTestProject(t)
+	p.AddSource("q.c", `
+struct qs { int seq; int val; };
+void qw(struct qs *q) {
+	q->val = 7;
+	smp_wmb();
+	q->seq = 1;
+}
+void qr(struct qs *q) {
+	int s = q->seq;
+	smp_rmb();
+	use(q->val, s);
+}`)
 	p.Analyze(DefaultOptions())
+
+	// The clone inherits the originals' immutable artifacts: re-analyzing
+	// the identical file set is pure cache replay.
 	c := p.Clone()
-	for _, fu := range c.Files() {
-		if fu.Table != nil || fu.Sites != nil {
-			t.Error("clone inherited extraction state")
-		}
+	res := c.Analyze(DefaultOptions())
+	if got := res.Incremental; got.FilesReused != 2 || got.FilesRecomputed != 0 {
+		t.Fatalf("clone replay: reused=%d recomputed=%d, want 2/0", got.FilesReused, got.FilesRecomputed)
 	}
-	// Replacing a source in the clone must not disturb the original.
-	c.ReplaceSource("p.c", "struct ps { int flag; };")
-	res := p.Analyze(DefaultOptions())
+
+	// Editing one file in the clone recomputes exactly that file; the
+	// sibling's artifacts are served as is.
+	c.ReplaceSource("q.c", `
+struct qs { int seq; int val; };
+void qw(struct qs *q) {
+	q->val = 9;
+	smp_wmb();
+	q->seq = 2;
+}`)
+	res = c.Analyze(DefaultOptions())
+	if got := res.Incremental; got.FilesReused != 1 || got.FilesRecomputed != 1 {
+		t.Fatalf("clone after edit: reused=%d recomputed=%d, want 1/1", got.FilesReused, got.FilesRecomputed)
+	}
+
+	// Copy-on-write: the clone's mutation never disturbs the original.
+	res = p.Analyze(DefaultOptions())
 	if len(res.Pairings) == 0 {
 		t.Error("original project affected by clone mutation")
+	}
+	if got := res.Incremental; got.FilesReused != 2 || got.FilesRecomputed != 0 {
+		t.Errorf("original replay: reused=%d recomputed=%d, want 2/0", got.FilesReused, got.FilesRecomputed)
 	}
 }

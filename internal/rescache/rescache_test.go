@@ -20,6 +20,59 @@ func TestKeyOfFraming(t *testing.T) {
 	}
 }
 
+func TestStagesIsolationAndStats(t *testing.T) {
+	st := NewStages(4)
+	parse := st.Stage("parse")
+	extract := st.Stage("extract")
+	if parse == extract {
+		t.Fatal("stages share one cache")
+	}
+	if st.Stage("parse") != parse {
+		t.Fatal("Stage not idempotent")
+	}
+	parse.Add("k", 1)
+	if _, ok := extract.Get("k"); ok {
+		t.Error("key leaked across stages")
+	}
+	if _, ok := parse.Get("k"); !ok {
+		t.Error("stage lost its own entry")
+	}
+	stats := st.Stats()
+	if stats["parse"].Hits != 1 || stats["parse"].Entries != 1 {
+		t.Errorf("parse stats = %+v", stats["parse"])
+	}
+	if stats["extract"].Misses != 1 || stats["extract"].Entries != 0 {
+		t.Errorf("extract stats = %+v", stats["extract"])
+	}
+}
+
+func TestStagesConcurrentFirstUse(t *testing.T) {
+	st := NewStages(8)
+	var wg sync.WaitGroup
+	caches := make([]*Cache, 16)
+	for i := range caches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			caches[i] = st.Stage("shared")
+		}(i)
+	}
+	wg.Wait()
+	for _, c := range caches[1:] {
+		if c != caches[0] {
+			t.Fatal("concurrent Stage calls returned distinct caches")
+		}
+	}
+}
+
+func TestStagesDefaultCapacity(t *testing.T) {
+	st := NewStages(0)
+	c := st.Stage("s")
+	if c.cap != 4096 {
+		t.Errorf("default per-stage capacity = %d, want 4096", c.cap)
+	}
+}
+
 func TestGetAddHitMiss(t *testing.T) {
 	c := New(4)
 	if _, ok := c.Get("k1"); ok {

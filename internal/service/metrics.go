@@ -77,6 +77,16 @@ type metrics struct {
 	// inferredSemantics totals the implicit-barrier functions inferred by
 	// interprocedural jobs (zero unless clients request interproc_depth).
 	inferredSemantics uint64
+	// filesReused/filesRecomputed total the per-file incremental cache
+	// outcomes across jobs (ofence.Result.Incremental).
+	filesReused     uint64
+	filesRecomputed uint64
+	// lineageHits/lineageMisses/lineageEvictions track the warm-project
+	// lineage map: a hit means the job found a warm project for its source
+	// set and re-analyzed incrementally.
+	lineageHits      uint64
+	lineageMisses    uint64
+	lineageEvictions uint64
 }
 
 func newMetrics() *metrics {
@@ -134,6 +144,11 @@ func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
 		{"ofence_jobs_canceled_total", "Jobs canceled by shutdown or client", m.jobsCanceled},
 		{"ofence_queue_rejected_total", "Submissions rejected because the queue was full", m.queueRejected},
 		{"ofence_inferred_semantics_total", "Implicit-barrier functions inferred by interprocedural jobs", m.inferredSemantics},
+		{"ofence_files_reused_total", "Files whose extraction was served from the incremental cache", m.filesReused},
+		{"ofence_files_recomputed_total", "Files whose extraction actually ran", m.filesRecomputed},
+		{"ofence_lineage_hits_total", "Jobs that found a warm project for their source set", m.lineageHits},
+		{"ofence_lineage_misses_total", "Jobs that created a new warm-project lineage", m.lineageMisses},
+		{"ofence_lineage_evictions_total", "Warm-project lineages dropped by the LRU bound", m.lineageEvictions},
 	}
 	stageNames := make([]string, 0, len(m.stages))
 	for name := range m.stages {

@@ -81,14 +81,10 @@ func (o OptionsSpec) resolve() ofence.Options {
 
 // fingerprint folds every option that can change analysis RESULTS into the
 // cache key. Workers is deliberately excluded: it changes scheduling, never
-// output.
+// output. This is the engine's own per-file staging fingerprint, so the
+// whole-result cache and the incremental caches invalidate together.
 func fingerprint(opts ofence.Options) string {
-	return fmt.Sprintf("ofence-v1|ww=%d|rw=%d|inline=%d|ip=%d|maxu=%d|min=%d|once=%t|generic=%s|wake=%s|sem=%s",
-		opts.Access.WriteWindow, opts.Access.ReadWindow, opts.Access.InlineDepth,
-		opts.InterprocDepth, opts.Access.MaxUnits, opts.MinSharedObjects, opts.CheckOnce,
-		strings.Join(opts.GenericStructs, ","),
-		strings.Join(opts.Access.ExtraWakeUps, ","),
-		strings.Join(opts.Access.ExtraBarrierSemantics, ","))
+	return opts.Fingerprint()
 }
 
 // JobState is the lifecycle of a job.
@@ -177,6 +173,11 @@ type Config struct {
 	// MaxJobs bounds how many finished jobs stay queryable (default 1024);
 	// the oldest finished jobs are forgotten first.
 	MaxJobs int
+	// WarmLineages bounds how many warm projects are kept, one per source-set
+	// lineage (same file names + defines), so repeat submissions re-analyze
+	// incrementally instead of from scratch (default 32; negative disables
+	// warm reuse and builds a fresh project per job).
+	WarmLineages int
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +198,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.WarmLineages == 0 {
+		c.WarmLineages = 32
 	}
 	return c
 }
@@ -221,6 +225,11 @@ type Service struct {
 	order  []string
 	nextID uint64
 
+	// warm maps a source-set lineage (same file names + defines) to its
+	// long-lived project, bounded by cfg.WarmLineages with LRU eviction.
+	warmMu sync.Mutex
+	warm   map[string]*warmProject
+
 	// analyzeFn is the job body; tests may replace it before any Submit to
 	// inject blocking or failing analyses.
 	analyzeFn func(ctx context.Context, req *Request, opts ofence.Options) (*ofence.ResultView, error)
@@ -240,6 +249,7 @@ func New(cfg Config) *Service {
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		jobs:       map[string]*Job{},
+		warm:       map[string]*warmProject{},
 	}
 	s.analyzeFn = s.defaultAnalyze
 	for i := 0; i < cfg.Workers; i++ {
@@ -249,9 +259,101 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// defaultAnalyze runs the real pipeline: one fresh project per job, so
-// concurrent jobs share no mutable analysis state.
+// defaultAnalyze runs the real pipeline over a clone of the request's warm
+// lineage project: repeat submissions of an evolving source set re-run the
+// per-file stages only for changed files. Clones share immutable artifacts
+// and the stage caches, so concurrent jobs never share mutable analysis
+// state.
 func (s *Service) defaultAnalyze(ctx context.Context, req *Request, opts ofence.Options) (*ofence.ResultView, error) {
+	proj := s.projectFor(ctx, req)
+	res, err := proj.AnalyzeParallel(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.met.add(&s.met.filesReused, uint64(res.Incremental.FilesReused))
+	s.met.add(&s.met.filesRecomputed, uint64(res.Incremental.FilesRecomputed))
+	v := res.View()
+	return &v, nil
+}
+
+// warmProject is one lineage's long-lived project. mu serializes source
+// swaps and the initial build; jobs analyze clones, never proj itself.
+type warmProject struct {
+	mu   sync.Mutex
+	proj *ofence.Project
+	used time.Time
+}
+
+// lineageKey identifies a warm project: the sorted file NAMES plus the
+// defines. File contents are deliberately excluded — a lineage is an
+// evolving source set, and content changes are what the incremental
+// pipeline absorbs.
+func lineageKey(req *Request) string {
+	names := sortedNames(req.Files)
+	parts := make([]string, 0, len(names)+2*len(req.Defines))
+	for _, n := range names {
+		parts = append(parts, "F"+n)
+	}
+	defs := make([]string, 0, len(req.Defines))
+	for k := range req.Defines {
+		defs = append(defs, k)
+	}
+	sort.Strings(defs)
+	for _, k := range defs {
+		parts = append(parts, "D"+k, req.Defines[k])
+	}
+	return string(rescache.KeyOf("lineage-v1", parts...))
+}
+
+// projectFor returns the project a job analyzes. With warm reuse enabled it
+// is a clone of the request's lineage project, refreshed to the request's
+// contents (unchanged files keep their artifacts); otherwise a fresh
+// project.
+func (s *Service) projectFor(ctx context.Context, req *Request) *ofence.Project {
+	if s.cfg.WarmLineages < 0 {
+		return s.buildProject(ctx, req)
+	}
+	key := lineageKey(req)
+	s.warmMu.Lock()
+	w, ok := s.warm[key]
+	if ok {
+		s.met.count(&s.met.lineageHits)
+	} else {
+		s.met.count(&s.met.lineageMisses)
+		w = &warmProject{}
+		s.warm[key] = w
+		for len(s.warm) > s.cfg.WarmLineages {
+			oldestKey := ""
+			var oldest time.Time
+			for k, cand := range s.warm {
+				if k != key && (oldestKey == "" || cand.used.Before(oldest)) {
+					oldestKey, oldest = k, cand.used
+				}
+			}
+			if oldestKey == "" {
+				break
+			}
+			delete(s.warm, oldestKey)
+			s.met.count(&s.met.lineageEvictions)
+		}
+	}
+	w.used = time.Now()
+	s.warmMu.Unlock()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.proj == nil {
+		w.proj = s.buildProject(ctx, req)
+	} else {
+		for _, name := range sortedNames(req.Files) {
+			w.proj.ReplaceSourceCtx(ctx, name, req.Files[name])
+		}
+	}
+	return w.proj.Clone()
+}
+
+// buildProject assembles a cold project for the request.
+func (s *Service) buildProject(ctx context.Context, req *Request) *ofence.Project {
 	proj := ofence.NewProject()
 	kernelhdr.Register(proj)
 	for k, v := range req.Defines {
@@ -262,12 +364,14 @@ func (s *Service) defaultAnalyze(ctx context.Context, req *Request, opts ofence.
 		srcs = append(srcs, ofence.SourceFile{Name: name, Src: req.Files[name]})
 	}
 	proj.AddSourcesCtx(ctx, srcs)
-	res, err := proj.AnalyzeParallel(ctx, opts)
-	if err != nil {
-		return nil, err
-	}
-	v := res.View()
-	return &v, nil
+	return proj
+}
+
+// WarmLineages returns the number of warm projects currently kept.
+func (s *Service) WarmLineages() int {
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	return len(s.warm)
 }
 
 func sortedNames(m map[string]string) []string {
@@ -291,11 +395,7 @@ func (s *Service) contentKey(req *Request, opts ofence.Options) rescache.Key {
 			Include: s.headers,
 			Defines: req.Defines,
 		})
-		var b strings.Builder
-		for _, tok := range pre.Tokens {
-			fmt.Fprintf(&b, "%s\x00%d:%d\n", tok.Text, tok.Pos.Line, tok.Pos.Col)
-		}
-		parts = append(parts, name, b.String())
+		parts = append(parts, name, pre.Fingerprint(name))
 	}
 	return rescache.KeyOf(fingerprint(opts), parts...)
 }
@@ -516,6 +616,7 @@ func (s *Service) MetricsText() string {
 		"ofence_worker_utilization": util,
 		"ofence_cache_entries":      float64(st.Entries),
 		"ofence_cache_hit_rate":     st.HitRate(),
+		"ofence_warm_lineages":      float64(s.WarmLineages()),
 	})
 	for _, c := range []struct {
 		name, help string

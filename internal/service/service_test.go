@@ -499,3 +499,72 @@ func TestPipelineStageMetrics(t *testing.T) {
 		t.Error("cache hit added pipeline stage samples")
 	}
 }
+
+// metricValue extracts one un-labeled metric sample from the exposition.
+func metricValue(t *testing.T, s *Service, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(s.MetricsText(), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line, name+" %g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not exposed", name)
+	return 0
+}
+
+func TestWarmLineageIncremental(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	reqA := &Request{Files: map[string]string{"a.c": testSrc, "b.c": srcVariant(1)}}
+	first := waitDone(t, mustSubmit(t, s, reqA))
+	if first.State != JobDone || len(first.Result.Pairings) != 2 {
+		t.Fatalf("first job: %+v", first)
+	}
+	if got := metricValue(t, s, "ofence_lineage_misses_total"); got != 1 {
+		t.Errorf("lineage misses = %g, want 1", got)
+	}
+
+	// Same lineage (same names), one file's content edited: warm hit, and
+	// only the edited file is recomputed.
+	reqB := &Request{Files: map[string]string{"a.c": testSrc, "b.c": srcVariant(2)}}
+	second := waitDone(t, mustSubmit(t, s, reqB))
+	if second.State != JobDone || second.CacheHit {
+		t.Fatalf("second job: %+v", second)
+	}
+	if got := metricValue(t, s, "ofence_lineage_hits_total"); got != 1 {
+		t.Errorf("lineage hits = %g, want 1", got)
+	}
+	if got := metricValue(t, s, "ofence_files_reused_total"); got != 1 {
+		t.Errorf("files reused = %g, want 1 (a.c on the second job)", got)
+	}
+	if got := metricValue(t, s, "ofence_files_recomputed_total"); got != 3 {
+		t.Errorf("files recomputed = %g, want 3 (both cold + edited b.c)", got)
+	}
+
+	// The warm-path result must match a cold service's analysis verbatim.
+	cold := newTestService(t, Config{Workers: 1, WarmLineages: -1})
+	coldView := waitDone(t, mustSubmit(t, cold, reqB))
+	aj, _ := json.Marshal(second.Result)
+	bj, _ := json.Marshal(coldView.Result)
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("warm result differs from cold:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+func TestWarmLineageEviction(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, WarmLineages: 1})
+	waitDone(t, mustSubmit(t, s, &Request{Files: map[string]string{"a.c": testSrc}}))
+	waitDone(t, mustSubmit(t, s, &Request{Files: map[string]string{"b.c": srcVariant(1)}}))
+	if got := s.WarmLineages(); got != 1 {
+		t.Errorf("warm lineages = %d, want 1", got)
+	}
+	if got := metricValue(t, s, "ofence_lineage_evictions_total"); got != 1 {
+		t.Errorf("lineage evictions = %g, want 1", got)
+	}
+	if got := metricValue(t, s, "ofence_warm_lineages"); got != 1 {
+		t.Errorf("warm lineage gauge = %g, want 1", got)
+	}
+}
