@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fuzz test test-race race bench bench-incremental serve eval eval-json corpus trace-demo clean
+.PHONY: all build vet lint fuzz test test-race race bench bench-incremental bench-pairing serve eval eval-json corpus trace-demo clean
 
 all: build lint test
 
@@ -43,6 +43,15 @@ bench:
 # over a 64-file project. Reference results live in BENCH_incremental.json.
 bench-incremental:
 	$(GO) test -run '^$$' -bench BenchmarkReanalyzeOneFile -benchtime 3s .
+
+# Pairing-engine headline number: the pre-index pairer vs the
+# interned/indexed engine (sequential and sharded) over a synthetic
+# ~2000-site kernel-scale corpus (internal/sitegen). Refreshes
+# BENCH_pairing.json via the measurement harness in
+# internal/ofence/pair_bench_test.go.
+bench-pairing:
+	OFENCE_BENCH_PAIRING_OUT=$(CURDIR)/BENCH_pairing.json \
+		$(GO) test ./internal/ofence/ -run '^TestWriteBenchPairingJSON$$' -count=1 -v
 
 # Run the analysis daemon (see README "Running as a service").
 serve:

@@ -18,6 +18,7 @@ import (
 	"ofence/internal/ofence"
 	"ofence/internal/patch"
 	"ofence/internal/report"
+	"ofence/internal/sitegen"
 )
 
 func benchCorpus(scale float64, seed int64) *corpus.Corpus {
@@ -613,4 +614,27 @@ func BenchmarkReanalyzeOneFile(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPairSitesKernelScale measures the exported pairing entry point
+// over the synthetic kernel-scale corpus (internal/sitegen), sequential vs
+// sharded. The white-box old-vs-new comparison — including the preserved
+// pre-index pairer — lives in internal/ofence (BenchmarkPairKernelScale,
+// refreshed into BENCH_pairing.json by make bench-pairing).
+func BenchmarkPairSitesKernelScale(b *testing.B) {
+	sites := sitegen.Generate(sitegen.DefaultConfig(2000, 42))
+	opts := ofence.DefaultOptions()
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			o := opts
+			o.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pairings, _, _, _ := ofence.PairSites(context.Background(), sites, o)
+				if len(pairings) == 0 {
+					b.Fatal("no pairings")
+				}
+			}
+		})
+	}
 }

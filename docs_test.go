@@ -9,6 +9,7 @@ package ofence_test
 //     against.
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -263,4 +264,34 @@ func spanCounterNames(t *testing.T) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// TestDocsBenchJSONSchema fails when any recorded benchmark document
+// (BENCH_*.json at the repo root) is missing the shared schema's required
+// fields, so every headline number stays traceable to the command that
+// produced it and the acceptance bar it was measured against.
+func TestDocsBenchJSONSchema(t *testing.T) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no BENCH_*.json documents found at the repo root")
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Errorf("%s: invalid JSON: %v", file, err)
+			continue
+		}
+		for _, field := range []string{"benchmark", "command", "results", "acceptance"} {
+			if _, ok := doc[field]; !ok {
+				t.Errorf("%s: missing required field %q", file, field)
+			}
+		}
+	}
 }

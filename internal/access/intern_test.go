@@ -1,0 +1,149 @@
+package access
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomSites builds nSites synthetic sites over a universe of nObjs
+// objects, with random accesses split across the Before/After windows.
+func randomSites(rng *rand.Rand, nSites, nObjs int) []*Site {
+	objs := make([]Object, nObjs)
+	for i := range objs {
+		objs[i] = Object{
+			Struct: fmt.Sprintf("s%d", rng.Intn(nObjs/2+1)),
+			Field:  fmt.Sprintf("f%d", i),
+		}
+	}
+	sites := make([]*Site, nSites)
+	for i := range sites {
+		s := &Site{Name: "smp_wmb"}
+		for n := rng.Intn(12); n > 0; n-- {
+			a := &Access{Object: objs[rng.Intn(nObjs)], Distance: rng.Intn(50) + 1}
+			if rng.Intn(2) == 0 {
+				a.Before = true
+				s.Before = append(s.Before, a)
+			} else {
+				s.After = append(s.After, a)
+			}
+		}
+		sites[i] = s
+	}
+	return sites
+}
+
+// TestInternerInvariants is the quickcheck-style property suite for the
+// interned-object table: over many random site sets, IDs are dense, the
+// ID↔Object mapping round-trips, and InternSites assigns IDs in canonical
+// (Struct, Field) order.
+func TestInternerInvariants(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		sites := randomSites(rng, rng.Intn(20)+1, rng.Intn(30)+2)
+		in := InternSites(sites)
+
+		distinct := map[Object]struct{}{}
+		for _, s := range sites {
+			for o := range s.Objects() {
+				distinct[o] = struct{}{}
+			}
+		}
+		if in.Len() != len(distinct) {
+			t.Fatalf("trial %d: Len = %d, want %d distinct objects", trial, in.Len(), len(distinct))
+		}
+
+		// Round-trip and density: every object maps to an ID in [0, Len)
+		// and back to itself; every ID is issued exactly once.
+		seenID := make([]bool, in.Len())
+		for o := range distinct {
+			id, ok := in.ID(o)
+			if !ok {
+				t.Fatalf("trial %d: %v not interned", trial, o)
+			}
+			if int(id) >= in.Len() {
+				t.Fatalf("trial %d: ID %d out of dense range [0,%d)", trial, id, in.Len())
+			}
+			if seenID[id] {
+				t.Fatalf("trial %d: ID %d issued twice", trial, id)
+			}
+			seenID[id] = true
+			if got := in.Object(id); got != o {
+				t.Fatalf("trial %d: round-trip %v -> %d -> %v", trial, o, id, got)
+			}
+		}
+
+		// Canonical order: ascending ID must be ascending (Struct, Field).
+		for id := 1; id < in.Len(); id++ {
+			a, b := in.Object(uint32(id-1)), in.Object(uint32(id))
+			if a.Struct > b.Struct || (a.Struct == b.Struct && a.Field >= b.Field) {
+				t.Fatalf("trial %d: IDs not in canonical order: %d=%v before %d=%v", trial, id-1, a, id, b)
+			}
+		}
+
+		// ObjDists agrees with Site.Objects and is ID-sorted.
+		for _, s := range sites {
+			ods := in.ObjDists(s, nil)
+			if len(ods) != len(s.Objects()) {
+				t.Fatalf("trial %d: ObjDists len = %d, want %d", trial, len(ods), len(s.Objects()))
+			}
+			for i, od := range ods {
+				if i > 0 && ods[i-1].ID >= od.ID {
+					t.Fatalf("trial %d: ObjDists not strictly ID-sorted at %d", trial, i)
+				}
+				o := in.Object(od.ID)
+				if want := s.Objects()[o]; int(od.Dist) != want {
+					t.Fatalf("trial %d: dist for %v = %d, want %d", trial, o, od.Dist, want)
+				}
+				if d, ok := FindDist(ods, od.ID); !ok || d != od.Dist {
+					t.Fatalf("trial %d: FindDist(%d) = %d,%v", trial, od.ID, d, ok)
+				}
+			}
+		}
+
+		// SideIDs: sorted, deduplicated, and exactly the side's object set.
+		for _, s := range sites {
+			ids := in.SideIDs(s.Before)
+			want := map[uint32]struct{}{}
+			for _, a := range s.Before {
+				id, _ := in.ID(a.Object)
+				want[id] = struct{}{}
+			}
+			if len(ids) != len(want) {
+				t.Fatalf("trial %d: SideIDs len = %d, want %d", trial, len(ids), len(want))
+			}
+			if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+				t.Fatalf("trial %d: SideIDs not sorted", trial)
+			}
+			for id := range want {
+				if !ContainsID(ids, id) {
+					t.Fatalf("trial %d: ContainsID(%d) = false, want true", trial, id)
+				}
+			}
+			if ContainsID(ids, uint32(in.Len()+7)) {
+				t.Fatalf("trial %d: ContainsID accepted an unissued ID", trial)
+			}
+		}
+	}
+}
+
+// TestInternerGrow covers the mutable Intern path: first sight assigns the
+// next dense ID, repeats return the same ID.
+func TestInternerGrow(t *testing.T) {
+	in := NewInterner()
+	a := Object{Struct: "s", Field: "a"}
+	b := Object{Struct: "s", Field: "b"}
+	if id := in.Intern(a); id != 0 {
+		t.Fatalf("first Intern = %d, want 0", id)
+	}
+	if id := in.Intern(b); id != 1 {
+		t.Fatalf("second Intern = %d, want 1", id)
+	}
+	if id := in.Intern(a); id != 0 {
+		t.Fatalf("repeat Intern = %d, want 0", id)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+}

@@ -340,6 +340,10 @@ type Result struct {
 	// Incremental reports per-file cache reuse for this call. Excluded from
 	// ResultView so incremental and cold runs serialize identically.
 	Incremental IncrementalStats
+	// PairStats reports the pairing engine's execution counters (shards,
+	// index probes, bound-pruned candidate pairs). Excluded from ResultView
+	// so sequential and parallel runs serialize identically.
+	PairStats PairStats
 }
 
 // Analyze runs extraction, pairing and checking over every file.
@@ -506,15 +510,20 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	}
 	sortSites(res.Sites)
 
-	// Phase 2: global pairing (Algorithm 1).
+	// Phase 2: global pairing (Algorithm 1), sharded over the worker pool
+	// (see pair.go; the result is byte-identical at any worker count).
 	phaseStart = time.Now()
-	_, psp := obs.Start(ctx, "pair")
+	pctx, psp := obs.Start(ctx, "pair")
 	pairer := newPairer(res.Sites, opts)
-	res.Pairings, res.Unpaired, res.ImplicitIPC = pairer.run()
+	res.Pairings, res.Unpaired, res.ImplicitIPC = pairer.run(pctx)
+	res.PairStats = pairer.stats
 	psp.Add("pairings", int64(len(res.Pairings)))
 	psp.Add("unpaired", int64(len(res.Unpaired)))
 	psp.Add("implicit_ipc", int64(len(res.ImplicitIPC)))
-	psp.Add("candidates_pruned", int64(pairer.pruned))
+	psp.Add("candidates_pruned", res.PairStats.Pruned)
+	psp.Add("candidates_pruned_bound", res.PairStats.PrunedBound)
+	psp.Add("index_probes", res.PairStats.IndexProbes)
+	psp.Add("pair_shards", int64(res.PairStats.Shards))
 	psp.End()
 	res.Timing.Pair = time.Since(phaseStart)
 	if err := ctx.Err(); err != nil {
@@ -572,362 +581,4 @@ func sortSites(sites []*access.Site) {
 		}
 		return a.Pos.Col < b.Pos.Col
 	})
-}
-
-// ---------------------------------------------------------------------------
-// Pairing (Algorithm 1)
-
-type pairer struct {
-	sites []*access.Site
-	opts  Options
-	// objIndex maps each object to the sites that access it (the
-	// obj_to_barriers hash of Algorithm 1).
-	objIndex map[access.Object][]*access.Site
-	// objDist caches per-site minimal distances per object.
-	objDist map[*access.Site]map[access.Object]int
-	// ids caches Site.ID per site: the same-physical-barrier test inside
-	// get_pair runs per candidate, and formatting the ID there dominates.
-	ids     map[*access.Site]string
-	generic map[string]bool
-	// pruned counts tentative pairing candidates that did not survive the
-	// mutual-best handshake (observability counter; see internal/obs).
-	pruned int
-}
-
-type candidate struct {
-	other  *access.Site
-	weight int
-	o1, o2 access.Object
-}
-
-func newPairer(sites []*access.Site, opts Options) *pairer {
-	pr := &pairer{
-		sites:    sites,
-		opts:     opts,
-		objIndex: map[access.Object][]*access.Site{},
-		objDist:  map[*access.Site]map[access.Object]int{},
-		ids:      map[*access.Site]string{},
-		generic:  map[string]bool{},
-	}
-	for _, g := range opts.GenericStructs {
-		pr.generic[g] = true
-	}
-	for _, s := range sites {
-		objs := pr.filteredObjects(s)
-		pr.objDist[s] = objs
-		pr.ids[s] = s.ID()
-		for o := range objs {
-			pr.objIndex[o] = append(pr.objIndex[o], s)
-		}
-	}
-	return pr
-}
-
-// filteredObjects returns the site's objects minus generic-struct noise.
-// When no object is filtered — the common case — it returns the site's
-// shared memoized map directly; objDist consumers never mutate it.
-func (pr *pairer) filteredObjects(s *access.Site) map[access.Object]int {
-	all := s.Objects()
-	drop := false
-	for o := range all {
-		if pr.generic[o.Struct] {
-			drop = true
-			break
-		}
-	}
-	if !drop {
-		return all
-	}
-	out := make(map[access.Object]int, len(all))
-	for o, d := range all {
-		if pr.generic[o.Struct] {
-			continue
-		}
-		out[o] = d
-	}
-	return out
-}
-
-// isWriteSide reports whether the site plays the write-barrier role.
-func isWriteSide(s *access.Site) bool {
-	return s.Kind.OrdersWrites()
-}
-
-// run executes Algorithm 1 and returns pairings, unpaired sites, and
-// implicit-IPC writers.
-func (pr *pairer) run() (pairings []*Pairing, unpaired, implicit []*access.Site) {
-	// tentative[s] holds the best pairing candidate found from/for s.
-	tentative := map[*access.Site][]candidate{}
-
-	for _, b := range pr.sites {
-		if !isWriteSide(b) {
-			continue
-		}
-		objs := pr.objDist[b]
-		best := candidate{weight: -1}
-		// foreach (o1, o2) in make_pairs(b->objs)
-		olist := sortedObjects(objs)
-		for i := 0; i < len(olist); i++ {
-			for j := i + 1; j < len(olist); j++ {
-				o1, o2 := olist[i], olist[j]
-				myWeight := weightOf(objs[o1]) * weightOf(objs[o2])
-				pair, pairWeight := pr.getPair(b, o1, o2)
-				if pair == nil {
-					continue
-				}
-				w := myWeight * pairWeight
-				if (best.weight < 0 || w < best.weight) &&
-					(b.Orders(o1, o2) || pair.Orders(o1, o2)) {
-					best = candidate{other: pair, weight: w, o1: o1, o2: o2}
-				}
-			}
-		}
-		// Ablation path: with MinSharedObjects == 1, a single common object
-		// suffices (the paper requires two; §6.4's precision depends on it).
-		if pr.opts.MinSharedObjects == 1 && best.other == nil {
-			for _, o := range olist {
-				pair, pairWeight := pr.getSingle(b, o)
-				if pair == nil {
-					continue
-				}
-				w := weightOf(objs[o]) * pairWeight
-				if best.weight < 0 || w < best.weight {
-					best = candidate{other: pair, weight: w, o1: o, o2: o}
-				}
-			}
-		}
-		if best.other != nil {
-			// Implicit IPC check (§4.2): when the wake-up call is closer to
-			// the barrier than the pairing's shared objects, the barrier
-			// orders the wake-up; leave it unpaired.
-			if b.WakeUpAfter >= 0 && b.WakeUpAfter <= minObjDistance(b, best.o1, best.o2) {
-				implicit = append(implicit, b)
-				continue
-			}
-			tentative[b] = append(tentative[b], best)
-			tentative[best.other] = append(tentative[best.other], candidate{other: b, weight: best.weight, o1: best.o1, o2: best.o2})
-		} else if b.WakeUpAfter >= 0 {
-			implicit = append(implicit, b)
-		}
-	}
-
-	// Keep only the lowest-weight pairing per barrier.
-	bestOf := map[*access.Site]candidate{}
-	for s, cands := range tentative {
-		best := cands[0]
-		for _, c := range cands[1:] {
-			if c.weight < best.weight {
-				best = c
-			}
-		}
-		bestOf[s] = best
-	}
-
-	// Build the pairing array: a pairing survives only when both sides
-	// still select each other after pruning.
-	tentativeTotal := 0
-	for _, cands := range tentative {
-		tentativeTotal += len(cands)
-	}
-	kept := 0
-	paired := map[*access.Site]bool{}
-	for _, b := range pr.sites {
-		if !isWriteSide(b) || paired[b] {
-			continue
-		}
-		c, ok := bestOf[b]
-		if !ok {
-			continue
-		}
-		back, ok := bestOf[c.other]
-		if !ok || back.other != b {
-			continue
-		}
-		kept += 2 // b's candidate and the reciprocal one survive
-		pairing := &Pairing{Sites: []*access.Site{b, c.other}, Weight: c.weight}
-		pairing.Common = commonObjects(pr.objDist[b], pr.objDist[c.other])
-		paired[b] = true
-		paired[c.other] = true
-		pairings = append(pairings, pairing)
-	}
-
-	// Extension step: unpaired barriers whose object set contains the
-	// pairing's common objects join the pairing (multi-barrier pairings).
-	for _, pg := range pairings {
-		for _, s := range pr.sites {
-			if paired[s] || len(pg.Common) < pr.opts.MinSharedObjects {
-				continue
-			}
-			if containsAll(pr.objDist[s], pg.Common) {
-				pg.Sites = append(pg.Sites, s)
-				paired[s] = true
-			}
-		}
-	}
-
-	pr.pruned = tentativeTotal - kept
-
-	// Pairings built over the same common-object set describe one protocol
-	// (Figure 5: the seqcount duos form a single four-barrier pairing).
-	pairings = mergeByCommon(pairings)
-
-	for _, s := range pr.sites {
-		if !paired[s] && !isImplicitMember(s, implicit) {
-			unpaired = append(unpaired, s)
-		}
-	}
-	return pairings, unpaired, implicit
-}
-
-// getPair implements get_pair of Algorithm 1: the other site, surrounded by
-// both o1 and o2, with the lowest distance product.
-func (pr *pairer) getPair(b *access.Site, o1, o2 access.Object) (*access.Site, int) {
-	s1 := pr.objIndex[o1]
-	s2 := pr.objIndex[o2]
-	in2 := map[*access.Site]bool{}
-	for _, s := range s2 {
-		in2[s] = true
-	}
-	var match *access.Site
-	bestW := -1
-	for _, s := range s1 {
-		if s == b || !in2[s] {
-			continue
-		}
-		if pr.ids[s] == pr.ids[b] {
-			continue // same physical barrier viewed from another function
-		}
-		w := weightOf(pr.objDist[s][o1]) * weightOf(pr.objDist[s][o2])
-		if bestW < 0 || w < bestW {
-			bestW = w
-			match = s
-		}
-	}
-	return match, bestW
-}
-
-// getSingle is the MinSharedObjects==1 ablation variant of getPair: the
-// other site sharing just o, with the lowest distance.
-func (pr *pairer) getSingle(b *access.Site, o access.Object) (*access.Site, int) {
-	var match *access.Site
-	bestW := -1
-	for _, s := range pr.objIndex[o] {
-		if s == b || pr.ids[s] == pr.ids[b] {
-			continue
-		}
-		w := weightOf(pr.objDist[s][o])
-		if bestW < 0 || w < bestW {
-			bestW = w
-			match = s
-		}
-	}
-	return match, bestW
-}
-
-// weightOf maps a distance to a multiplicative weight; distance 0 (the
-// barrier's own combined access) weighs 1.
-func weightOf(d int) int {
-	if d <= 0 {
-		return 1
-	}
-	return d
-}
-
-func minObjDistance(s *access.Site, objs ...access.Object) int {
-	min := -1
-	dist := s.Objects()
-	for _, o := range objs {
-		if d, ok := dist[o]; ok && (min < 0 || d < min) {
-			min = d
-		}
-	}
-	if min < 0 {
-		return 1 << 30
-	}
-	return min
-}
-
-func sortedObjects(m map[access.Object]int) []access.Object {
-	out := make([]access.Object, 0, len(m))
-	for o := range m {
-		out = append(out, o)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Struct != out[j].Struct {
-			return out[i].Struct < out[j].Struct
-		}
-		return out[i].Field < out[j].Field
-	})
-	return out
-}
-
-func commonObjects(a, b map[access.Object]int) []access.Object {
-	var out []access.Object
-	for o := range a {
-		if _, ok := b[o]; ok {
-			out = append(out, o)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Struct != out[j].Struct {
-			return out[i].Struct < out[j].Struct
-		}
-		return out[i].Field < out[j].Field
-	})
-	return out
-}
-
-func containsAll(objs map[access.Object]int, want []access.Object) bool {
-	if len(want) == 0 {
-		return false
-	}
-	for _, o := range want {
-		if _, ok := objs[o]; !ok {
-			return false
-		}
-	}
-	return true
-}
-
-// mergeByCommon coalesces pairings with identical common-object sets.
-func mergeByCommon(pairings []*Pairing) []*Pairing {
-	byKey := map[string]*Pairing{}
-	var out []*Pairing
-	for _, pg := range pairings {
-		key := ""
-		for _, o := range pg.Common {
-			key += o.String() + "|"
-		}
-		ex, ok := byKey[key]
-		if !ok {
-			byKey[key] = pg
-			out = append(out, pg)
-			continue
-		}
-		for _, s := range pg.Sites {
-			dup := false
-			for _, have := range ex.Sites {
-				if have == s {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				ex.Sites = append(ex.Sites, s)
-			}
-		}
-		if pg.Weight < ex.Weight {
-			ex.Weight = pg.Weight
-		}
-	}
-	return out
-}
-
-func isImplicitMember(s *access.Site, implicit []*access.Site) bool {
-	for _, i := range implicit {
-		if i == s {
-			return true
-		}
-	}
-	return false
 }

@@ -1,0 +1,598 @@
+package ofence
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"ofence/internal/access"
+	"ofence/internal/obs"
+)
+
+// This file is the pairing engine: Algorithm 1 rebuilt for kernel-scale
+// site sets. The paper's reference formulation keeps an obj_to_barriers
+// hash of map[Object][]*Site and re-derives a candidate set per (o1, o2)
+// object pair, which at tens of thousands of barrier sites makes pairing
+// the dominant analysis phase. The engine here keeps the algorithm's
+// results byte-identical while changing the data layer and execution model:
+//
+//   - objects are interned into dense uint32 IDs (internal/access.Interner)
+//     assigned in canonical (struct, field) order, so every per-site object
+//     set is a sorted ID slice and set operations are merge scans;
+//   - an inverted index objectID → ID-sorted []siteRef (each ref carrying
+//     the precomputed distance weight) replaces get_pair's per-call set
+//     allocation with a two-pointer intersection;
+//   - a per-(o1, o2) lower bound — the site's own weight times the minimum
+//     indexed weight of each object — skips candidate pairs that cannot
+//     beat the best candidate found so far (counted as
+//     candidates_pruned_bound);
+//   - the per-write-barrier candidate search is sharded across a bounded
+//     worker pool; because each site's best candidate depends only on the
+//     immutable index, the shards race on nothing, and the tentative
+//     candidates they produce are merged in canonical site order, so the
+//     output is byte-identical to the sequential path at any GOMAXPROCS.
+//
+// Ties between equal-weight candidates are broken by canonical site order
+// (the position-sorted order of the site slice): the two-pointer scans run
+// in ascending site order and keep the first minimum, so the earliest site
+// wins — stable across map-iteration and shard orders.
+
+// PairStats reports the pairing engine's execution counters for one run.
+type PairStats struct {
+	// Shards is the number of worker shards the candidate search ran on
+	// (1 when the site set is too small to be worth fanning out).
+	Shards int
+	// IndexProbes counts inverted-index intersections actually performed
+	// (get_pair/get_single calls that survived the bound cutoff).
+	IndexProbes int64
+	// PrunedBound counts candidate object pairs skipped because their
+	// weight lower bound could not beat the current best candidate.
+	PrunedBound int64
+	// Pruned counts tentative pairing candidates that did not survive the
+	// mutual-best handshake (the pre-existing candidates_pruned counter).
+	Pruned int64
+}
+
+// siteRef is one inverted-index posting: a site (by canonical index) that
+// accesses the object, with the precomputed weight of its closest access.
+type siteRef struct {
+	site int32
+	w    int32
+}
+
+// candidate is the best tentative partner found for a site, by index.
+type candidate struct {
+	other  int32 // canonical site index, or -1 for none
+	weight int
+	o1, o2 uint32
+}
+
+type pairer struct {
+	sites   []*access.Site
+	opts    Options
+	workers int
+
+	// in is the project-level interned-object table; all slices below are
+	// keyed by its dense IDs.
+	in *access.Interner
+	// siteObjs holds each site's generic-filtered object set as an
+	// ID-sorted distance slice (the objDist maps of the reference
+	// formulation).
+	siteObjs [][]access.ObjDist
+	// beforeIDs/afterIDs hold each site's window-side object IDs, sorted,
+	// so the Orders check is two binary searches.
+	beforeIDs, afterIDs [][]uint32
+	// index is the inverted pairing index: objectID → postings sorted by
+	// canonical site index.
+	index [][]siteRef
+	// minW[o] is the minimum posting weight of object o: the lower bound
+	// any candidate's distance weight for o can contribute.
+	minW []int32
+	// ids caches Site.ID per site for the same-physical-barrier test.
+	ids []string
+
+	stats PairStats
+}
+
+// newPairer builds the interned data layer over position-sorted sites.
+func newPairer(sites []*access.Site, opts Options) *pairer {
+	if opts.MinSharedObjects <= 0 {
+		opts.MinSharedObjects = 2
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pr := &pairer{
+		sites:     sites,
+		opts:      opts,
+		workers:   workers,
+		siteObjs:  make([][]access.ObjDist, len(sites)),
+		beforeIDs: make([][]uint32, len(sites)),
+		afterIDs:  make([][]uint32, len(sites)),
+		ids:       make([]string, len(sites)),
+	}
+	generic := make(map[string]bool, len(opts.GenericStructs))
+	for _, g := range opts.GenericStructs {
+		generic[g] = true
+	}
+	keep := func(o access.Object) bool { return !generic[o.Struct] }
+
+	pr.in = access.InternSites(sites)
+	pr.forEachSite(func(i int) {
+		s := sites[i]
+		pr.siteObjs[i] = pr.in.ObjDists(s, keep)
+		pr.beforeIDs[i] = pr.in.SideIDs(s.Before)
+		pr.afterIDs[i] = pr.in.SideIDs(s.After)
+		pr.ids[i] = s.ID()
+	})
+
+	// Build the inverted index with one counting pass so postings land in
+	// exactly-sized slices, in ascending site order.
+	counts := make([]int32, pr.in.Len())
+	for _, ods := range pr.siteObjs {
+		for _, od := range ods {
+			counts[od.ID]++
+		}
+	}
+	pr.index = make([][]siteRef, pr.in.Len())
+	pr.minW = make([]int32, pr.in.Len())
+	for o := range pr.index {
+		pr.index[o] = make([]siteRef, 0, counts[o])
+	}
+	for i, ods := range pr.siteObjs {
+		for _, od := range ods {
+			w := weightOf32(od.Dist)
+			pr.index[od.ID] = append(pr.index[od.ID], siteRef{site: int32(i), w: w})
+			if mw := pr.minW[od.ID]; mw == 0 || w < mw {
+				pr.minW[od.ID] = w
+			}
+		}
+	}
+	return pr
+}
+
+// forEachSite fans an index-addressed per-site builder out over the worker
+// pool. Each index is written by exactly one goroutine, so the result is
+// independent of scheduling.
+func (pr *pairer) forEachSite(fn func(i int)) {
+	n := len(pr.sites)
+	if pr.workers <= 1 || n < 64 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int32 = -1
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < pr.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				next++
+				i := int(next)
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// isWriteSide reports whether the site plays the write-barrier role.
+func isWriteSide(s *access.Site) bool {
+	return s.Kind.OrdersWrites()
+}
+
+// run executes Algorithm 1 and returns pairings, unpaired sites, and
+// implicit-IPC writers. The candidate search is sharded across the worker
+// pool; everything order-sensitive happens afterwards, single-threaded, in
+// canonical site order.
+func (pr *pairer) run(ctx context.Context) (pairings []*Pairing, unpaired, implicit []*access.Site) {
+	n := len(pr.sites)
+	bests := pr.computeBests(ctx)
+
+	// Merge the per-shard tentative candidates deterministically: iterate
+	// writers in canonical site order, exactly like the sequential
+	// formulation's single loop.
+	tentative := make(map[int32][]candidate, n)
+	for i := 0; i < n; i++ {
+		b := pr.sites[i]
+		if !isWriteSide(b) {
+			continue
+		}
+		best := bests[i]
+		if best.other >= 0 {
+			// Implicit IPC check (§4.2): when the wake-up call is closer to
+			// the barrier than the pairing's shared objects, the barrier
+			// orders the wake-up; leave it unpaired.
+			if b.WakeUpAfter >= 0 && b.WakeUpAfter <= pr.minObjDist(i, best.o1, best.o2) {
+				implicit = append(implicit, b)
+				continue
+			}
+			tentative[int32(i)] = append(tentative[int32(i)], best)
+			tentative[best.other] = append(tentative[best.other],
+				candidate{other: int32(i), weight: best.weight, o1: best.o1, o2: best.o2})
+		} else if b.WakeUpAfter >= 0 {
+			implicit = append(implicit, b)
+		}
+	}
+
+	// Keep only the lowest-weight pairing per barrier (first wins ties:
+	// candidates were appended in canonical writer order).
+	bestOf := make(map[int32]candidate, len(tentative))
+	tentativeTotal := 0
+	for i := int32(0); i < int32(n); i++ {
+		cands, ok := tentative[i]
+		if !ok {
+			continue
+		}
+		tentativeTotal += len(cands)
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.weight < best.weight {
+				best = c
+			}
+		}
+		bestOf[i] = best
+	}
+
+	// Build the pairing array: a pairing survives only when both sides
+	// still select each other after pruning.
+	kept := 0
+	paired := make([]bool, n)
+	for i := int32(0); i < int32(n); i++ {
+		if !isWriteSide(pr.sites[i]) || paired[i] {
+			continue
+		}
+		c, ok := bestOf[i]
+		if !ok {
+			continue
+		}
+		back, ok := bestOf[c.other]
+		if !ok || back.other != i {
+			continue
+		}
+		kept += 2 // this candidate and the reciprocal one survive
+		pairing := &Pairing{Sites: []*access.Site{pr.sites[i], pr.sites[c.other]}, Weight: c.weight}
+		pairing.Common = pr.commonObjects(int(i), int(c.other))
+		paired[i], paired[c.other] = true, true
+		pairings = append(pairings, pairing)
+	}
+
+	// Extension step: unpaired barriers whose object set contains the
+	// pairing's common objects join the pairing (multi-barrier pairings).
+	// The membership threshold is loop-invariant, so pairings that can
+	// never accept members skip the pass entirely, and the scan walks only
+	// the index postings of the first common object — every site containing
+	// the full common set necessarily appears there, in canonical order.
+	for _, pg := range pairings {
+		if len(pg.Common) < pr.opts.MinSharedObjects {
+			continue
+		}
+		want := make([]uint32, 0, len(pg.Common))
+		for _, o := range pg.Common {
+			id, ok := pr.in.ID(o)
+			if !ok {
+				want = nil
+				break
+			}
+			want = append(want, id)
+		}
+		if len(want) == 0 {
+			continue
+		}
+		for _, ref := range pr.index[want[0]] {
+			if paired[ref.site] {
+				continue
+			}
+			if containsAllIDs(pr.siteObjs[ref.site], want) {
+				pg.Sites = append(pg.Sites, pr.sites[ref.site])
+				paired[ref.site] = true
+			}
+		}
+	}
+
+	pr.stats.Pruned = int64(tentativeTotal - kept)
+
+	// Pairings built over the same common-object set describe one protocol
+	// (Figure 5: the seqcount duos form a single four-barrier pairing).
+	pairings = mergeByCommon(pairings)
+
+	for i, s := range pr.sites {
+		if !paired[i] && !isImplicitMember(s, implicit) {
+			unpaired = append(unpaired, s)
+		}
+	}
+	return pairings, unpaired, implicit
+}
+
+// computeBests runs the per-write-barrier candidate search, sharded over
+// the worker pool. Shard boundaries never influence results: every shard
+// reads the same immutable index and writes only its own slice range.
+func (pr *pairer) computeBests(ctx context.Context) []candidate {
+	n := len(pr.sites)
+	bests := make([]candidate, n)
+	shards := pr.workers
+	if max := (n + 63) / 64; shards > max {
+		shards = max // tiny inputs are not worth the fan-out
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	pr.stats.Shards = shards
+
+	per := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for s := 0; s < shards; s++ {
+		lo, hi := s*per, (s+1)*per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			_, ssp := obs.Start(ctx, "pair.shard")
+			defer ssp.End()
+			var st PairStats
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					break // canceled: analyze surfaces the error after the phase
+				}
+				bests[i] = candidate{other: -1, weight: -1}
+				if isWriteSide(pr.sites[i]) {
+					bests[i] = pr.bestFor(int32(i), &st)
+				}
+			}
+			ssp.Add("sites", int64(hi-lo))
+			mu.Lock()
+			pr.stats.IndexProbes += st.IndexProbes
+			pr.stats.PrunedBound += st.PrunedBound
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return bests
+}
+
+// bestFor finds write barrier b's lowest-weight candidate partner:
+// foreach (o1, o2) in make_pairs(b->objs), intersect the two objects'
+// postings, keeping the candidate with the lowest distance product. A pair
+// whose weight lower bound cannot beat the best found so far is skipped
+// before touching the index.
+func (pr *pairer) bestFor(b int32, st *PairStats) candidate {
+	objs := pr.siteObjs[b]
+	best := candidate{other: -1, weight: -1}
+	for i := 0; i < len(objs); i++ {
+		for j := i + 1; j < len(objs); j++ {
+			o1, o2 := objs[i].ID, objs[j].ID
+			myWeight := int(weightOf32(objs[i].Dist)) * int(weightOf32(objs[j].Dist))
+			if best.weight >= 0 && myWeight*int(pr.minW[o1])*int(pr.minW[o2]) >= best.weight {
+				st.PrunedBound++
+				continue
+			}
+			st.IndexProbes++
+			pair, pairWeight := pr.getPair(b, o1, o2)
+			if pair < 0 {
+				continue
+			}
+			w := myWeight * pairWeight
+			if (best.weight < 0 || w < best.weight) &&
+				(pr.orders(b, o1, o2) || pr.orders(pair, o1, o2)) {
+				best = candidate{other: pair, weight: w, o1: o1, o2: o2}
+			}
+		}
+	}
+	// Ablation path: with MinSharedObjects == 1, a single common object
+	// suffices (the paper requires two; §6.4's precision depends on it).
+	if pr.opts.MinSharedObjects == 1 && best.other < 0 {
+		for _, od := range objs {
+			myWeight := int(weightOf32(od.Dist))
+			if best.weight >= 0 && myWeight*int(pr.minW[od.ID]) >= best.weight {
+				st.PrunedBound++
+				continue
+			}
+			st.IndexProbes++
+			pair, pairWeight := pr.getSingle(b, od.ID)
+			if pair < 0 {
+				continue
+			}
+			w := myWeight * pairWeight
+			if best.weight < 0 || w < best.weight {
+				best = candidate{other: pair, weight: w, o1: od.ID, o2: od.ID}
+			}
+		}
+	}
+	return best
+}
+
+// getPair implements get_pair of Algorithm 1 as a two-pointer intersection
+// of the two objects' postings: the other site, surrounded by both o1 and
+// o2, with the lowest distance product. Postings are in ascending canonical
+// site order and the minimum is kept strictly, so equal-weight ties resolve
+// to the earliest site — the engine's deterministic tie-break.
+func (pr *pairer) getPair(b int32, o1, o2 uint32) (int32, int) {
+	l1, l2 := pr.index[o1], pr.index[o2]
+	bid := pr.ids[b]
+	match, bestW := int32(-1), -1
+	for i, j := 0, 0; i < len(l1) && j < len(l2); {
+		if l1[i].site < l2[j].site {
+			i++
+			continue
+		}
+		if l1[i].site > l2[j].site {
+			j++
+			continue
+		}
+		s := l1[i].site
+		if s != b && pr.ids[s] != bid { // skip the same physical barrier
+			w := int(l1[i].w) * int(l2[j].w)
+			if bestW < 0 || w < bestW {
+				bestW, match = w, s
+			}
+		}
+		i++
+		j++
+	}
+	return match, bestW
+}
+
+// getSingle is the MinSharedObjects==1 ablation variant of getPair: the
+// other site sharing just o, with the lowest distance. Same scan order and
+// tie-break as getPair.
+func (pr *pairer) getSingle(b int32, o uint32) (int32, int) {
+	bid := pr.ids[b]
+	match, bestW := int32(-1), -1
+	for _, ref := range pr.index[o] {
+		if ref.site == b || pr.ids[ref.site] == bid {
+			continue
+		}
+		if w := int(ref.w); bestW < 0 || w < bestW {
+			bestW, match = w, ref.site
+		}
+	}
+	return match, bestW
+}
+
+// orders is Site.Orders over interned side sets: one object accessed before
+// the barrier and the other after (§4.2).
+func (pr *pairer) orders(s int32, o1, o2 uint32) bool {
+	before, after := pr.beforeIDs[s], pr.afterIDs[s]
+	return (access.ContainsID(before, o1) && access.ContainsID(after, o2)) ||
+		(access.ContainsID(before, o2) && access.ContainsID(after, o1))
+}
+
+// minObjDist returns the smallest distance at which site i accesses any of
+// the given objects, or a huge sentinel when it accesses none.
+func (pr *pairer) minObjDist(i int, objs ...uint32) int {
+	min := -1
+	for _, o := range objs {
+		if d, ok := access.FindDist(pr.siteObjs[i], o); ok && (min < 0 || int(d) < min) {
+			min = int(d)
+		}
+	}
+	if min < 0 {
+		return 1 << 30
+	}
+	return min
+}
+
+// commonObjects merges two sites' ID-sorted object sets. IDs are assigned
+// in canonical (struct, field) order, so the merged result is already in
+// the presentation order the JSON output serializes.
+func (pr *pairer) commonObjects(a, b int) []access.Object {
+	la, lb := pr.siteObjs[a], pr.siteObjs[b]
+	var out []access.Object
+	for i, j := 0, 0; i < len(la) && j < len(lb); {
+		switch {
+		case la[i].ID < lb[j].ID:
+			i++
+		case la[i].ID > lb[j].ID:
+			j++
+		default:
+			out = append(out, pr.in.Object(la[i].ID))
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// containsAllIDs reports whether the ID-sorted object set contains every
+// wanted ID (want is sorted ascending and non-empty).
+func containsAllIDs(objs []access.ObjDist, want []uint32) bool {
+	i := 0
+	for _, w := range want {
+		for i < len(objs) && objs[i].ID < w {
+			i++
+		}
+		if i >= len(objs) || objs[i].ID != w {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// weightOf maps a distance to a multiplicative weight; distance 0 (the
+// barrier's own combined access) weighs 1.
+func weightOf(d int) int {
+	if d <= 0 {
+		return 1
+	}
+	return d
+}
+
+// weightOf32 is weightOf over the interned distance representation.
+func weightOf32(d int32) int32 {
+	if d <= 0 {
+		return 1
+	}
+	return d
+}
+
+// mergeByCommon coalesces pairings with identical common-object sets.
+func mergeByCommon(pairings []*Pairing) []*Pairing {
+	byKey := map[string]*Pairing{}
+	var out []*Pairing
+	for _, pg := range pairings {
+		key := ""
+		for _, o := range pg.Common {
+			key += o.String() + "|"
+		}
+		ex, ok := byKey[key]
+		if !ok {
+			byKey[key] = pg
+			out = append(out, pg)
+			continue
+		}
+		for _, s := range pg.Sites {
+			dup := false
+			for _, have := range ex.Sites {
+				if have == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ex.Sites = append(ex.Sites, s)
+			}
+		}
+		if pg.Weight < ex.Weight {
+			ex.Weight = pg.Weight
+		}
+	}
+	return out
+}
+
+func isImplicitMember(s *access.Site, implicit []*access.Site) bool {
+	for _, i := range implicit {
+		if i == s {
+			return true
+		}
+	}
+	return false
+}
+
+// PairSites runs the pairing engine (Algorithm 1) over already-extracted
+// sites and returns the pairings, the sites left unpaired, and the
+// implicit-IPC writers, plus the engine's execution counters. The sites are
+// re-sorted into canonical position order internally, so the result does
+// not depend on input order, worker count, or GOMAXPROCS. This is the
+// entry point for pairing-only tooling and benchmarks; Analyze routes
+// through the same engine.
+func PairSites(ctx context.Context, sites []*access.Site, opts Options) (pairings []*Pairing, unpaired, implicit []*access.Site, stats PairStats) {
+	sorted := make([]*access.Site, len(sites))
+	copy(sorted, sites)
+	sortSites(sorted)
+	pr := newPairer(sorted, opts)
+	pairings, unpaired, implicit = pr.run(ctx)
+	return pairings, unpaired, implicit, pr.stats
+}

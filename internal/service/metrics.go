@@ -63,7 +63,9 @@ func (h *histogram) snapshot() (cum []uint64, sum float64, n uint64) {
 // "analyze", "total"); pipeline-stage histograms
 // (ofence_stage_duration_seconds) are keyed by the obs span name of each
 // pipeline stage ("preprocess", "parse", "cfg", "extract", "pair",
-// "check", ...) and fed from the per-job tracer.
+// "pair.shard", "check", ...) and fed from the per-job tracer — the
+// per-shard spans expose how the sharded pairing engine's candidate
+// search parallelizes, one sample per shard.
 type metrics struct {
 	mu       sync.Mutex
 	stages   map[string]*histogram

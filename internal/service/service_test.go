@@ -478,7 +478,7 @@ func TestPipelineStageMetrics(t *testing.T) {
 	if !strings.Contains(text, "# TYPE ofence_stage_duration_seconds histogram") {
 		t.Fatalf("stage-duration family missing:\n%s", text)
 	}
-	stages := []string{"analyze", "preprocess", "parse", "cfg", "extract", "extract.file", "pair", "check"}
+	stages := []string{"analyze", "preprocess", "parse", "cfg", "extract", "extract.file", "pair", "pair.shard", "check"}
 	distinct := 0
 	for _, stage := range stages {
 		if strings.Contains(text, fmt.Sprintf(`ofence_stage_duration_seconds_count{stage=%q} 1`, stage)) {

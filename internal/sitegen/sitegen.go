@@ -1,0 +1,129 @@
+// Package sitegen generates deterministic synthetic barrier-site corpora at
+// kernel scale for pairing benchmarks and differential tests. It builds
+// access.Site values directly — no C source, no parsing — so a ~2000-site
+// project materializes in microseconds and the pairing engine is measured in
+// isolation from the front-end.
+//
+// The generated population mirrors the shape the paper reports for the
+// Linux tree: protocol pairs (a write barrier and a read barrier sharing
+// two private (struct, field) objects, placed so the writer orders them)
+// buried in hot-object noise — a small pool of widely shared objects that
+// every site touches a few times at random distances. Hot objects are what
+// make naive pairing quadratic: their per-object site lists grow with the
+// corpus, and every (o1, o2) candidate pair over them pays an intersection
+// over those lists. Protocol struct names sort before the hot pool's, so
+// an engine scanning objects in canonical order finds the true partner
+// first and can prune most hot pairs by weight bound.
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ofence/internal/access"
+	"ofence/internal/cast"
+	"ofence/internal/ctoken"
+	"ofence/internal/memmodel"
+)
+
+// Config shapes a generated corpus.
+type Config struct {
+	// Sites is the total number of barrier sites (writers + readers).
+	Sites int
+	// HotObjects is the size of the shared noise-object pool.
+	HotObjects int
+	// HotPerSite is how many hot-object accesses each site gets.
+	HotPerSite int
+	// ExtraMemberEvery adds one extra protocol-member read barrier per this
+	// many protocols (0 disables), exercising the extension step.
+	ExtraMemberEvery int
+	// WakeUpEvery gives one writer per this many protocols a wake-up call
+	// at distance 1 (0 disables), exercising the implicit-IPC exclusion.
+	WakeUpEvery int
+	// Seed seeds the corpus PRNG; equal configs generate identical corpora.
+	Seed int64
+}
+
+// DefaultConfig returns the benchmark shape for a corpus of n sites.
+func DefaultConfig(n int, seed int64) Config {
+	return Config{
+		Sites:            n,
+		HotObjects:       24,
+		HotPerSite:       6,
+		ExtraMemberEvery: 8,
+		WakeUpEvery:      16,
+		Seed:             seed,
+	}
+}
+
+// Generate builds the corpus. Sites come back in generation order with
+// unique (File, Line) positions; run them through the pairing engine's
+// canonical sort (or ofence.PairSites, which sorts internally).
+func Generate(cfg Config) []*access.Site {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var sites []*access.Site
+	line := 0
+	newSite := func(name string, kind memmodel.BarrierKind) *access.Site {
+		file := fmt.Sprintf("sg_%03d.c", line/16)
+		pos := ctoken.Position{File: file, Line: 10 + (line%16)*10, Col: 3}
+		line++
+		return &access.Site{
+			File:             file,
+			Fn:               &cast.FuncDecl{Name: fmt.Sprintf("fn_%04d", line), Position: pos},
+			Name:             name,
+			Kind:             kind,
+			Pos:              pos,
+			WakeUpAfter:      -1,
+			NextBarrierAfter: -1,
+		}
+	}
+	addHot := func(s *access.Site, kind access.Kind) {
+		for h := 0; h < cfg.HotPerSite; h++ {
+			a := &access.Access{
+				Object:   access.Object{Struct: "z_hot", Field: fmt.Sprintf("f%02d", rng.Intn(cfg.HotObjects))},
+				Kind:     kind,
+				Distance: rng.Intn(50) + 1,
+			}
+			if rng.Intn(2) == 0 {
+				a.Before = true
+				s.Before = append(s.Before, a)
+			} else {
+				s.After = append(s.After, a)
+			}
+		}
+	}
+
+	protocols := cfg.Sites / 2
+	for p := 0; p < protocols; p++ {
+		data := access.Object{Struct: fmt.Sprintf("a_proto_%05d", p), Field: "data"}
+		flag := access.Object{Struct: fmt.Sprintf("a_proto_%05d", p), Field: "flag"}
+
+		// Writer: publishes data, then the flag — smp_wmb between, so the
+		// site orders (data, flag).
+		w := newSite("smp_wmb", memmodel.WriteBarrier)
+		w.Before = append(w.Before, &access.Access{Object: data, Kind: access.Store, Distance: 1, Before: true})
+		w.After = append(w.After, &access.Access{Object: flag, Kind: access.Store, Distance: 1})
+		addHot(w, access.Store)
+		if cfg.WakeUpEvery > 0 && p%cfg.WakeUpEvery == cfg.WakeUpEvery-1 {
+			w.WakeUpAfter = 1
+		}
+		sites = append(sites, w)
+
+		// Reader: checks the flag, smp_rmb, then reads the data.
+		r := newSite("smp_rmb", memmodel.ReadBarrier)
+		r.Before = append(r.Before, &access.Access{Object: flag, Kind: access.Load, Distance: rng.Intn(3) + 1, Before: true})
+		r.After = append(r.After, &access.Access{Object: data, Kind: access.Load, Distance: rng.Intn(3) + 1})
+		addHot(r, access.Load)
+		sites = append(sites, r)
+
+		// Occasional third protocol member: another reader over the same
+		// objects, left for the extension step to pick up.
+		if cfg.ExtraMemberEvery > 0 && p%cfg.ExtraMemberEvery == cfg.ExtraMemberEvery-1 {
+			e := newSite("smp_rmb", memmodel.ReadBarrier)
+			e.Before = append(e.Before, &access.Access{Object: flag, Kind: access.Load, Distance: rng.Intn(3) + 1, Before: true})
+			e.After = append(e.After, &access.Access{Object: data, Kind: access.Load, Distance: rng.Intn(3) + 1})
+			sites = append(sites, e)
+		}
+	}
+	return sites
+}

@@ -1,0 +1,72 @@
+package sitegen
+
+import (
+	"testing"
+)
+
+// TestGenerateDeterministic: equal configs must yield identical corpora —
+// the pairing determinism suite depends on it.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(200, 7))
+	b := Generate(DefaultConfig(200, 7))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Fatalf("site %d: %s vs %s", i, a[i].ID(), b[i].ID())
+		}
+		ao, bo := a[i].Objects(), b[i].Objects()
+		if len(ao) != len(bo) {
+			t.Fatalf("site %d: object counts differ", i)
+		}
+		for o, d := range ao {
+			if bo[o] != d {
+				t.Fatalf("site %d: object %v dist %d vs %d", i, o, d, bo[o])
+			}
+		}
+	}
+}
+
+// TestGenerateShape checks the structural invariants the benchmarks rely
+// on: unique positions, protocol pairs that actually order their objects.
+func TestGenerateShape(t *testing.T) {
+	sites := Generate(DefaultConfig(400, 1))
+	if len(sites) < 400 {
+		t.Fatalf("got %d sites, want >= 400", len(sites))
+	}
+	seen := map[string]bool{}
+	writers := 0
+	for _, s := range sites {
+		id := s.ID()
+		if seen[id] {
+			t.Fatalf("duplicate site ID %s", id)
+		}
+		seen[id] = true
+		if s.Kind.OrdersWrites() {
+			writers++
+			if s.WakeUpAfter < -1 {
+				t.Fatalf("writer %s: bad WakeUpAfter %d", id, s.WakeUpAfter)
+			}
+		}
+	}
+	if writers != 200 {
+		t.Fatalf("got %d writers, want 200", writers)
+	}
+	// The first writer/reader pair shares and orders its protocol objects.
+	w, r := sites[0], sites[1]
+	var data, flag bool
+	for o := range w.Objects() {
+		if _, ok := r.Objects()[o]; ok {
+			switch o.Field {
+			case "data":
+				data = true
+			case "flag":
+				flag = true
+			}
+		}
+	}
+	if !data || !flag {
+		t.Fatalf("protocol pair does not share data+flag")
+	}
+}
