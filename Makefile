@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fuzz test test-race race bench bench-incremental bench-pairing serve eval eval-json corpus trace-demo clean
+.PHONY: all build vet lint fuzz test test-race race race-fleet bench bench-incremental bench-pairing bench-fleet serve eval eval-json corpus trace-demo clean
 
 all: build lint test
 
@@ -52,6 +52,19 @@ bench-incremental:
 bench-pairing:
 	OFENCE_BENCH_PAIRING_OUT=$(CURDIR)/BENCH_pairing.json \
 		$(GO) test ./internal/ofence/ -run '^TestWriteBenchPairingJSON$$' -count=1 -v
+
+# Fleet headline number: draining a cold synthetic-corpus batch through a
+# coordinator with 1 vs 4 workers over the full wire protocol, results
+# asserted byte-identical between widths. Refreshes BENCH_fleet.json via
+# the harness in internal/fleet/bench_test.go (see docs/FLEET.md).
+bench-fleet:
+	OFENCE_BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json \
+		$(GO) test ./internal/fleet/ -run '^TestWriteBenchFleetJSON$$' -count=1 -v
+
+# Race-detector gate for the fleet subsystem: coordinator lease juggling,
+# worker heartbeats, the shared artifact stores.
+race-fleet:
+	$(GO) test -race -count=1 ./internal/fleet/ ./internal/rescache/
 
 # Run the analysis daemon (see README "Running as a service").
 serve:

@@ -13,11 +13,22 @@
 // endpoints (/debug/pprof/...) on its own address, kept off the API
 // listener so profiling is never exposed to API clients by accident.
 //
+// With -store disk -store-dir DIR the result cache and the per-file stage
+// caches are backed by a crash-consistent content-addressed store on disk,
+// so cached work survives restarts; -store memory shares a byte-bounded
+// in-memory blob tier instead.
+//
+// With -fleet the process runs a fleet coordinator plus -fleet-workers
+// in-process workers speaking the full wire protocol over an in-memory
+// transport: the same API, backed by the lease/heartbeat/re-dispatch
+// machinery that external ofence-worker processes use. External workers
+// can join the same coordinator at any time.
+//
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
 // queued and running jobs finish (up to -drain), then the process exits.
 //
-// See docs/SERVICE.md for the API reference and docs/OBSERVABILITY.md for
-// the metrics and profiling guide.
+// See docs/SERVICE.md for the API reference, docs/FLEET.md for fleet mode,
+// and docs/OBSERVABILITY.md for the metrics and profiling guide.
 package main
 
 import (
@@ -32,6 +43,8 @@ import (
 	"syscall"
 	"time"
 
+	"ofence/internal/fleet"
+	"ofence/internal/rescache"
 	"ofence/internal/service"
 )
 
@@ -46,8 +59,25 @@ func main() {
 		maxBytes = flag.Int("max-source-bytes", 8<<20, "total source size bound per request")
 		warmN    = flag.Int("warm-lineages", 0, "warm projects kept for incremental re-analysis, one per source-set lineage (0 = default 32, negative = disabled)")
 		pprofA   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		storeK   = flag.String("store", "", "artifact store backend: memory, disk, or empty for none")
+		storeDir = flag.String("store-dir", "", "disk store directory (required with -store disk)")
+		fleetOn  = flag.Bool("fleet", false, "run as a fleet coordinator with in-process workers instead of a single-process service")
+		fleetN   = flag.Int("fleet-workers", 4, "in-process fleet workers under -fleet (0 = none; external ofence-worker processes may join)")
 	)
 	flag.Parse()
+	store, err := openStore(*storeK, *storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if store != nil {
+		defer store.Close()
+	}
+	if *fleetOn {
+		if err := runFleet(*addr, fleet.Config{Store: store, MaxSourceBytes: *maxBytes}, *fleetN, *drain, *pprofA); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*addr, service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -55,8 +85,26 @@ func main() {
 		JobTimeout:     *timeout,
 		MaxSourceBytes: *maxBytes,
 		WarmLineages:   *warmN,
+		Store:          store,
 	}, *drain, *pprofA); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// openStore maps the -store/-store-dir flags onto a backend.
+func openStore(kind, dir string) (rescache.ArtifactStore, error) {
+	switch kind {
+	case "":
+		return nil, nil
+	case "memory":
+		return rescache.NewMemStore(0), nil
+	case "disk":
+		if dir == "" {
+			return nil, fmt.Errorf("-store disk requires -store-dir")
+		}
+		return rescache.OpenDiskStore(dir)
+	default:
+		return nil, fmt.Errorf("unknown -store backend %q (want memory or disk)", kind)
 	}
 }
 
@@ -114,6 +162,13 @@ func run(addr string, cfg service.Config, drain time.Duration, pprofAddr string)
 
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
+
+	// Drain the service FIRST, while both listeners stay up: new
+	// submissions are rejected with 503 but /metrics, /healthz and the
+	// pprof endpoints remain scrapable until every in-flight job has
+	// finished — a scrape during the drain must never hit a closed
+	// listener. Only then do the listeners shut down.
+	drainErr := svc.Close(ctx)
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
@@ -122,8 +177,90 @@ func run(addr string, cfg service.Config, drain time.Duration, pprofAddr string)
 			log.Printf("pprof shutdown: %v", err)
 		}
 	}
-	if err := svc.Close(ctx); err != nil {
-		return fmt.Errorf("drain incomplete, in-flight jobs canceled: %w", err)
+	if drainErr != nil {
+		return fmt.Errorf("drain incomplete, in-flight jobs canceled: %w", drainErr)
+	}
+	log.Print("drained cleanly")
+	return nil
+}
+
+// runFleet serves a fleet coordinator on addr with n in-process workers.
+// The workers speak the same wire protocol as external ofence-worker
+// processes, routed through an in-memory transport instead of the listener.
+func runFleet(addr string, cfg fleet.Config, n int, drain time.Duration, pprofAddr string) error {
+	coord := fleet.NewCoordinator(cfg)
+	handler := coord.Handler()
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ofence-serve (fleet coordinator) listening on %s", addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		pprofSrv = &http.Server{
+			Addr:              pprofAddr,
+			Handler:           pprofHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("pprof listening on %s", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				errc <- fmt.Errorf("pprof listener: %w", err)
+			}
+		}()
+	}
+
+	wctx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	for i := 0; i < n; i++ {
+		w := fleet.NewInProcessWorker(coord, fmt.Sprintf("local-%d", i+1))
+		go func() {
+			if err := w.Run(wctx); err != nil && err != context.Canceled {
+				log.Printf("worker %s: %v", w.ID(), err)
+			}
+		}()
+	}
+	if n > 0 {
+		log.Printf("%d in-process workers started", n)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("received %s, draining (budget %s)", s, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+
+	// Same ordering as the single-process path: drain the coordinator FIRST
+	// (workers keep polling and completing over the in-memory transport;
+	// /metrics and /healthz stay scrapable), stop the workers, then close
+	// the listeners.
+	drainErr := coord.Close(ctx)
+	stopWorkers()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(ctx); err != nil {
+			log.Printf("pprof shutdown: %v", err)
+		}
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain incomplete, in-flight jobs failed: %w", drainErr)
 	}
 	log.Print("drained cleanly")
 	return nil

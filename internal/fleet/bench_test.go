@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ofence/internal/corpus"
+	"ofence/internal/service"
+)
+
+// benchJobs generates nJobs independent cold jobs of ~filesPer files each,
+// deterministically (seeded by job index).
+func benchJobs(nJobs, filesPer int) []*service.Request {
+	reqs := make([]*service.Request, nJobs)
+	for i := range reqs {
+		cfg := corpus.DefaultConfig(int64(1000 + i))
+		cfg.Counts = map[corpus.PatternKind]int{
+			corpus.InitFlag:  filesPer - 3,
+			corpus.Seqcount:  2,
+			corpus.Misplaced: 1,
+		}
+		cfg.PatternsPerFile = 1
+		reqs[i] = &service.Request{Files: corpus.Generate(cfg).Files}
+	}
+	return reqs
+}
+
+// runFleetCold submits every job concurrently to a fresh coordinator with
+// n workers (fresh stores, nothing warm) and returns the wall time to
+// drain them all plus each job's result bytes.
+func runFleetCold(t testing.TB, n int, reqs []*service.Request, spec service.OptionsSpec) (time.Duration, [][]byte) {
+	t.Helper()
+	coord := NewCoordinator(Config{ShardFileThreshold: -1})
+	defer coord.Close(context.Background())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < n; i++ {
+		w := NewInProcessWorker(coord, "")
+		w.cfg.PollInterval = 5 * time.Millisecond
+		go w.Run(ctx)
+	}
+
+	start := time.Now()
+	jobs := make([]*job, len(reqs))
+	for i, req := range reqs {
+		j, err := coord.Submit(req, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	results := make([][]byte, len(jobs))
+	for i, j := range jobs {
+		select {
+		case <-j.done:
+		case <-time.After(120 * time.Second):
+			t.Fatalf("bench job %d timed out", i)
+		}
+		view := coord.View(j)
+		if view.State != JobDone {
+			t.Fatalf("bench job %d failed: %s", i, view.Error)
+		}
+		results[i] = []byte(view.Result)
+	}
+	return time.Since(start), results
+}
+
+// BenchmarkFleetColdCorpus measures draining a batch of cold synthetic
+// corpus jobs through a coordinator with 1 vs 4 workers. Each analysis is
+// pinned to one engine worker so the fleet, not the in-job pool, provides
+// the parallelism. make bench-fleet records the results in
+// BENCH_fleet.json via TestWriteBenchFleetJSON.
+func BenchmarkFleetColdCorpus(b *testing.B) {
+	reqs := benchJobs(8, 10)
+	spec := service.OptionsSpec{Workers: 1}
+	for _, n := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers1", 4: "workers4"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runFleetCold(b, n, reqs, spec)
+			}
+		})
+	}
+}
+
+// TestWriteBenchFleetJSON refreshes BENCH_fleet.json: it drains the same
+// cold 8-job corpus batch through a 1-worker and a 4-worker fleet
+// (asserting byte-identical results first) and records the wall times and
+// speedup in the shared BENCH_*.json schema. Gated behind
+// OFENCE_BENCH_FLEET_OUT so plain `go test` stays fast; `make bench-fleet`
+// sets it.
+func TestWriteBenchFleetJSON(t *testing.T) {
+	out := os.Getenv("OFENCE_BENCH_FLEET_OUT")
+	if out == "" {
+		t.Skip("set OFENCE_BENCH_FLEET_OUT to refresh BENCH_fleet.json")
+	}
+	reqs := benchJobs(8, 10)
+	spec := service.OptionsSpec{Workers: 1}
+
+	// Sanity-gate: both fleet widths must produce identical bytes.
+	_, r1 := runFleetCold(t, 1, reqs, spec)
+	_, r4 := runFleetCold(t, 4, reqs, spec)
+	for i := range r1 {
+		if !bytes.Equal(r1[i], r4[i]) {
+			t.Fatalf("job %d diverges between 1 and 4 workers; refusing to record benchmark", i)
+		}
+	}
+
+	// Measure: best of 3 per width, cold every round.
+	measure := func(n int) time.Duration {
+		best := time.Duration(0)
+		for round := 0; round < 3; round++ {
+			d, _ := runFleetCold(t, n, reqs, spec)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	d1 := measure(1)
+	d4 := measure(4)
+	round1 := func(x float64) float64 { return float64(int(x*10+0.5)) / 10 }
+	speedup := round1(float64(d1) / float64(d4))
+
+	files := 0
+	for _, req := range reqs {
+		files += len(req.Files)
+	}
+	doc := map[string]any{
+		"benchmark":   "BenchmarkFleetColdCorpus",
+		"description": "8 independent cold synthetic-corpus jobs (~10 files each, internal/corpus) drained through a fleet coordinator with in-process workers over the full wire protocol (register/poll/heartbeat/complete + remote artifact store). Each analysis is pinned to one engine worker (options.workers=1) so the fleet provides the parallelism. workers1 and workers4 produce byte-identical results (asserted before recording); wall time is best of 3 cold rounds.",
+		"command":     "go test ./internal/fleet/ -run '^TestWriteBenchFleetJSON$' -count=1 -v",
+		"refresh":     "make bench-fleet",
+		"environment": map[string]string{
+			"cpu":  benchCPU(),
+			"cpus": fmt.Sprintf("%d", runtime.NumCPU()),
+			"go":   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			"date": time.Now().Format("2006-01-02"),
+		},
+		"results": map[string]any{
+			"workers1": map[string]any{"wall_ns": d1.Nanoseconds(), "jobs": len(reqs), "files": files},
+			"workers4": map[string]any{"wall_ns": d4.Nanoseconds(), "jobs": len(reqs), "files": files},
+		},
+		"speedup_workers4": speedup,
+		"acceptance":       "byte-identical results asserted between fleet widths (the correctness gate); speedup_workers4 > 1x on hosts with >= 2 CPUs — the analysis is CPU-bound, so a single-core host honestly records ~1x (the fleet adds workers, not cores) and the width gate is skipped there; environment.cpus records the core count the numbers were measured on",
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("workers1 %v, workers4 %v (%.1fx, %d CPUs) -> %s", d1, d4, speedup, runtime.NumCPU(), out)
+	if runtime.NumCPU() < 2 {
+		t.Logf("single-CPU host: skipping the >1x width gate (CPU-bound work cannot scale across fleet workers without cores)")
+	} else if speedup <= 1 {
+		t.Errorf("acceptance not met: 4-worker fleet speedup %.1fx (want > 1x on %d CPUs)", speedup, runtime.NumCPU())
+	}
+}
+
+// benchCPU returns the host CPU model for the environment block.
+func benchCPU() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.Index(line, ":"); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return runtime.GOARCH
+}

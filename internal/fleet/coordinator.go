@@ -1,0 +1,662 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ofence/internal/rescache"
+	"ofence/internal/service"
+)
+
+// Sentinel errors surfaced to API clients.
+var (
+	// ErrNoFiles mirrors service.ErrNoFiles for empty submissions.
+	ErrNoFiles = errors.New("job has no source files")
+	// ErrTooLarge mirrors service.ErrTooLarge.
+	ErrTooLarge = errors.New("job exceeds the source size limit")
+	// ErrClosed rejects submissions to a closing coordinator.
+	ErrClosed = errors.New("coordinator is draining")
+)
+
+// job is one tracked analysis at the coordinator.
+type job struct {
+	id   string
+	req  *service.Request
+	spec service.OptionsSpec
+	key  rescache.Key
+	done chan struct{}
+
+	// Guarded by the coordinator mutex.
+	state           JobState
+	cacheHit        bool
+	errMsg          string
+	result          json.RawMessage
+	files           int
+	filesReused     int
+	filesRecomputed int
+	redispatches    int
+	worker          string
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	pendingStages   int
+	analyze         *task
+}
+
+// taskState is the lifecycle of a dispatched task.
+type taskState string
+
+const (
+	taskQueued      taskState = "queued"
+	taskLeased      taskState = "leased"
+	taskDone        taskState = "done"
+	taskQuarantined taskState = "quarantined"
+)
+
+// task is one unit of distributable work.
+type task struct {
+	id    string
+	job   *job
+	kind  TaskKind
+	files []string // subset of job files (stage tasks); nil = all (analyze)
+
+	state         taskState
+	attempt       int // dispatches so far
+	notBefore     time.Time
+	worker        string
+	leaseDeadline time.Time
+	lastErr       string
+}
+
+// workerState tracks one registered worker's liveness and leases.
+type workerState struct {
+	id           string
+	lastSeen     time.Time
+	leases       map[string]bool
+	lost         []string // lease IDs expired away from this worker, reported on next heartbeat
+	storeBackend string
+	storeStats   rescache.StoreStats
+}
+
+// Coordinator owns the job table, the work-distribution queue, worker
+// leases and the fleet-wide artifact store. Create with NewCoordinator,
+// stop with Close.
+type Coordinator struct {
+	cfg   Config
+	store rescache.ArtifactStore
+	met   *fleetMetrics
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*job
+	order    []string
+	tasks    map[string]*task
+	queue    []*task
+	workers  map[string]*workerState
+	nextJob  uint64
+	nextTask uint64
+
+	stopOnce sync.Once
+	quit     chan struct{}
+	done     chan struct{}
+}
+
+// NewCoordinator starts a coordinator (including its lease janitor).
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		store:   cfg.Store,
+		met:     newFleetMetrics(),
+		jobs:    map[string]*job{},
+		tasks:   map[string]*task{},
+		workers: map[string]*workerState{},
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.janitor()
+	return c
+}
+
+// jobKey computes the job's content address: options fingerprint × sorted
+// file names and raw contents × defines. Raw-content keying is
+// deliberately conservative — any byte change re-keys — because the
+// coordinator must not preprocess sources itself just to route work.
+func jobKey(req *service.Request, spec service.OptionsSpec) rescache.Key {
+	names := make([]string, 0, len(req.Files))
+	for name := range req.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, 2*len(names)+2*len(req.Defines))
+	for _, name := range names {
+		parts = append(parts, "F"+name, req.Files[name])
+	}
+	defs := make([]string, 0, len(req.Defines))
+	for k := range req.Defines {
+		defs = append(defs, k)
+	}
+	sort.Strings(defs)
+	for _, k := range defs {
+		parts = append(parts, "D"+k, req.Defines[k])
+	}
+	return rescache.KeyOf("fleet-result-v1|"+spec.Resolve().Fingerprint(), parts...)
+}
+
+// Submit validates and enqueues a job, consulting the artifact store first:
+// a stored result completes the job immediately with every file reused.
+func (c *Coordinator) Submit(req *service.Request, spec service.OptionsSpec) (*job, error) {
+	if len(req.Files) == 0 {
+		return nil, ErrNoFiles
+	}
+	total := 0
+	for name, src := range req.Files {
+		total += len(name) + len(src)
+	}
+	if total > c.cfg.MaxSourceBytes {
+		return nil, ErrTooLarge
+	}
+	key := jobKey(req, spec)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextJob++
+	j := &job{
+		id:        fmt.Sprintf("fleet-job-%08d", c.nextJob),
+		req:       req,
+		spec:      spec,
+		key:       key,
+		done:      make(chan struct{}),
+		state:     JobQueued,
+		files:     len(req.Files),
+		submitted: time.Now(),
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.pruneLocked()
+	c.mu.Unlock()
+	c.met.count(metJobsSubmitted)
+
+	// Store-first: a result computed by any worker — including before a
+	// coordinator restart, when the store is durable — short-circuits
+	// dispatch entirely.
+	if blob, ok := c.store.Get(key); ok {
+		c.mu.Lock()
+		j.state = JobDone
+		j.cacheHit = true
+		j.result = json.RawMessage(blob)
+		j.filesReused = j.files
+		j.finished = time.Now()
+		j.started = j.finished
+		c.mu.Unlock()
+		c.met.count(metJobsCached)
+		c.met.count(metJobsDone)
+		close(j.done)
+		return j, nil
+	}
+
+	c.mu.Lock()
+	c.planLocked(j)
+	c.mu.Unlock()
+	return j, nil
+}
+
+// planLocked shards the job onto the queue: stage tasks first for large
+// file sets, then the analyze task (held until the stage tasks finish).
+// Caller holds c.mu.
+func (c *Coordinator) planLocked(j *job) {
+	j.analyze = c.newTaskLocked(j, TaskAnalyze, nil)
+	if c.cfg.ShardFileThreshold > 0 && len(j.req.Files) >= c.cfg.ShardFileThreshold {
+		names := make([]string, 0, len(j.req.Files))
+		for name := range j.req.Files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for start := 0; start < len(names); start += c.cfg.ShardChunk {
+			end := start + c.cfg.ShardChunk
+			if end > len(names) {
+				end = len(names)
+			}
+			st := c.newTaskLocked(j, TaskStage, names[start:end])
+			j.pendingStages++
+			c.enqueueLocked(st, time.Time{})
+			c.met.count(metStageTasks)
+		}
+	}
+	if j.pendingStages == 0 {
+		c.enqueueLocked(j.analyze, time.Time{})
+	}
+}
+
+// newTaskLocked allocates a task without queueing it. Caller holds c.mu.
+func (c *Coordinator) newTaskLocked(j *job, kind TaskKind, files []string) *task {
+	c.nextTask++
+	t := &task{
+		id:    fmt.Sprintf("task-%08d", c.nextTask),
+		job:   j,
+		kind:  kind,
+		files: files,
+		state: taskQueued,
+	}
+	c.tasks[t.id] = t
+	return t
+}
+
+// enqueueLocked appends t to the ready queue. Caller holds c.mu.
+func (c *Coordinator) enqueueLocked(t *task, notBefore time.Time) {
+	t.state = taskQueued
+	t.worker = ""
+	t.notBefore = notBefore
+	c.queue = append(c.queue, t)
+}
+
+// pruneLocked forgets the oldest finished jobs beyond the retention bound.
+// Caller holds c.mu.
+func (c *Coordinator) pruneLocked() {
+	for len(c.order) > c.cfg.MaxJobs {
+		pruned := false
+		for i, id := range c.order {
+			j := c.jobs[id]
+			if j.state == JobDone || j.state == JobFailed {
+				delete(c.jobs, id)
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return
+		}
+	}
+}
+
+// Job returns a submitted job by ID.
+func (c *Coordinator) Job(id string) (*job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// View snapshots a job.
+func (c *Coordinator) View(j *job) JobView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	v := JobView{
+		ID:              j.id,
+		State:           j.state,
+		CacheHit:        j.cacheHit,
+		Error:           j.errMsg,
+		Result:          j.result,
+		Files:           j.files,
+		FilesReused:     j.filesReused,
+		FilesRecomputed: j.filesRecomputed,
+		Redispatches:    j.redispatches,
+		Worker:          j.worker,
+	}
+	if j.analyze != nil {
+		v.Attempts = j.analyze.attempt
+	}
+	if !j.started.IsZero() {
+		v.WaitMS = ms(j.started.Sub(j.submitted))
+	}
+	if !j.finished.IsZero() {
+		v.TotalMS = ms(j.finished.Sub(j.submitted))
+	}
+	return v
+}
+
+// register records (or refreshes) a worker.
+func (c *Coordinator) register(req registerRequest) registerResponse {
+	c.mu.Lock()
+	c.touchWorkerLocked(req.WorkerID)
+	c.mu.Unlock()
+	return registerResponse{
+		PollMS:      c.cfg.PollInterval.Milliseconds(),
+		HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
+		LeaseMS:     c.cfg.LeaseTimeout.Milliseconds(),
+	}
+}
+
+// touchWorkerLocked marks a worker alive. Caller holds c.mu.
+func (c *Coordinator) touchWorkerLocked(id string) *workerState {
+	w, ok := c.workers[id]
+	if !ok {
+		w = &workerState{id: id, leases: map[string]bool{}}
+		c.workers[id] = w
+	}
+	w.lastSeen = time.Now()
+	return w
+}
+
+// poll leases the next ready task to the worker, or returns nil.
+func (c *Coordinator) poll(workerID string) *Task {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchWorkerLocked(workerID)
+
+	// Compact entries finished elsewhere (late completion of a
+	// re-enqueued task) while scanning.
+	live := c.queue[:0]
+	var picked *task
+	for i, t := range c.queue {
+		if t.state != taskQueued {
+			continue
+		}
+		if picked == nil && !now.Before(t.notBefore) {
+			picked = t
+			continue
+		}
+		live = append(live, c.queue[i])
+	}
+	c.queue = live
+	if t := picked; t != nil {
+		t.state = taskLeased
+		t.worker = workerID
+		t.attempt++
+		t.leaseDeadline = now.Add(c.cfg.LeaseTimeout)
+		w.leases[t.id] = true
+		j := t.job
+		if j.state == JobQueued {
+			j.state = JobRunning
+			j.started = now
+		}
+		if t.kind == TaskAnalyze {
+			j.worker = workerID
+		}
+		c.met.countLocked(metTasksDispatched)
+
+		files := j.req.Files
+		if t.files != nil {
+			files = make(map[string]string, len(t.files))
+			for _, name := range t.files {
+				files[name] = j.req.Files[name]
+			}
+		}
+		return &Task{
+			ID:          t.id,
+			JobID:       j.id,
+			Kind:        t.kind,
+			Files:       files,
+			Defines:     j.req.Defines,
+			Options:     j.spec,
+			Attempt:     t.attempt,
+			LeaseMS:     c.cfg.LeaseTimeout.Milliseconds(),
+			HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
+		}
+	}
+	return nil
+}
+
+// heartbeat renews the worker's liveness and its leases, and reports back
+// any leases it no longer owns.
+func (c *Coordinator) heartbeat(req heartbeatRequest) heartbeatResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchWorkerLocked(req.WorkerID)
+	if req.Store != nil {
+		w.storeStats = *req.Store
+		w.storeBackend = req.StoreBackend
+	}
+	c.met.countLocked(metHeartbeats)
+	lost := w.lost
+	w.lost = nil
+	for _, id := range req.TaskIDs {
+		t, ok := c.tasks[id]
+		if !ok || t.state != taskLeased || t.worker != req.WorkerID {
+			lost = append(lost, id)
+			continue
+		}
+		t.leaseDeadline = now.Add(c.cfg.LeaseTimeout)
+	}
+	return heartbeatResponse{Lost: lost}
+}
+
+// complete records a finished task. Late completions from expired leases
+// are accepted only if the task has not already finished elsewhere (the
+// analysis is deterministic, so either copy of the result is the result).
+func (c *Coordinator) complete(req completeRequest) {
+	c.mu.Lock()
+	t, ok := c.tasks[req.TaskID]
+	if !ok || t.state == taskDone || t.state == taskQuarantined {
+		c.mu.Unlock()
+		return
+	}
+	owned := t.state == taskLeased && t.worker == req.WorkerID
+	if w, okw := c.workers[req.WorkerID]; okw {
+		delete(w.leases, req.TaskID)
+		if req.Store != nil {
+			w.storeStats = *req.Store
+			w.storeBackend = req.StoreBackend
+		}
+	}
+	if req.Error != "" {
+		// Errors count against the attempt budget only from the current
+		// lease holder; a stale holder's error must not double-retry a task
+		// that was already re-dispatched.
+		if !owned {
+			c.mu.Unlock()
+			return
+		}
+		t.lastErr = req.Error
+		c.retryLocked(t, fmt.Sprintf("worker %s: %s", req.WorkerID, req.Error))
+		c.mu.Unlock()
+		return
+	}
+	// A successful result is accepted even from a stale holder: the
+	// analysis is deterministic, so a late result from an expired lease is
+	// byte-for-byte THE result.
+	t.state = taskDone
+	j := t.job
+	var finished *job
+	switch t.kind {
+	case TaskStage:
+		j.pendingStages--
+		if j.pendingStages == 0 && j.state != JobFailed {
+			c.enqueueLocked(j.analyze, time.Time{})
+		}
+	case TaskAnalyze:
+		j.state = JobDone
+		j.worker = req.WorkerID
+		j.result = req.Result
+		j.filesReused = req.FilesReused
+		j.filesRecomputed = req.FilesRecomputed
+		j.finished = time.Now()
+		finished = j
+	}
+	c.met.spansLocked(req.Spans)
+	c.mu.Unlock()
+
+	if finished != nil {
+		c.store.Put(finished.key, []byte(req.Result))
+		c.met.count(metJobsDone)
+		close(finished.done)
+	}
+}
+
+// retryLocked re-dispatches a failed or expired task with exponential
+// backoff, quarantining it (and failing its job, for analyze tasks) past
+// the attempt bound. Caller holds c.mu.
+func (c *Coordinator) retryLocked(t *task, cause string) {
+	if t.attempt >= c.cfg.MaxAttempts {
+		t.state = taskQuarantined
+		c.met.countLocked(metQuarantined)
+		j := t.job
+		switch t.kind {
+		case TaskStage:
+			// Losing a stage task loses warmth, not correctness.
+			j.pendingStages--
+			if j.pendingStages == 0 && j.state != JobFailed {
+				c.enqueueLocked(j.analyze, time.Time{})
+			}
+		case TaskAnalyze:
+			if j.state != JobDone && j.state != JobFailed {
+				j.state = JobFailed
+				j.errMsg = fmt.Sprintf("quarantined after %d attempts: %s", t.attempt, cause)
+				j.finished = time.Now()
+				c.met.countLocked(metJobsFailed)
+				close(j.done)
+			}
+		}
+		return
+	}
+	backoff := c.cfg.RetryBackoff << (t.attempt - 1)
+	c.enqueueLocked(t, time.Now().Add(backoff))
+	c.met.countLocked(metRedispatch)
+	t.job.redispatches++
+}
+
+// janitor expires leases of stuck tasks and dead workers.
+func (c *Coordinator) janitor() {
+	defer close(c.done)
+	tick := c.cfg.LeaseTimeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-ticker.C:
+			c.expire()
+		}
+	}
+}
+
+// expire re-dispatches tasks whose lease lapsed and drops dead workers.
+func (c *Coordinator) expire() {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.cfg.WorkerExpiry {
+			for taskID := range w.leases {
+				if t, ok := c.tasks[taskID]; ok && t.state == taskLeased && t.worker == id {
+					t.lastErr = "worker " + id + " expired"
+					c.retryLocked(t, t.lastErr)
+				}
+			}
+			delete(c.workers, id)
+		}
+	}
+	for _, t := range c.tasks {
+		if t.state == taskLeased && now.After(t.leaseDeadline) {
+			if w, ok := c.workers[t.worker]; ok {
+				delete(w.leases, t.id)
+				w.lost = append(w.lost, t.id)
+			}
+			t.lastErr = "lease expired on worker " + t.worker
+			c.retryLocked(t, t.lastErr)
+		}
+	}
+}
+
+// Close drains the coordinator: no new submissions, queued and running
+// jobs finish (workers keep polling and completing), and the janitor
+// exits. If ctx expires first, unfinished jobs are failed.
+func (c *Coordinator) Close(ctx context.Context) error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+	}
+	pending := c.pendingLocked()
+	c.mu.Unlock()
+
+	for _, j := range pending {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			c.failPending(ctx.Err())
+			c.stopOnce.Do(func() { close(c.quit) })
+			<-c.done
+			return ctx.Err()
+		}
+	}
+	c.stopOnce.Do(func() { close(c.quit) })
+	<-c.done
+	return nil
+}
+
+// pendingLocked returns jobs not yet terminal. Caller holds c.mu.
+func (c *Coordinator) pendingLocked() []*job {
+	var out []*job
+	for _, j := range c.jobs {
+		if j.state == JobQueued || j.state == JobRunning {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// failPending force-fails every non-terminal job (drain deadline hit).
+func (c *Coordinator) failPending(cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, j := range c.jobs {
+		if j.state == JobQueued || j.state == JobRunning {
+			j.state = JobFailed
+			j.errMsg = "coordinator shutdown: " + cause.Error()
+			j.finished = time.Now()
+			c.met.countLocked(metJobsFailed)
+			close(j.done)
+		}
+	}
+}
+
+// QueueDepth returns the number of queued-but-unleased tasks.
+func (c *Coordinator) QueueDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.queue {
+		if t.state == taskQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// InflightLeases returns the number of currently leased tasks.
+func (c *Coordinator) InflightLeases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.tasks {
+		if t.state == taskLeased {
+			n++
+		}
+	}
+	return n
+}
+
+// WorkersAlive returns the number of workers seen within the expiry window.
+func (c *Coordinator) WorkersAlive() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Store returns the coordinator's artifact store.
+func (c *Coordinator) Store() rescache.ArtifactStore { return c.store }
+
+// TasksDispatched returns the total task dispatch count (tests).
+func (c *Coordinator) TasksDispatched() uint64 { return c.met.get(metTasksDispatched) }
+
+// Redispatches returns the total re-dispatch count (tests).
+func (c *Coordinator) Redispatches() uint64 { return c.met.get(metRedispatch) }

@@ -1,0 +1,250 @@
+// Package fleet scales the analysis service from one process to a
+// coordinator + N workers, in the style of syzkaller's manager/worker
+// split:
+//
+//   - The Coordinator accepts analysis jobs over the same HTTP/JSON API as
+//     ofence-serve, shards them onto a work-distribution queue (whole jobs,
+//     plus per-file stage tasks for large projects), and dispatches tasks
+//     to workers over a small HTTP/JSON wire protocol.
+//   - Workers (cmd/ofence-worker, or in-process goroutines under
+//     `ofence-serve -fleet`) poll for tasks, run the analysis pipeline, and
+//     report results plus their span forests, which the coordinator merges
+//     into its ofence_fleet_* metrics.
+//   - Liveness is heartbeat-based: every dispatched task carries a lease;
+//     a worker that stops heartbeating (crash, hang, partition) has its
+//     leases expired and the tasks re-dispatched to healthy workers, with
+//     bounded retries, exponential backoff, and quarantine for jobs that
+//     keep killing workers.
+//   - The coordinator owns a pluggable content-addressed ArtifactStore
+//     (internal/rescache: memory, disk, or anything else implementing the
+//     interface) and serves it to workers over /v1/store/{key}, so a cache
+//     entry computed by any worker — a whole-job result or a per-file
+//     preprocess artifact — is a hit fleet-wide, and survives restarts
+//     when the backend is the disk store.
+//
+// The wire protocol, lease/retry semantics and store backends are
+// documented in docs/FLEET.md.
+package fleet
+
+import (
+	"encoding/json"
+	"time"
+
+	"ofence/internal/rescache"
+	"ofence/internal/service"
+)
+
+// TaskKind distinguishes the two units of distributed work.
+type TaskKind string
+
+// Task kinds.
+const (
+	// TaskAnalyze runs the full pipeline over the job's file set and
+	// produces its result.
+	TaskAnalyze TaskKind = "analyze"
+	// TaskStage runs only the per-file front-end stages over a file subset
+	// of a large job, populating the shared artifact store so the
+	// subsequent analyze task (on any worker) skips that work. Stage-task
+	// failures cost warmth, never correctness.
+	TaskStage TaskKind = "stage"
+)
+
+// Task is one leased unit of work on the wire (coordinator → worker).
+type Task struct {
+	ID    string   `json:"id"`
+	JobID string   `json:"job_id"`
+	Kind  TaskKind `json:"kind"`
+	// Files carries the sources the task operates on: the whole job for
+	// analyze tasks, a subset for stage tasks.
+	Files   map[string]string   `json:"files"`
+	Defines map[string]string   `json:"defines,omitempty"`
+	Options service.OptionsSpec `json:"options"`
+	// Attempt counts dispatches of this task (1 = first).
+	Attempt int `json:"attempt"`
+	// LeaseMS and HeartbeatMS tell the worker how long its lease lasts and
+	// how often to renew it.
+	LeaseMS     int64 `json:"lease_ms"`
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// SpanSummary is one merged span from a worker's span forest: the name and
+// wall time of a pipeline stage, folded into the coordinator's
+// per-stage metrics.
+type SpanSummary struct {
+	Name  string `json:"name"`
+	DurNS int64  `json:"dur_ns"`
+}
+
+// registerRequest announces a worker to the coordinator.
+type registerRequest struct {
+	WorkerID string `json:"worker_id"`
+	Capacity int    `json:"capacity"`
+}
+
+// registerResponse returns the cadence the worker must follow.
+type registerResponse struct {
+	PollMS      int64 `json:"poll_ms"`
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	LeaseMS     int64 `json:"lease_ms"`
+}
+
+// pollRequest asks for the next ready task.
+type pollRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// heartbeatRequest renews the worker's liveness and its task leases.
+type heartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	TaskIDs  []string `json:"task_ids"`
+	// Store optionally reports the worker's artifact-store counters so the
+	// coordinator can aggregate per-backend hit ratios fleet-wide.
+	Store *rescache.StoreStats `json:"store,omitempty"`
+	// StoreBackend names the worker's store backend ("remote" normally).
+	StoreBackend string `json:"store_backend,omitempty"`
+}
+
+// heartbeatResponse lists leases the worker no longer owns (expired and
+// re-dispatched); the worker aborts those tasks.
+type heartbeatResponse struct {
+	Lost []string `json:"lost,omitempty"`
+}
+
+// completeRequest reports a finished task.
+type completeRequest struct {
+	WorkerID string `json:"worker_id"`
+	TaskID   string `json:"task_id"`
+	// Error is a worker-side failure (analysis error, store failure); the
+	// coordinator retries the task elsewhere up to the attempt bound.
+	Error string `json:"error,omitempty"`
+	// Result is the analyze task's serialized ofence.ResultView, exactly
+	// as the worker marshaled it (stored and served byte-for-byte).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Incremental reuse accounting for the task's analysis.
+	Files           int `json:"files"`
+	FilesReused     int `json:"files_reused"`
+	FilesRecomputed int `json:"files_recomputed"`
+	// Spans is the worker's span forest for this task, merged into the
+	// coordinator's per-stage metrics.
+	Spans []SpanSummary `json:"spans,omitempty"`
+	// Store/StoreBackend mirror the heartbeat fields.
+	Store        *rescache.StoreStats `json:"store,omitempty"`
+	StoreBackend string               `json:"store_backend,omitempty"`
+}
+
+// JobState is the lifecycle of a coordinator job.
+type JobState string
+
+// Job states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobView is the JSON projection of a coordinator job.
+type JobView struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	CacheHit bool     `json:"cache_hit"`
+	Error    string   `json:"error,omitempty"`
+	// Result is the analysis result exactly as the worker (or the store)
+	// produced it.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Files is the job's file count; FilesReused/FilesRecomputed report
+	// how much per-file work was served from caches (a store-served result
+	// reuses every file by definition).
+	Files           int `json:"files"`
+	FilesReused     int `json:"files_reused"`
+	FilesRecomputed int `json:"files_recomputed"`
+	// Redispatches counts leases lost to dead or stuck workers; Attempts
+	// counts dispatches of the analyze task.
+	Redispatches int `json:"redispatches"`
+	Attempts     int `json:"attempts"`
+	// Worker is the worker that completed (or currently holds) the
+	// analyze task.
+	Worker  string  `json:"worker,omitempty"`
+	WaitMS  float64 `json:"wait_ms"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// Config sizes the coordinator. Zero fields pick the defaults noted per
+// field.
+type Config struct {
+	// Store is the artifact tier shared fleet-wide (default: an in-memory
+	// MemStore). The coordinator serves it to workers over HTTP and
+	// consults it for whole-job results before dispatching. The
+	// coordinator does not close it; the owner does.
+	Store rescache.ArtifactStore
+	// LeaseTimeout is how long a dispatched task may go without a
+	// heartbeat before it is re-dispatched (default 15s).
+	LeaseTimeout time.Duration
+	// HeartbeatEvery is the renewal cadence workers are told to follow
+	// (default LeaseTimeout/3).
+	HeartbeatEvery time.Duration
+	// WorkerExpiry marks a worker dead when it has neither polled nor
+	// heartbeaten for this long (default 3×HeartbeatEvery... bounded below
+	// by LeaseTimeout).
+	WorkerExpiry time.Duration
+	// MaxAttempts bounds dispatches of one task; beyond it the task is
+	// quarantined and its job fails (default 3).
+	MaxAttempts int
+	// RetryBackoff delays re-dispatch attempt n by RetryBackoff·2^(n-1)
+	// (default 500ms).
+	RetryBackoff time.Duration
+	// ShardFileThreshold: jobs with at least this many files are split
+	// into per-file stage tasks before the analyze task (default 32;
+	// negative disables stage sharding).
+	ShardFileThreshold int
+	// ShardChunk is the number of files per stage task (default 16).
+	ShardChunk int
+	// MaxSourceBytes bounds the total source size of one job (default
+	// 8 MiB).
+	MaxSourceBytes int
+	// MaxJobs bounds how many finished jobs stay queryable (default 1024).
+	MaxJobs int
+	// PollInterval is the idle poll cadence workers are told to follow
+	// (default 100ms).
+	PollInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Store == nil {
+		c.Store = rescache.NewMemStore(0)
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 15 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseTimeout / 3
+	}
+	if c.WorkerExpiry <= 0 {
+		c.WorkerExpiry = 3 * c.HeartbeatEvery
+		if c.WorkerExpiry < c.LeaseTimeout {
+			c.WorkerExpiry = c.LeaseTimeout
+		}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * time.Millisecond
+	}
+	if c.ShardFileThreshold == 0 {
+		c.ShardFileThreshold = 32
+	}
+	if c.ShardChunk <= 0 {
+		c.ShardChunk = 16
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 8 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 100 * time.Millisecond
+	}
+	return c
+}

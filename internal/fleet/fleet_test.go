@@ -1,0 +1,407 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ofence/internal/corpus"
+	"ofence/internal/rescache"
+	"ofence/internal/service"
+)
+
+// corpusRequest generates a deterministic synthetic-corpus request with
+// roughly n files (one pattern per file).
+func corpusRequest(t *testing.T, n int) *service.Request {
+	t.Helper()
+	cfg := corpus.DefaultConfig(42)
+	cfg.Counts = map[corpus.PatternKind]int{
+		corpus.InitFlag:  n - 3,
+		corpus.Seqcount:  2,
+		corpus.Misplaced: 1,
+	}
+	cfg.PatternsPerFile = 1
+	c := corpus.Generate(cfg)
+	if len(c.Files) < n-1 {
+		t.Fatalf("corpus generated %d files, want ~%d", len(c.Files), n)
+	}
+	return &service.Request{Files: c.Files}
+}
+
+// singleProcessResult runs req through the single-process service and
+// returns the result's exact JSON serialization.
+func singleProcessResult(t *testing.T, req *service.Request, spec service.OptionsSpec) []byte {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close(context.Background())
+	j, err := svc.Submit(req, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("single-process job timed out")
+	}
+	view := j.View()
+	if view.State != service.JobDone {
+		t.Fatalf("single-process job state %s: %s", view.State, view.Error)
+	}
+	blob, err := json.Marshal(view.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// startWorkers runs n in-process workers against coord until the test ends.
+func startWorkers(t *testing.T, coord *Coordinator, n int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < n; i++ {
+		w := NewInProcessWorker(coord, "")
+		w.cfg.PollInterval = 10 * time.Millisecond
+		go w.Run(ctx)
+	}
+}
+
+// waitDone waits for j to reach a terminal state.
+func waitDone(t *testing.T, coord *Coordinator, j *job, timeout time.Duration) JobView {
+	t.Helper()
+	select {
+	case <-j.done:
+	case <-time.After(timeout):
+		t.Fatalf("job %s timed out in state %s", j.id, coord.View(j).State)
+	}
+	return coord.View(j)
+}
+
+// TestFleetByteIdenticalToSingleProcess is the core acceptance check: a
+// coordinator with four workers produces the exact bytes the
+// single-process service produces, for a corpus large enough to trigger
+// per-file stage sharding.
+func TestFleetByteIdenticalToSingleProcess(t *testing.T) {
+	req := corpusRequest(t, 40)
+	spec := service.OptionsSpec{}
+	want := singleProcessResult(t, req, spec)
+
+	coord := NewCoordinator(Config{})
+	defer coord.Close(context.Background())
+	startWorkers(t, coord, 4)
+
+	j, err := coord.Submit(req, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitDone(t, coord, j, 60*time.Second)
+	if view.State != JobDone {
+		t.Fatalf("fleet job state %s: %s", view.State, view.Error)
+	}
+	if !bytes.Equal([]byte(view.Result), want) {
+		t.Fatalf("fleet result diverged from single-process run:\nfleet:  %.200s\nsingle: %.200s",
+			view.Result, want)
+	}
+	if got := coord.met.get(metStageTasks); got == 0 {
+		t.Fatalf("expected stage sharding for a %d-file job, stage tasks = %d", view.Files, got)
+	}
+	if view.Files != len(req.Files) {
+		t.Fatalf("files = %d, want %d", view.Files, len(req.Files))
+	}
+}
+
+// TestFleetKillMidJobRedispatch kills a worker mid-job (its context dies
+// while the analysis blocks, so it stops heartbeating without reporting)
+// and verifies the lease expires, the task is re-dispatched to a healthy
+// worker, and the final result is still byte-identical.
+func TestFleetKillMidJobRedispatch(t *testing.T) {
+	req := corpusRequest(t, 8)
+	spec := service.OptionsSpec{}
+	want := singleProcessResult(t, req, spec)
+
+	coord := NewCoordinator(Config{
+		LeaseTimeout:       250 * time.Millisecond,
+		RetryBackoff:       20 * time.Millisecond,
+		ShardFileThreshold: -1,
+	})
+	defer coord.Close(context.Background())
+
+	// Worker A leases the task and hangs until it is killed.
+	actx, kill := context.WithCancel(context.Background())
+	defer kill()
+	wa := NewInProcessWorker(coord, "doomed")
+	wa.cfg.PollInterval = 10 * time.Millisecond
+	wa.analyzeFn = func(ctx context.Context, _ *Task) (*taskOutcome, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	go wa.Run(actx)
+
+	j, err := coord.Submit(req, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.InflightLeases() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker A never leased the task")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	kill() // worker A dies mid-job: no heartbeat, no complete
+
+	startWorkers(t, coord, 1)
+	view := waitDone(t, coord, j, 60*time.Second)
+	if view.State != JobDone {
+		t.Fatalf("job state %s after redispatch: %s", view.State, view.Error)
+	}
+	if view.Redispatches == 0 {
+		t.Fatal("job completed without a recorded redispatch")
+	}
+	if view.Worker == "doomed" {
+		t.Fatal("result attributed to the killed worker")
+	}
+	if !bytes.Equal([]byte(view.Result), want) {
+		t.Fatal("post-redispatch result diverged from single-process run")
+	}
+}
+
+// TestFleetRestartDiskStoreServesResult is the restart acceptance check: a
+// coordinator backed by the disk store computes a job once; a NEW
+// coordinator over a reopened store — with no workers at all — answers the
+// identical submission from the store, reusing every file.
+func TestFleetRestartDiskStoreServesResult(t *testing.T) {
+	dir := t.TempDir()
+	store, err := rescache.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := corpusRequest(t, 8)
+	spec := service.OptionsSpec{}
+
+	coord := NewCoordinator(Config{Store: store, ShardFileThreshold: -1})
+	startWorkers(t, coord, 2)
+	j, err := coord.Submit(req, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitDone(t, coord, j, 60*time.Second)
+	if first.State != JobDone {
+		t.Fatalf("first run failed: %s", first.Error)
+	}
+	if err := coord.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := rescache.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	coord2 := NewCoordinator(Config{Store: store2})
+	defer coord2.Close(context.Background())
+	// Deliberately no workers: only the store can answer.
+	j2, err := coord2.Submit(req, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := waitDone(t, coord2, j2, 10*time.Second)
+	if second.State != JobDone {
+		t.Fatalf("restarted coordinator did not serve from store: %s (%s)", second.State, second.Error)
+	}
+	if !second.CacheHit {
+		t.Fatal("second submission was not a store hit")
+	}
+	if second.FilesReused != second.Files || second.FilesRecomputed != 0 {
+		t.Fatalf("store-served job reused %d/%d files, recomputed %d",
+			second.FilesReused, second.Files, second.FilesRecomputed)
+	}
+	if !bytes.Equal([]byte(second.Result), []byte(first.Result)) {
+		t.Fatal("store-served result diverged from the computed one")
+	}
+}
+
+// TestFleetQuarantineAfterMaxAttempts: a task that fails on every worker
+// is retried up to the bound and then quarantined, failing its job with a
+// diagnosable error.
+func TestFleetQuarantineAfterMaxAttempts(t *testing.T) {
+	coord := NewCoordinator(Config{
+		LeaseTimeout:       200 * time.Millisecond,
+		MaxAttempts:        2,
+		RetryBackoff:       10 * time.Millisecond,
+		ShardFileThreshold: -1,
+	})
+	defer coord.Close(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewInProcessWorker(coord, "crashy")
+	w.cfg.PollInterval = 10 * time.Millisecond
+	w.analyzeFn = func(context.Context, *Task) (*taskOutcome, error) {
+		return nil, context.DeadlineExceeded
+	}
+	go w.Run(ctx)
+
+	j, err := coord.Submit(&service.Request{Files: map[string]string{"a.c": "int x;\n"}}, service.OptionsSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitDone(t, coord, j, 30*time.Second)
+	if view.State != JobFailed {
+		t.Fatalf("job state %s, want failed", view.State)
+	}
+	if !strings.Contains(view.Error, "quarantined") {
+		t.Fatalf("error %q does not mention quarantine", view.Error)
+	}
+	if got := coord.met.get(metQuarantined); got != 1 {
+		t.Fatalf("quarantined counter = %d, want 1", got)
+	}
+	if view.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", view.Attempts)
+	}
+}
+
+// TestFleetHTTPEndToEnd exercises the real network path: an httptest
+// listener serving the coordinator, an external-style worker speaking HTTP
+// to it, and a client POSTing /v1/analyze.
+func TestFleetHTTPEndToEnd(t *testing.T) {
+	coord := NewCoordinator(Config{ShardFileThreshold: -1})
+	defer coord.Close(context.Background())
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewWorker(WorkerConfig{Coordinator: srv.URL, PollInterval: 10 * time.Millisecond})
+	go w.Run(ctx)
+
+	req := corpusRequest(t, 6)
+	body, _ := json.Marshal(map[string]any{"files": req.Files})
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/analyze: status %d", resp.StatusCode)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.State != JobDone || len(view.Result) == 0 {
+		t.Fatalf("job %s state %s: %s", view.ID, view.State, view.Error)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		"ofence_fleet_jobs_done_total 1",
+		"ofence_fleet_queue_depth",
+		"ofence_fleet_inflight_leases",
+		"ofence_fleet_workers_alive",
+		"ofence_fleet_tasks_dispatched_total",
+		"ofence_fleet_store_hit_ratio",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestRemoteStoreRoundTrip: the worker-side store client against the
+// coordinator's /v1/store endpoints, including the miss path.
+func TestRemoteStoreRoundTrip(t *testing.T) {
+	coord := NewCoordinator(Config{})
+	defer coord.Close(context.Background())
+	rs := NewRemoteStore("http://fleet.local", localTransport{handler: coord.Handler()})
+	defer rs.Close()
+
+	key := rescache.KeyOf("test", "k1")
+	if _, ok := rs.Get(key); ok {
+		t.Fatal("miss expected on empty store")
+	}
+	rs.Put(key, []byte("blob-1"))
+	got, ok := rs.Get(key)
+	if !ok || string(got) != "blob-1" {
+		t.Fatalf("round trip failed: %q %v", got, ok)
+	}
+	st := rs.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Puts != 1 || st.Errors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The blob landed in the coordinator's backing store.
+	if blob, ok := coord.Store().Get(key); !ok || string(blob) != "blob-1" {
+		t.Fatal("blob not visible in the coordinator's store")
+	}
+}
+
+// TestJobKeySensitivity: the job key must move with anything that can
+// change analysis output, and with nothing else.
+func TestJobKeySensitivity(t *testing.T) {
+	base := &service.Request{
+		Files:   map[string]string{"a.c": "int x;\n", "b.c": "int y;\n"},
+		Defines: map[string]string{"CONFIG_SMP": "1"},
+	}
+	spec := service.OptionsSpec{}
+	k := jobKey(base, spec)
+
+	same := &service.Request{
+		Files:   map[string]string{"b.c": "int y;\n", "a.c": "int x;\n"},
+		Defines: map[string]string{"CONFIG_SMP": "1"},
+	}
+	if jobKey(same, spec) != k {
+		t.Fatal("key depends on map iteration order")
+	}
+	edited := &service.Request{
+		Files:   map[string]string{"a.c": "int x;int z;\n", "b.c": "int y;\n"},
+		Defines: base.Defines,
+	}
+	if jobKey(edited, spec) == k {
+		t.Fatal("key ignored a content change")
+	}
+	redefined := &service.Request{Files: base.Files, Defines: map[string]string{"CONFIG_SMP": "0"}}
+	if jobKey(redefined, spec) == k {
+		t.Fatal("key ignored a define change")
+	}
+	if jobKey(base, service.OptionsSpec{WriteWindow: 3}) == k {
+		t.Fatal("key ignored an options change")
+	}
+}
+
+// TestCoordinatorSubmitValidation mirrors the service's submit contract.
+func TestCoordinatorSubmitValidation(t *testing.T) {
+	coord := NewCoordinator(Config{MaxSourceBytes: 64})
+	defer coord.Close(context.Background())
+	if _, err := coord.Submit(&service.Request{}, service.OptionsSpec{}); err != ErrNoFiles {
+		t.Fatalf("empty submit: %v", err)
+	}
+	big := &service.Request{Files: map[string]string{"a.c": strings.Repeat("x", 100)}}
+	if _, err := coord.Submit(big, service.OptionsSpec{}); err != ErrTooLarge {
+		t.Fatalf("oversized submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	go coord.Close(ctx)
+	time.Sleep(50 * time.Millisecond)
+	if _, err := coord.Submit(&service.Request{Files: map[string]string{"a.c": "int x;"}}, service.OptionsSpec{}); err != ErrClosed {
+		t.Fatalf("closed submit: %v", err)
+	}
+}

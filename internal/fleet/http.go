@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"ofence/internal/rescache"
+	"ofence/internal/service"
+)
+
+// analyzeRequest mirrors the single-process service's POST /v1/analyze
+// body, so clients switch between ofence-serve and a fleet coordinator by
+// changing the address and nothing else.
+type analyzeRequest struct {
+	service.Request
+	Options service.OptionsSpec `json:"options"`
+	Wait    *bool               `json:"wait,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the coordinator's HTTP API. The client-facing endpoints
+// match ofence-serve; the /v1/fleet/* endpoints are the worker wire
+// protocol; /v1/store/{key} serves the shared artifact store.
+//
+//	POST /v1/analyze          submit sources; waits unless {"wait": false}
+//	GET  /v1/jobs/{id}        poll a job
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             Prometheus text metrics (ofence_fleet_*)
+//	POST /v1/fleet/register   worker announce → cadence parameters
+//	POST /v1/fleet/poll       lease the next ready task (204 when idle)
+//	POST /v1/fleet/heartbeat  renew liveness + task leases
+//	POST /v1/fleet/complete   report a finished task
+//	GET  /v1/store/{key}      fetch an artifact blob (404 on miss)
+//	PUT  /v1/store/{key}      publish an artifact blob
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", c.handleAnalyze)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("POST /v1/fleet/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/fleet/poll", c.handlePoll)
+	mux.HandleFunc("POST /v1/fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/fleet/complete", c.handleComplete)
+	mux.HandleFunc("GET /v1/store/{key}", c.handleStoreGet)
+	mux.HandleFunc("PUT /v1/store/{key}", c.handleStorePut)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (c *Coordinator) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, int64(c.cfg.MaxSourceBytes)+1<<20)
+	var req analyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	j, err := c.Submit(&req.Request, req.Options)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrClosed):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, ErrTooLarge):
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Wait != nil && !*req.Wait {
+		writeJSON(w, http.StatusAccepted, c.View(j))
+		return
+	}
+	select {
+	case <-j.done:
+		writeJSON(w, http.StatusOK, c.View(j))
+	case <-r.Context().Done():
+		// Client went away; the job keeps running and stays pollable.
+		writeJSON(w, http.StatusAccepted, c.View(j))
+	}
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.View(j))
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	draining := c.closed
+	c.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(c.MetricsText()))
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad register body"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.register(req))
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req pollRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad poll body"})
+		return
+	}
+	t := c.poll(req.WorkerID)
+	if t == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad heartbeat body"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.heartbeat(req))
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" || req.TaskID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad complete body"})
+		return
+	}
+	c.complete(req)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	key := rescache.Key(r.PathValue("key"))
+	blob, ok := c.store.Get(key)
+	if !ok {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(blob)
+}
+
+func (c *Coordinator) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	key := rescache.Key(r.PathValue("key"))
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(c.cfg.MaxSourceBytes)+16<<20))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: err.Error()})
+		return
+	}
+	c.store.Put(key, blob)
+	w.WriteHeader(http.StatusNoContent)
+}

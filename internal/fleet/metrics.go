@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ofence/internal/rescache"
+)
+
+// Fleet counter names. These are the exact series exposed on the
+// coordinator's /metrics endpoint and documented in docs/FLEET.md.
+const (
+	metJobsSubmitted   = "ofence_fleet_jobs_submitted_total"
+	metJobsDone        = "ofence_fleet_jobs_done_total"
+	metJobsFailed      = "ofence_fleet_jobs_failed_total"
+	metJobsCached      = "ofence_fleet_jobs_cached_total"
+	metTasksDispatched = "ofence_fleet_tasks_dispatched_total"
+	metStageTasks      = "ofence_fleet_stage_tasks_total"
+	metRedispatch      = "ofence_fleet_redispatch_total"
+	metQuarantined     = "ofence_fleet_quarantined_total"
+	metHeartbeats      = "ofence_fleet_heartbeats_total"
+)
+
+// counterHelp is rendered (in this order) on /metrics.
+var counterHelp = []struct{ name, help string }{
+	{metJobsSubmitted, "Jobs accepted by the coordinator."},
+	{metJobsDone, "Jobs finished successfully (including store-served)."},
+	{metJobsFailed, "Jobs that failed or were quarantined."},
+	{metJobsCached, "Jobs answered from the artifact store without dispatch."},
+	{metTasksDispatched, "Task leases handed to workers."},
+	{metStageTasks, "Per-file stage-warm tasks created by sharding."},
+	{metRedispatch, "Tasks re-dispatched after a lost or expired lease."},
+	{metQuarantined, "Tasks quarantined after exhausting their attempts."},
+	{metHeartbeats, "Worker heartbeats received."},
+}
+
+// stageAgg accumulates merged span wall time for one pipeline stage.
+type stageAgg struct {
+	sum   float64 // seconds
+	count uint64
+}
+
+// fleetMetrics holds the coordinator's counters and merged span forest.
+// Counters are atomic; the span map has its own mutex and is safe to
+// update while holding the coordinator mutex (nothing here takes it).
+type fleetMetrics struct {
+	counters map[string]*uint64
+
+	mu     sync.Mutex
+	stages map[string]*stageAgg
+}
+
+func newFleetMetrics() *fleetMetrics {
+	m := &fleetMetrics{
+		counters: make(map[string]*uint64, len(counterHelp)),
+		stages:   map[string]*stageAgg{},
+	}
+	for _, c := range counterHelp {
+		m.counters[c.name] = new(uint64)
+	}
+	return m
+}
+
+func (m *fleetMetrics) count(name string) { atomic.AddUint64(m.counters[name], 1) }
+
+// countLocked is count; the name records that it is safe under c.mu.
+func (m *fleetMetrics) countLocked(name string) { m.count(name) }
+
+func (m *fleetMetrics) get(name string) uint64 { return atomic.LoadUint64(m.counters[name]) }
+
+// spansLocked merges a worker's span forest for one task. Safe under c.mu.
+func (m *fleetMetrics) spansLocked(spans []SpanSummary) {
+	if len(spans) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range spans {
+		agg, ok := m.stages[s.Name]
+		if !ok {
+			agg = &stageAgg{}
+			m.stages[s.Name] = agg
+		}
+		agg.sum += time.Duration(s.DurNS).Seconds()
+		agg.count++
+	}
+}
+
+// MetricsText renders the coordinator's fleet metrics in Prometheus text
+// exposition format: counters, queue/lease/worker gauges, per-backend
+// artifact-store series (the coordinator's own store plus the latest
+// snapshot reported by each worker, summed per backend), and per-stage
+// wall time merged from worker span forests.
+func (c *Coordinator) MetricsText() string {
+	var b strings.Builder
+	for _, ch := range counterHelp {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			ch.name, ch.help, ch.name, ch.name, c.met.get(ch.name))
+	}
+
+	type backendAgg struct{ st rescache.StoreStats }
+	byBackend := map[string]*backendAgg{}
+	add := func(backend string, st rescache.StoreStats) {
+		if backend == "" {
+			return
+		}
+		agg, ok := byBackend[backend]
+		if !ok {
+			agg = &backendAgg{}
+			byBackend[backend] = agg
+		}
+		agg.st.Gets += st.Gets
+		agg.st.Hits += st.Hits
+		agg.st.Puts += st.Puts
+		agg.st.Errors += st.Errors
+		agg.st.Entries += st.Entries
+		agg.st.Bytes += st.Bytes
+	}
+
+	c.mu.Lock()
+	queued := 0
+	for _, t := range c.queue {
+		if t.state == taskQueued {
+			queued++
+		}
+	}
+	leased := 0
+	for _, t := range c.tasks {
+		if t.state == taskLeased {
+			leased++
+		}
+	}
+	alive := len(c.workers)
+	for _, w := range c.workers {
+		add(w.storeBackend, w.storeStats)
+	}
+	c.mu.Unlock()
+	add(c.store.Name(), c.store.Stats())
+
+	fmt.Fprintf(&b, "# HELP ofence_fleet_queue_depth Tasks queued and not yet leased.\n# TYPE ofence_fleet_queue_depth gauge\nofence_fleet_queue_depth %d\n", queued)
+	fmt.Fprintf(&b, "# HELP ofence_fleet_inflight_leases Tasks currently leased to workers.\n# TYPE ofence_fleet_inflight_leases gauge\nofence_fleet_inflight_leases %d\n", leased)
+	fmt.Fprintf(&b, "# HELP ofence_fleet_workers_alive Workers inside the liveness window.\n# TYPE ofence_fleet_workers_alive gauge\nofence_fleet_workers_alive %d\n", alive)
+
+	backends := make([]string, 0, len(byBackend))
+	for name := range byBackend {
+		backends = append(backends, name)
+	}
+	sort.Strings(backends)
+	storeSeries := []struct{ name, help string }{
+		{"ofence_fleet_store_gets_total", "Artifact store lookups, by backend."},
+		{"ofence_fleet_store_hits_total", "Artifact store hits, by backend."},
+		{"ofence_fleet_store_puts_total", "Artifact store writes, by backend."},
+		{"ofence_fleet_store_errors_total", "Artifact store errors, by backend."},
+	}
+	pick := func(st rescache.StoreStats, i int) uint64 {
+		switch i {
+		case 0:
+			return st.Gets
+		case 1:
+			return st.Hits
+		case 2:
+			return st.Puts
+		default:
+			return st.Errors
+		}
+	}
+	for i, s := range storeSeries {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", s.name, s.help, s.name)
+		for _, backend := range backends {
+			fmt.Fprintf(&b, "%s{backend=%q} %d\n", s.name, backend, pick(byBackend[backend].st, i))
+		}
+	}
+	fmt.Fprintf(&b, "# HELP ofence_fleet_store_hit_ratio Artifact store hit ratio, by backend.\n# TYPE ofence_fleet_store_hit_ratio gauge\n")
+	for _, backend := range backends {
+		fmt.Fprintf(&b, "ofence_fleet_store_hit_ratio{backend=%q} %g\n", backend, byBackend[backend].st.HitRatio())
+	}
+
+	c.met.mu.Lock()
+	stageNames := make([]string, 0, len(c.met.stages))
+	for name := range c.met.stages {
+		stageNames = append(stageNames, name)
+	}
+	sort.Strings(stageNames)
+	fmt.Fprintf(&b, "# HELP ofence_fleet_stage_seconds Wall time per pipeline stage, merged from worker span forests.\n# TYPE ofence_fleet_stage_seconds summary\n")
+	for _, name := range stageNames {
+		agg := c.met.stages[name]
+		fmt.Fprintf(&b, "ofence_fleet_stage_seconds_sum{stage=%q} %g\n", name, agg.sum)
+		fmt.Fprintf(&b, "ofence_fleet_stage_seconds_count{stage=%q} %d\n", name, agg.count)
+	}
+	c.met.mu.Unlock()
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ofence/internal/rescache"
+)
+
+// RemoteStore is the client side of the coordinator's /v1/store/{key}
+// endpoints: an ArtifactStore whose blobs live at the coordinator. Workers
+// attach it behind their stage caches, so a preprocess artifact computed by
+// any worker is a hit fleet-wide. Failures degrade to misses (Get) or
+// drops (Put) and are counted — a flaky store must never fail an analysis.
+type RemoteStore struct {
+	base   string
+	client *http.Client
+
+	gets, hits, puts, errs atomic.Uint64
+}
+
+// NewRemoteStore builds a store client for the coordinator at base
+// (e.g. "http://coordinator:8080"). transport nil uses
+// http.DefaultTransport; tests and in-process fleets pass a localTransport.
+func NewRemoteStore(base string, transport http.RoundTripper) *RemoteStore {
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	return &RemoteStore{
+		base:   base,
+		client: &http.Client{Transport: transport, Timeout: 30 * time.Second},
+	}
+}
+
+// Get fetches one blob. Any transport or status failure is a miss.
+func (s *RemoteStore) Get(key rescache.Key) ([]byte, bool) {
+	s.gets.Add(1)
+	resp, err := s.client.Get(s.base + "/v1/store/" + string(key))
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		s.errs.Add(1)
+		return nil, false
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return blob, true
+}
+
+// Put publishes one blob; failures are counted and dropped.
+func (s *RemoteStore) Put(key rescache.Key, blob []byte) {
+	s.puts.Add(1)
+	req, err := http.NewRequest(http.MethodPut, s.base+"/v1/store/"+string(key), bytes.NewReader(blob))
+	if err != nil {
+		s.errs.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		s.errs.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		s.errs.Add(1)
+	}
+}
+
+// Name identifies the backend in metrics.
+func (s *RemoteStore) Name() string { return "remote" }
+
+// Stats snapshots the client-side counters. Entries/Bytes are unknown to a
+// remote client and reported as zero; the coordinator reports the
+// authoritative backend's occupancy itself.
+func (s *RemoteStore) Stats() rescache.StoreStats {
+	return rescache.StoreStats{
+		Gets:   s.gets.Load(),
+		Hits:   s.hits.Load(),
+		Puts:   s.puts.Load(),
+		Errors: s.errs.Load(),
+	}
+}
+
+// Close releases idle connections.
+func (s *RemoteStore) Close() error {
+	s.client.CloseIdleConnections()
+	return nil
+}
+
+// localTransport routes HTTP requests straight into an http.Handler with
+// no network. It backs in-process fleets (`ofence-serve -fleet`): workers
+// speak the exact wire protocol — same encoding, same handlers — while the
+// "network" is a function call.
+type localTransport struct {
+	handler http.Handler
+}
+
+// RoundTrip serves req against the wrapped handler.
+func (lt localTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &localRecorder{header: http.Header{}}
+	lt.handler.ServeHTTP(rec, req)
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
+	return &http.Response{
+		Status:        http.StatusText(rec.code),
+		StatusCode:    rec.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// localRecorder is the minimal ResponseWriter behind localTransport.
+type localRecorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (r *localRecorder) Header() http.Header { return r.header }
+
+func (r *localRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+func (r *localRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}

@@ -1,0 +1,305 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ofence/internal/kernelhdr"
+	"ofence/internal/obs"
+	"ofence/internal/ofence"
+	"ofence/internal/rescache"
+)
+
+var workerSeq atomic.Uint64
+
+// WorkerConfig sizes one worker. Zero fields pick the defaults noted per
+// field.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. "http://host:8080").
+	Coordinator string
+	// Transport overrides the HTTP transport (default
+	// http.DefaultTransport). In-process fleets pass a localTransport so the
+	// wire protocol runs with no network.
+	Transport http.RoundTripper
+	// ID names the worker (default "worker-<pid>-<n>").
+	ID string
+	// Store overrides the artifact store the worker's stage caches publish
+	// to (default: a RemoteStore against the coordinator).
+	Store rescache.ArtifactStore
+	// PollInterval overrides the idle poll cadence the coordinator
+	// announces at registration.
+	PollInterval time.Duration
+}
+
+// taskOutcome is everything a finished task reports.
+type taskOutcome struct {
+	Result          json.RawMessage
+	Files           int
+	FilesReused     int
+	FilesRecomputed int
+	Spans           []SpanSummary
+}
+
+// Worker polls a coordinator for tasks and runs the analysis pipeline on
+// them, one task at a time (run N workers for parallelism — each is
+// cheap). Its per-file stage caches persist across tasks and publish
+// serializable artifacts to the fleet store, so front-end work done for
+// one task is reused by every later task on any worker.
+type Worker struct {
+	cfg    WorkerConfig
+	id     string
+	client *http.Client
+	store  rescache.ArtifactStore
+	stages *rescache.Stages
+
+	// analyzeFn runs one task; tests replace it to inject hangs and
+	// failures (a worker "killed mid-job" is one whose context dies while
+	// analyzeFn blocks).
+	analyzeFn func(ctx context.Context, t *Task) (*taskOutcome, error)
+
+	tasksDone atomic.Uint64
+}
+
+// NewWorker builds a worker against cfg.Coordinator.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.ID == "" {
+		cfg.ID = fmt.Sprintf("worker-%d-%d", os.Getpid(), workerSeq.Add(1))
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	w := &Worker{
+		cfg:    cfg,
+		id:     cfg.ID,
+		client: &http.Client{Transport: transport, Timeout: 60 * time.Second},
+		store:  cfg.Store,
+	}
+	if w.store == nil {
+		w.store = NewRemoteStore(cfg.Coordinator, transport)
+	}
+	w.stages = rescache.NewStages(0)
+	w.stages.AttachStore(w.store, ofence.StageCodecs())
+	w.analyzeFn = w.defaultAnalyze
+	return w
+}
+
+// NewInProcessWorker builds a worker wired to coord through an in-memory
+// transport: it speaks the full wire protocol (register, poll, heartbeat,
+// complete, remote store) with no network, which is what backs
+// `ofence-serve -fleet`.
+func NewInProcessWorker(coord *Coordinator, id string) *Worker {
+	return NewWorker(WorkerConfig{
+		Coordinator: "http://fleet.local",
+		Transport:   localTransport{handler: coord.Handler()},
+		ID:          id,
+	})
+}
+
+// ID returns the worker's identifier.
+func (w *Worker) ID() string { return w.id }
+
+// TasksDone returns how many tasks this worker completed successfully.
+func (w *Worker) TasksDone() uint64 { return w.tasksDone.Load() }
+
+// post sends one wire-protocol request and decodes the response into out
+// (skipped on 204 or nil out).
+func (w *Worker) post(path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return errNoTask
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+var errNoTask = fmt.Errorf("no task ready")
+
+// Run registers with the coordinator and processes tasks until ctx is
+// canceled. A canceled context mid-task abandons the task without
+// reporting — exactly what a crashed worker looks like to the
+// coordinator, whose lease machinery re-dispatches the work.
+func (w *Worker) Run(ctx context.Context) error {
+	var reg registerResponse
+	for {
+		err := w.post("/v1/fleet/register", registerRequest{WorkerID: w.id, Capacity: 1}, &reg)
+		if err == nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	poll := time.Duration(reg.PollMS) * time.Millisecond
+	if w.cfg.PollInterval > 0 {
+		poll = w.cfg.PollInterval
+	}
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var t Task
+		err := w.post("/v1/fleet/poll", pollRequest{WorkerID: w.id}, &t)
+		if err != nil || t.ID == "" {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		w.runTask(ctx, &t)
+	}
+}
+
+// runTask executes one leased task with a heartbeat goroutine renewing the
+// lease; a heartbeat answer listing the lease as lost cancels the task.
+func (w *Worker) runTask(ctx context.Context, t *Task) {
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	hb := time.Duration(t.HeartbeatMS) * time.Millisecond
+	if hb <= 0 {
+		hb = time.Second
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		ticker := time.NewTicker(hb)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tctx.Done():
+				return
+			case <-ticker.C:
+				st := w.store.Stats()
+				var resp heartbeatResponse
+				if err := w.post("/v1/fleet/heartbeat", heartbeatRequest{
+					WorkerID:     w.id,
+					TaskIDs:      []string{t.ID},
+					Store:        &st,
+					StoreBackend: w.store.Name(),
+				}, &resp); err != nil {
+					continue
+				}
+				for _, lost := range resp.Lost {
+					if lost == t.ID {
+						cancel()
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	out, err := w.analyzeFn(tctx, t)
+	if ctx.Err() != nil {
+		// The worker itself is dying: report nothing, let the lease lapse.
+		return
+	}
+	st := w.store.Stats()
+	req := completeRequest{
+		WorkerID:     w.id,
+		TaskID:       t.ID,
+		Store:        &st,
+		StoreBackend: w.store.Name(),
+	}
+	if err != nil {
+		req.Error = err.Error()
+	} else {
+		req.Result = out.Result
+		req.Files = out.Files
+		req.FilesReused = out.FilesReused
+		req.FilesRecomputed = out.FilesRecomputed
+		req.Spans = out.Spans
+		w.tasksDone.Add(1)
+	}
+	_ = w.post("/v1/fleet/complete", req, nil)
+}
+
+// defaultAnalyze runs the real pipeline over the task's sources. Stage
+// tasks stop after the per-file front end (whose serializable artifacts
+// the stage caches publish to the fleet store as a side effect); analyze
+// tasks run the full analysis and marshal the result exactly as the
+// single-process service would.
+func (w *Worker) defaultAnalyze(ctx context.Context, t *Task) (*taskOutcome, error) {
+	tracer := obs.New()
+	tctx := obs.WithTracer(ctx, tracer)
+
+	proj := ofence.NewProjectWithStages(w.stages)
+	kernelhdr.Register(proj)
+	for k, v := range t.Defines {
+		proj.Define(k, v)
+	}
+	names := make([]string, 0, len(t.Files))
+	for name := range t.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	srcs := make([]ofence.SourceFile, 0, len(names))
+	for _, name := range names {
+		srcs = append(srcs, ofence.SourceFile{Name: name, Src: t.Files[name]})
+	}
+	proj.AddSourcesCtx(tctx, srcs)
+
+	out := &taskOutcome{Files: len(t.Files)}
+	if t.Kind == TaskStage {
+		out.Spans = spansOf(tracer)
+		return out, ctx.Err()
+	}
+
+	res, err := proj.AnalyzeParallel(tctx, t.Options.Resolve())
+	if err != nil {
+		return nil, err
+	}
+	v := res.View()
+	blob, err := json.Marshal(&v)
+	if err != nil {
+		return nil, err
+	}
+	out.Result = blob
+	out.FilesReused = res.Incremental.FilesReused
+	out.FilesRecomputed = res.Incremental.FilesRecomputed
+	out.Spans = spansOf(tracer)
+	return out, nil
+}
+
+// spansOf flattens a tracer's span forest for the wire.
+func spansOf(tracer *obs.Tracer) []SpanSummary {
+	spans := tracer.Spans()
+	out := make([]SpanSummary, 0, len(spans))
+	for _, sp := range spans {
+		if d, ok := sp.Elapsed(); ok {
+			out = append(out, SpanSummary{Name: sp.Name(), DurNS: int64(d)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package rescache
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DiskStore is the durable ArtifactStore: content-addressed blob files plus
+// an fsync'd append-only index, so cache entries survive process restarts
+// and can be shared between processes through a common directory.
+//
+// Layout under the root directory:
+//
+//	objects/<key[:2]>/<key>   one file per blob
+//	index.log                 append-only "v1 <key> <size> <sha256>\n"
+//	tmp/                      staging area for in-flight writes
+//
+// Crash-consistency protocol:
+//
+//   - Put writes the blob to tmp/, fsyncs it, renames it into objects/
+//     (atomic on POSIX), then appends its index line and fsyncs the index.
+//     A crash at any point leaves either a stray tmp file (removed on the
+//     next Open) or a renamed blob with no index line (invisible; the next
+//     Put of that key simply rewrites it).
+//   - Open replays the index, ignoring any torn final line (a crash during
+//     the index append).
+//   - Get serves only indexed keys and verifies the blob's length and
+//     SHA-256 against the index line before returning it, so a torn or
+//     corrupted object file is reported as a miss and dropped, never served.
+type DiskStore struct {
+	root  string
+	mu    sync.Mutex
+	index map[Key]diskEntry
+	log   *os.File
+	gets  uint64
+	hits  uint64
+	puts  uint64
+	errs  uint64
+	bytes int64
+}
+
+type diskEntry struct {
+	size int64
+	sum  string // hex SHA-256 of the blob
+}
+
+// OpenDiskStore opens (creating if needed) a disk store rooted at dir and
+// replays its index. Stray tmp files from interrupted writes are removed.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	for _, sub := range []string{"objects", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("diskstore: %w", err)
+		}
+	}
+	tmps, _ := os.ReadDir(filepath.Join(dir, "tmp"))
+	for _, e := range tmps {
+		_ = os.Remove(filepath.Join(dir, "tmp", e.Name()))
+	}
+
+	d := &DiskStore{root: dir, index: map[Key]diskEntry{}}
+	idxPath := filepath.Join(dir, "index.log")
+	if data, err := os.ReadFile(idxPath); err == nil {
+		d.replay(data)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("diskstore: read index: %w", err)
+	}
+	log, err := os.OpenFile(idxPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: open index: %w", err)
+	}
+	d.log = log
+	return d, nil
+}
+
+// replay parses the index, skipping malformed lines (a torn final append)
+// and entries whose object file is gone.
+func (d *DiskStore) replay(data []byte) {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 4 || fields[0] != "v1" {
+			continue // torn or foreign line: ignore
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || len(fields[3]) != sha256.Size*2 {
+			continue
+		}
+		key := Key(fields[1])
+		if _, ok := d.index[key]; !ok {
+			d.bytes += size
+		}
+		d.index[key] = diskEntry{size: size, sum: fields[3]}
+	}
+}
+
+func (d *DiskStore) objectPath(key Key) string {
+	prefix := "xx"
+	if len(key) >= 2 {
+		prefix = string(key[:2])
+	}
+	return filepath.Join(d.root, "objects", prefix, string(key))
+}
+
+// Get returns the blob stored under key after verifying it against the
+// index; a torn or missing object file is dropped and reported as a miss.
+func (d *DiskStore) Get(key Key) ([]byte, bool) {
+	d.mu.Lock()
+	d.gets++
+	ent, ok := d.index[key]
+	d.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	blob, err := os.ReadFile(d.objectPath(key))
+	if err != nil || int64(len(blob)) != ent.size || hexSum(blob) != ent.sum {
+		// Torn, corrupted or vanished artifact: forget it so the caller
+		// recomputes; the entry will be rewritten by the next Put.
+		d.mu.Lock()
+		if cur, still := d.index[key]; still && cur == ent {
+			delete(d.index, key)
+			d.bytes -= ent.size
+		}
+		if err != nil && !os.IsNotExist(err) {
+			d.errs++
+		}
+		d.mu.Unlock()
+		_ = os.Remove(d.objectPath(key))
+		return nil, false
+	}
+	d.mu.Lock()
+	d.hits++
+	d.mu.Unlock()
+	return blob, true
+}
+
+// Put durably stores blob under key (tmp write + fsync + rename + fsync'd
+// index append). A key already indexed is left untouched.
+func (d *DiskStore) Put(key Key, blob []byte) {
+	d.mu.Lock()
+	if _, ok := d.index[key]; ok {
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+
+	sum := hexSum(blob)
+	obj := d.objectPath(key)
+	if err := d.writeObject(obj, blob); err != nil {
+		d.mu.Lock()
+		d.errs++
+		d.mu.Unlock()
+		return
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.index[key]; ok {
+		return // raced with an identical Put; the object is shared
+	}
+	if d.log != nil {
+		line := fmt.Sprintf("v1 %s %d %s\n", key, len(blob), sum)
+		if _, err := d.log.WriteString(line); err != nil {
+			d.errs++
+			return
+		}
+		if err := d.log.Sync(); err != nil {
+			d.errs++
+			return
+		}
+	}
+	d.index[key] = diskEntry{size: int64(len(blob)), sum: sum}
+	d.bytes += int64(len(blob))
+	d.puts++
+}
+
+// writeObject stages blob in tmp/, fsyncs it and renames it into place.
+func (d *DiskStore) writeObject(obj string, blob []byte) error {
+	if err := os.MkdirAll(filepath.Dir(obj), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Join(d.root, "tmp"), "put-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, obj); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// Name identifies the backend in metrics.
+func (d *DiskStore) Name() string { return "disk" }
+
+// Stats snapshots the counters.
+func (d *DiskStore) Stats() StoreStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return StoreStats{
+		Gets:    d.gets,
+		Hits:    d.hits,
+		Puts:    d.puts,
+		Errors:  d.errs,
+		Entries: len(d.index),
+		Bytes:   d.bytes,
+	}
+}
+
+// Close flushes and closes the index log.
+func (d *DiskStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return nil
+	}
+	err := d.log.Close()
+	d.log = nil
+	return err
+}
+
+func hexSum(blob []byte) string {
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}

@@ -52,18 +52,23 @@ type Stats struct {
 	Dedups uint64
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions uint64
+	// StoreHits counts lookups that missed in memory but were served from
+	// the attached ArtifactStore (zero when no store is attached).
+	StoreHits uint64
+	// StorePuts counts computed values published to the attached store.
+	StorePuts uint64
 	// Entries is the current number of stored values.
 	Entries int
 }
 
 // HitRate is the fraction of lookups that avoided a computation (stored
-// hits plus in-flight joins), or 0 before any lookup.
+// hits, in-flight joins and backing-store hits), or 0 before any lookup.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Dedups + s.Misses
+	total := s.Hits + s.Dedups + s.StoreHits + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.Dedups) / float64(total)
+	return float64(s.Hits+s.Dedups+s.StoreHits) / float64(total)
 }
 
 type entry struct {
@@ -89,6 +94,13 @@ type Cache struct {
 	misses    uint64
 	dedups    uint64
 	evictions uint64
+	storeHits uint64
+	storePuts uint64
+
+	// store/codec form the optional second tier consulted by Do on a
+	// memory miss; see AttachStore.
+	store ArtifactStore
+	codec Codec
 }
 
 // New returns a cache bounded to capacity entries (values beyond the bound
@@ -141,11 +153,24 @@ func (c *Cache) add(k Key, v any) {
 	}
 }
 
+// AttachStore layers an ArtifactStore behind the in-memory LRU: Do
+// consults the store on a memory miss (decoding blobs with codec) and
+// publishes freshly computed values back, so entries computed by any
+// process sharing the store become hits here. Attach before the cache is
+// in use; store lookups and publishes are deduplicated by the same
+// singleflight as computations.
+func (c *Cache) AttachStore(store ArtifactStore, codec Codec) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = store
+	c.codec = codec
+}
+
 // Do returns the value for k, computing it with fn on a miss. Concurrent
 // calls for the same key are deduplicated: one caller runs fn, the others
 // wait and share its outcome. hit reports whether the caller avoided running
-// fn itself (stored entry or in-flight join). Errors are returned to every
-// waiter but never cached, so a later call retries.
+// fn itself (stored entry, in-flight join, or attached-store hit). Errors
+// are returned to every waiter but never cached, so a later call retries.
 func (c *Cache) Do(k Key, fn func() (any, error)) (v any, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[k]; ok {
@@ -162,19 +187,47 @@ func (c *Cache) Do(k Key, fn func() (any, error)) (v any, hit bool, err error) {
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[k] = fl
-	c.misses++
+	store, codec := c.store, c.codec
 	c.mu.Unlock()
 
-	fl.val, fl.err = fn()
+	// Second tier: a blob computed by another process (or a previous run)
+	// short-circuits the computation. Decode failures fall through to fn —
+	// a stale or foreign blob must never poison the analysis.
+	fromStore := false
+	if store != nil && codec.Decode != nil {
+		if blob, ok := store.Get(k); ok {
+			if val, derr := codec.Decode(blob); derr == nil {
+				fl.val, fromStore = val, true
+			}
+		}
+	}
+	if !fromStore {
+		fl.val, fl.err = fn()
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, k)
+	if fromStore {
+		c.storeHits++
+	} else {
+		c.misses++
+	}
+	published := false
 	if fl.err == nil {
 		c.add(k, fl.val)
+		if !fromStore && store != nil && codec.Encode != nil {
+			c.storePuts++
+			published = true
+		}
 	}
 	c.mu.Unlock()
 	close(fl.done)
-	return fl.val, false, fl.err
+	if published {
+		if blob, eerr := codec.Encode(fl.val); eerr == nil {
+			store.Put(k, blob)
+		}
+	}
+	return fl.val, fromStore, fl.err
 }
 
 // Stages is a named family of content-addressed caches, one per pipeline
@@ -190,6 +243,8 @@ type Stages struct {
 	mu     sync.Mutex
 	cap    int
 	stages map[string]*Cache
+	store  ArtifactStore
+	codecs map[string]Codec
 }
 
 // NewStages returns a stage-cache family where each stage's cache is
@@ -202,6 +257,22 @@ func NewStages(capacityPerStage int) *Stages {
 	return &Stages{cap: capacityPerStage, stages: map[string]*Cache{}}
 }
 
+// AttachStore layers an ArtifactStore behind every stage that has a codec
+// in codecs; stages without one stay memory-only (their artifacts hold live
+// pointers that cannot cross a process boundary). Attach before analysis
+// begins — already-created stage caches are wired retroactively.
+func (s *Stages) AttachStore(store ArtifactStore, codecs map[string]Codec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = store
+	s.codecs = codecs
+	for name, c := range s.stages {
+		if codec, ok := codecs[name]; ok {
+			c.AttachStore(store, codec)
+		}
+	}
+}
+
 // Stage returns the cache for one named stage, creating it on first use.
 func (s *Stages) Stage(name string) *Cache {
 	s.mu.Lock()
@@ -209,6 +280,11 @@ func (s *Stages) Stage(name string) *Cache {
 	c, ok := s.stages[name]
 	if !ok {
 		c = New(s.cap)
+		if s.store != nil {
+			if codec, has := s.codecs[name]; has {
+				c.AttachStore(s.store, codec)
+			}
+		}
 		s.stages[name] = c
 	}
 	return c
@@ -247,6 +323,8 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses,
 		Dedups:    c.dedups,
 		Evictions: c.evictions,
+		StoreHits: c.storeHits,
+		StorePuts: c.storePuts,
 		Entries:   c.ll.Len(),
 	}
 }

@@ -10,6 +10,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -54,6 +55,11 @@ type OptionsSpec struct {
 	Workers          int  `json:"workers,omitempty"`
 }
 
+// Resolve maps the spec onto the engine options. It is exported for the
+// fleet subsystem, whose workers resolve the same wire spec the service
+// accepts so that coordinator-dispatched jobs use identical options.
+func (o OptionsSpec) Resolve() ofence.Options { return o.resolve() }
+
 // resolve maps the spec onto the engine options.
 func (o OptionsSpec) resolve() ofence.Options {
 	opts := ofence.DefaultOptions()
@@ -85,6 +91,30 @@ func (o OptionsSpec) resolve() ofence.Options {
 // whole-result cache and the incremental caches invalidate together.
 func fingerprint(opts ofence.Options) string {
 	return opts.Fingerprint()
+}
+
+// ResultViewCodec translates cached *ofence.ResultView values to and from
+// JSON blobs for an ArtifactStore. The fleet coordinator uses the same
+// codec for its job-result tier, so a result computed by a worker, a
+// single-process service, or a previous incarnation before a restart is
+// interchangeable.
+func ResultViewCodec() rescache.Codec {
+	return rescache.Codec{
+		Encode: func(v any) ([]byte, error) {
+			view, ok := v.(*ofence.ResultView)
+			if !ok {
+				return nil, fmt.Errorf("result codec: unexpected value %T", v)
+			}
+			return json.Marshal(view)
+		},
+		Decode: func(blob []byte) (any, error) {
+			view := &ofence.ResultView{}
+			if err := json.Unmarshal(blob, view); err != nil {
+				return nil, err
+			}
+			return view, nil
+		},
+	}
 }
 
 // JobState is the lifecycle of a job.
@@ -178,6 +208,14 @@ type Config struct {
 	// incrementally instead of from scratch (default 32; negative disables
 	// warm reuse and builds a fresh project per job).
 	WarmLineages int
+	// Store is an optional artifact tier layered behind the result cache
+	// and the per-file stage caches (see internal/rescache.ArtifactStore):
+	// results and serializable stage artifacts computed here are published
+	// to it, and entries computed by any process sharing the store — a
+	// previous incarnation after a restart, or fleet workers — are hits.
+	// nil keeps the caches memory-only. The service does not close the
+	// store; the owner does.
+	Store rescache.ArtifactStore
 }
 
 func (c Config) withDefaults() Config {
@@ -210,6 +248,7 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg        Config
 	cache      *rescache.Cache
+	stages     *rescache.Stages
 	headers    map[string]string
 	met        *metrics
 	queue      chan *Job
@@ -242,6 +281,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:        cfg,
 		cache:      rescache.New(cfg.CacheEntries),
+		stages:     rescache.NewStages(0),
 		headers:    kernelhdr.Headers(),
 		met:        newMetrics(),
 		queue:      make(chan *Job, cfg.QueueDepth),
@@ -250,6 +290,10 @@ func New(cfg Config) *Service {
 		cancelBase: cancel,
 		jobs:       map[string]*Job{},
 		warm:       map[string]*warmProject{},
+	}
+	if cfg.Store != nil {
+		s.cache.AttachStore(cfg.Store, ResultViewCodec())
+		s.stages.AttachStore(cfg.Store, ofence.StageCodecs())
 	}
 	s.analyzeFn = s.defaultAnalyze
 	for i := 0; i < cfg.Workers; i++ {
@@ -352,9 +396,12 @@ func (s *Service) projectFor(ctx context.Context, req *Request) *ofence.Project 
 	return w.proj.Clone()
 }
 
-// buildProject assembles a cold project for the request.
+// buildProject assembles a cold project for the request. Every project
+// shares the service-wide stage caches (content-addressed, so sharing
+// across unrelated requests is safe by construction) and, through them,
+// the optional artifact store.
 func (s *Service) buildProject(ctx context.Context, req *Request) *ofence.Project {
-	proj := ofence.NewProject()
+	proj := ofence.NewProjectWithStages(s.stages)
 	kernelhdr.Register(proj)
 	for k, v := range req.Defines {
 		proj.Define(k, v)
@@ -629,5 +676,28 @@ func (s *Service) MetricsText() string {
 	} {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
 	}
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		backend := s.cfg.Store.Name()
+		for _, c := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"ofence_store_gets_total", "Artifact-store lookups", ss.Gets},
+			{"ofence_store_hits_total", "Artifact-store lookups that returned a blob", ss.Hits},
+			{"ofence_store_puts_total", "Artifacts published to the store", ss.Puts},
+			{"ofence_store_errors_total", "Swallowed artifact-store backend failures", ss.Errors},
+		} {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s{backend=%q} %d\n",
+				c.name, c.help, c.name, c.name, backend, c.v)
+		}
+		fmt.Fprintf(&b, "# HELP ofence_store_hit_ratio Fraction of store lookups that hit\n"+
+			"# TYPE ofence_store_hit_ratio gauge\nofence_store_hit_ratio{backend=%q} %g\n",
+			backend, ss.HitRatio())
+	}
 	return b.String()
 }
+
+// StageStats snapshots the service-wide per-file stage cache counters,
+// keyed by stage name. Every project the service builds shares this family.
+func (s *Service) StageStats() map[string]rescache.Stats { return s.stages.Stats() }
