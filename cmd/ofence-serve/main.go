@@ -63,6 +63,7 @@ func main() {
 		storeDir = flag.String("store-dir", "", "disk store directory (required with -store disk)")
 		fleetOn  = flag.Bool("fleet", false, "run as a fleet coordinator with in-process workers instead of a single-process service")
 		fleetN   = flag.Int("fleet-workers", 4, "in-process fleet workers under -fleet (0 = none; external ofence-worker processes may join)")
+		fleetTok = flag.String("fleet-token", "", "shared secret required on the worker and store endpoints under -fleet (empty = open, trusted network only)")
 	)
 	flag.Parse()
 	store, err := openStore(*storeK, *storeDir)
@@ -73,7 +74,13 @@ func main() {
 		defer store.Close()
 	}
 	if *fleetOn {
-		if err := runFleet(*addr, fleet.Config{Store: store, MaxSourceBytes: *maxBytes}, *fleetN, *drain, *pprofA); err != nil {
+		cfg := fleet.Config{
+			Store:          store,
+			MaxSourceBytes: *maxBytes,
+			TaskTimeout:    *timeout,
+			AuthToken:      *fleetTok,
+		}
+		if err := runFleet(*addr, cfg, *fleetN, *drain, *pprofA); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -34,6 +34,7 @@ func main() {
 		n           = flag.Int("n", 1, "worker loops to run in this process (each handles one task at a time)")
 		id          = flag.String("id", "", "worker ID prefix (default worker-<pid>)")
 		poll        = flag.Duration("poll", 0, "idle poll cadence override (0 = use the coordinator's)")
+		token       = flag.String("token", "", "shared fleet secret (must match the coordinator's -fleet-token)")
 	)
 	flag.Parse()
 	if *n < 1 {
@@ -48,6 +49,7 @@ func main() {
 		cfg := fleet.WorkerConfig{
 			Coordinator:  *coordinator,
 			PollInterval: *poll,
+			Token:        *token,
 		}
 		if *id != "" {
 			cfg.ID = fmt.Sprintf("%s-%d", *id, i+1)

@@ -58,6 +58,15 @@ const (
 	taskQuarantined taskState = "quarantined"
 )
 
+// Re-dispatch backoff bounds: the shift exponent is capped so it cannot
+// overflow, and the delay itself is capped so a misconfigured fleet
+// degrades to a fixed worst-case wait instead of a negative (immediate)
+// one.
+const (
+	maxBackoffShift = 16
+	maxRetryBackoff = time.Minute
+)
+
 // task is one unit of distributable work.
 type task struct {
 	id    string
@@ -70,7 +79,11 @@ type task struct {
 	notBefore     time.Time
 	worker        string
 	leaseDeadline time.Time
-	lastErr       string
+	// taskDeadline bounds the current attempt's wall time (zero = no
+	// bound). Heartbeats cannot renew a lease past it, so a live-but-hung
+	// worker is eventually reaped by the janitor like a dead one.
+	taskDeadline time.Time
+	lastErr      string
 }
 
 // workerState tracks one registered worker's liveness and leases.
@@ -190,6 +203,12 @@ func (c *Coordinator) Submit(req *service.Request, spec service.OptionsSpec) (*j
 	// dispatch entirely.
 	if blob, ok := c.store.Get(key); ok {
 		c.mu.Lock()
+		if j.state != JobQueued {
+			// A racing Close hit its drain deadline and failPending already
+			// finished (and closed) this job while the store lookup ran.
+			c.mu.Unlock()
+			return j, nil
+		}
 		j.state = JobDone
 		j.cacheHit = true
 		j.result = json.RawMessage(blob)
@@ -204,7 +223,9 @@ func (c *Coordinator) Submit(req *service.Request, spec service.OptionsSpec) (*j
 	}
 
 	c.mu.Lock()
-	c.planLocked(j)
+	if j.state == JobQueued {
+		c.planLocked(j)
+	}
 	c.mu.Unlock()
 	return j, nil
 }
@@ -364,7 +385,11 @@ func (c *Coordinator) poll(workerID string) *Task {
 		t.state = taskLeased
 		t.worker = workerID
 		t.attempt++
-		t.leaseDeadline = now.Add(c.cfg.LeaseTimeout)
+		t.taskDeadline = time.Time{}
+		if c.cfg.TaskTimeout > 0 {
+			t.taskDeadline = now.Add(c.cfg.TaskTimeout)
+		}
+		t.leaseDeadline = c.leaseExpiryLocked(t, now)
 		w.leases[t.id] = true
 		j := t.job
 		if j.state == JobQueued {
@@ -390,9 +415,10 @@ func (c *Coordinator) poll(workerID string) *Task {
 			Files:       files,
 			Defines:     j.req.Defines,
 			Options:     j.spec,
-			Attempt:     t.attempt,
-			LeaseMS:     c.cfg.LeaseTimeout.Milliseconds(),
-			HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
+			Attempt:       t.attempt,
+			LeaseMS:       c.cfg.LeaseTimeout.Milliseconds(),
+			HeartbeatMS:   c.cfg.HeartbeatEvery.Milliseconds(),
+			TaskTimeoutMS: c.cfg.TaskTimeout.Milliseconds(),
 		}
 	}
 	return nil
@@ -418,9 +444,22 @@ func (c *Coordinator) heartbeat(req heartbeatRequest) heartbeatResponse {
 			lost = append(lost, id)
 			continue
 		}
-		t.leaseDeadline = now.Add(c.cfg.LeaseTimeout)
+		t.leaseDeadline = c.leaseExpiryLocked(t, now)
 	}
 	return heartbeatResponse{Lost: lost}
+}
+
+// leaseExpiryLocked computes a lease expiry for t: now + LeaseTimeout,
+// capped at the attempt's wall-time deadline so heartbeats cannot keep a
+// hung task alive forever — the janitor expires the lease at the deadline
+// and the task is re-dispatched (and eventually quarantined) exactly as if
+// the worker had died. Caller holds c.mu.
+func (c *Coordinator) leaseExpiryLocked(t *task, now time.Time) time.Time {
+	exp := now.Add(c.cfg.LeaseTimeout)
+	if !t.taskDeadline.IsZero() && exp.After(t.taskDeadline) {
+		exp = t.taskDeadline
+	}
+	return exp
 }
 
 // complete records a finished task. Late completions from expired leases
@@ -467,6 +506,13 @@ func (c *Coordinator) complete(req completeRequest) {
 			c.enqueueLocked(j.analyze, time.Time{})
 		}
 	case TaskAnalyze:
+		if j.state == JobDone || j.state == JobFailed {
+			// The job went terminal without this task finishing — a drain
+			// deadline failed it via failPending, which already closed
+			// j.done. Accept the task as done but leave the job alone;
+			// closing j.done a second time would panic.
+			break
+		}
 		j.state = JobDone
 		j.worker = req.WorkerID
 		j.result = req.Result
@@ -511,7 +557,20 @@ func (c *Coordinator) retryLocked(t *task, cause string) {
 		}
 		return
 	}
-	backoff := c.cfg.RetryBackoff << (t.attempt - 1)
+	shift := t.attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	backoff := c.cfg.RetryBackoff << shift
+	if backoff <= 0 || backoff > maxRetryBackoff {
+		// A large configured MaxAttempts or RetryBackoff must degrade to
+		// the cap, never overflow into a negative (immediate, hot-looping)
+		// re-dispatch delay.
+		backoff = maxRetryBackoff
+	}
 	c.enqueueLocked(t, time.Now().Add(backoff))
 	c.met.countLocked(metRedispatch)
 	t.job.redispatches++

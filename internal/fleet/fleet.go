@@ -65,6 +65,11 @@ type Task struct {
 	// how often to renew it.
 	LeaseMS     int64 `json:"lease_ms"`
 	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// TaskTimeoutMS bounds this attempt's wall time (0 = unbounded): the
+	// worker runs the analysis under a context with this deadline, and the
+	// coordinator refuses to renew the lease past it, so both sides agree
+	// when a hung attempt is dead.
+	TaskTimeoutMS int64 `json:"task_timeout_ms,omitempty"`
 }
 
 // SpanSummary is one merged span from a worker's span forest: the name and
@@ -187,12 +192,26 @@ type Config struct {
 	// heartbeaten for this long (default 3×HeartbeatEvery... bounded below
 	// by LeaseTimeout).
 	WorkerExpiry time.Duration
+	// TaskTimeout bounds the wall time of one task attempt (0 = unbounded —
+	// only lease expiry reaps tasks, so a live-but-hung worker pins its job).
+	// `ofence-serve -fleet` wires its -timeout flag here, mirroring the
+	// single-process service's per-job timeout. Each attempt is timed from
+	// its own dispatch: the worker cancels the analysis at the deadline and
+	// reports the timeout as an error, and the coordinator independently
+	// refuses to renew the lease past it.
+	TaskTimeout time.Duration
 	// MaxAttempts bounds dispatches of one task; beyond it the task is
 	// quarantined and its job fails (default 3).
 	MaxAttempts int
-	// RetryBackoff delays re-dispatch attempt n by RetryBackoff·2^(n-1)
-	// (default 500ms).
+	// RetryBackoff delays re-dispatch attempt n by RetryBackoff·2^(n-1),
+	// capped at one minute (default 500ms).
 	RetryBackoff time.Duration
+	// AuthToken, when non-empty, is the shared secret every worker-facing
+	// request (/v1/fleet/*, /v1/store/*) must present as
+	// `Authorization: Bearer <token>`. Empty runs the fleet open, which is
+	// only safe on a trusted network — see the security model in
+	// docs/FLEET.md.
+	AuthToken string
 	// ShardFileThreshold: jobs with at least this many files are split
 	// into per-file stage tasks before the analyze task (default 32;
 	// negative disables stage sharding).

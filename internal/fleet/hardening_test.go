@@ -1,0 +1,321 @@
+package fleet
+
+// Regression tests for the fleet's hardening guarantees: store-key
+// validation on the HTTP surface, terminal-job close guards, per-attempt
+// wall-time bounds, retry-backoff clamping, and the shared-secret auth on
+// the worker-facing endpoints.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ofence/internal/rescache"
+	"ofence/internal/service"
+)
+
+// TestStoreKeyValidationHTTP: /v1/store/{key} must reject anything that is
+// not a canonical content address before it can reach a backend. Under Go
+// 1.22 ServeMux an encoded "/" does not split path segments, so without
+// validation "..%2F..%2Fpwned" reaches DiskStore.objectPath as a relative
+// path and escapes the store root.
+func TestStoreKeyValidationHTTP(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "store")
+	store, err := rescache.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	coord := NewCoordinator(Config{Store: store})
+	defer coord.Close(context.Background())
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	put := func(rawKey string, blob []byte) int {
+		req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/store/"+rawKey, bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, rawKey := range []string{
+		"..%2F..%2F..%2Fpwned",
+		"..%2f..%2fpwned",
+		strings.Repeat("a", 63),
+		strings.Repeat("A", 64),
+		"aa%20bb%0Av1%20cc%205%20dd", // spaces + newline: index.log injection
+	} {
+		if code := put(rawKey, []byte("owned")); code != http.StatusBadRequest {
+			t.Errorf("PUT %s: status %d, want 400", rawKey, code)
+		}
+	}
+	// Nothing escaped the store root.
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "store" {
+		t.Fatalf("store escaped its root: parent now holds %v", entries)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/store/not-a-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET invalid key: status %d, want 400", resp.StatusCode)
+	}
+
+	// A canonical key still round-trips.
+	key := rescache.KeyOf("http-test", "k")
+	if code := put(string(key), []byte("blob-1")); code != http.StatusNoContent {
+		t.Fatalf("PUT valid key: status %d, want 204", code)
+	}
+	if blob, ok := store.Get(key); !ok || string(blob) != "blob-1" {
+		t.Fatalf("valid key not stored: %q %v", blob, ok)
+	}
+}
+
+// TestCompleteAfterDrainFailureNoPanic: when Close's drain deadline
+// expires, failPending closes the job's done channel while the analyze
+// task may still be leased. A worker completing just afterwards must not
+// close the channel a second time (panic) or resurrect the failed job.
+func TestCompleteAfterDrainFailureNoPanic(t *testing.T) {
+	coord := NewCoordinator(Config{ShardFileThreshold: -1})
+	j, err := coord.Submit(&service.Request{Files: map[string]string{"a.c": "int x;\n"}}, service.OptionsSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leased := coord.poll("w1")
+	if leased == nil {
+		t.Fatal("no task leased")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // drain budget already spent: Close fails every pending job
+	if err := coord.Close(ctx); err != context.Canceled {
+		t.Fatalf("Close = %v, want context.Canceled", err)
+	}
+	if view := coord.View(j); view.State != JobFailed {
+		t.Fatalf("job state %s after failed drain, want failed", view.State)
+	}
+
+	// The worker finishes anyway and reports success; must not panic.
+	coord.complete(completeRequest{
+		WorkerID: "w1",
+		TaskID:   leased.ID,
+		Result:   json.RawMessage(`{"late":true}`),
+	})
+	view := coord.View(j)
+	if view.State != JobFailed {
+		t.Fatalf("late completion resurrected a failed job: state %s", view.State)
+	}
+	if len(view.Result) != 0 {
+		t.Fatalf("late completion attached a result to a failed job: %s", view.Result)
+	}
+}
+
+// TestRetryBackoffClamp: a large attempt count must produce a positive,
+// capped re-dispatch delay — never a negative (immediate, hot-looping) one
+// from shift overflow.
+func TestRetryBackoffClamp(t *testing.T) {
+	coord := NewCoordinator(Config{MaxAttempts: 1 << 20, ShardFileThreshold: -1})
+	closeCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	defer coord.Close(closeCtx)
+
+	j, err := coord.Submit(&service.Request{Files: map[string]string{"a.c": "int x;\n"}}, service.OptionsSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attempt := range []int{1, 40, 100, 1 << 19} {
+		coord.mu.Lock()
+		tk := j.analyze
+		tk.attempt = attempt
+		before := time.Now()
+		coord.retryLocked(tk, "test")
+		delay := tk.notBefore.Sub(before)
+		coord.mu.Unlock()
+		if delay <= 0 {
+			t.Fatalf("attempt %d: backoff %v is not positive", attempt, delay)
+		}
+		if delay > maxRetryBackoff+time.Second {
+			t.Fatalf("attempt %d: backoff %v exceeds the cap", attempt, delay)
+		}
+	}
+}
+
+// TestTaskTimeoutQuarantinesHungTask: with a task timeout configured, a
+// worker whose analysis hangs (but honors context cancellation) fails each
+// attempt at the deadline instead of pinning the job forever, and the job
+// quarantines after the attempt bound with a diagnosable error.
+func TestTaskTimeoutQuarantinesHungTask(t *testing.T) {
+	coord := NewCoordinator(Config{
+		TaskTimeout:        150 * time.Millisecond,
+		MaxAttempts:        2,
+		RetryBackoff:       10 * time.Millisecond,
+		ShardFileThreshold: -1,
+	})
+	defer coord.Close(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewInProcessWorker(coord, "sleepy")
+	w.cfg.PollInterval = 10 * time.Millisecond
+	w.analyzeFn = func(ctx context.Context, _ *Task) (*taskOutcome, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	go w.Run(ctx)
+
+	j, err := coord.Submit(&service.Request{Files: map[string]string{"a.c": "int x;\n"}}, service.OptionsSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitDone(t, coord, j, 30*time.Second)
+	if view.State != JobFailed {
+		t.Fatalf("job state %s, want failed", view.State)
+	}
+	if !strings.Contains(view.Error, "timeout") {
+		t.Fatalf("error %q does not mention the task timeout", view.Error)
+	}
+	if view.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", view.Attempts)
+	}
+}
+
+// TestTaskTimeoutReapsHeartbeatingHungWorker: the coordinator-side bound.
+// A worker stuck in an analysis that ignores cancellation keeps
+// heartbeating, so before the fix its lease renewed forever and the job
+// was pinned. Lease renewal is now capped at the attempt's deadline: the
+// janitor expires the lease there and a healthy worker finishes the job.
+func TestTaskTimeoutReapsHeartbeatingHungWorker(t *testing.T) {
+	coord := NewCoordinator(Config{
+		LeaseTimeout:       250 * time.Millisecond,
+		HeartbeatEvery:     25 * time.Millisecond,
+		TaskTimeout:        time.Second,
+		RetryBackoff:       10 * time.Millisecond,
+		MaxAttempts:        5,
+		ShardFileThreshold: -1,
+	})
+	defer coord.Close(context.Background())
+
+	unblock := make(chan struct{})
+	t.Cleanup(func() { close(unblock) })
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	hog := NewInProcessWorker(coord, "hog")
+	hog.cfg.PollInterval = 5 * time.Millisecond
+	hog.analyzeFn = func(context.Context, *Task) (*taskOutcome, error) {
+		<-unblock // hung for the whole test, deaf to cancellation
+		return nil, context.Canceled
+	}
+	go hog.Run(ctx)
+
+	req := corpusRequest(t, 6)
+	spec := service.OptionsSpec{}
+	j, err := coord.Submit(req, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.InflightLeases() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hog never leased the task")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	startWorkers(t, coord, 1)
+
+	view := waitDone(t, coord, j, 30*time.Second)
+	if view.State != JobDone {
+		t.Fatalf("job state %s: %s", view.State, view.Error)
+	}
+	if view.Redispatches == 0 {
+		t.Fatal("hung-but-heartbeating worker was never reaped")
+	}
+	if view.Worker == "hog" {
+		t.Fatal("result attributed to the hung worker")
+	}
+}
+
+// TestFleetAuthToken: with Config.AuthToken set, the worker-facing
+// endpoints demand the bearer token while the client API stays open, and a
+// worker carrying the token still completes jobs end-to-end.
+func TestFleetAuthToken(t *testing.T) {
+	coord := NewCoordinator(Config{AuthToken: "s3cret", ShardFileThreshold: -1})
+	defer coord.Close(context.Background())
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// Worker-facing endpoints reject requests without the token.
+	resp, err := http.Post(srv.URL+"/v1/fleet/poll", "application/json",
+		strings.NewReader(`{"worker_id":"intruder"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated poll: status %d, want 401", resp.StatusCode)
+	}
+	key := rescache.KeyOf("auth-test", "k")
+	putReq, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/store/"+string(key),
+		strings.NewReader("forged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(putReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated store put: status %d, want 401", resp.StatusCode)
+	}
+	if _, ok := coord.Store().Get(key); ok {
+		t.Fatal("unauthenticated put reached the store (cache poisoning)")
+	}
+
+	// The client-facing API stays open.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz behind auth: status %d", resp.StatusCode)
+	}
+
+	// A token-carrying RemoteStore round-trips.
+	rs := NewRemoteStore(srv.URL, nil)
+	rs.SetAuthToken("s3cret")
+	defer rs.Close()
+	rs.Put(key, []byte("blob-1"))
+	if blob, ok := rs.Get(key); !ok || string(blob) != "blob-1" {
+		t.Fatalf("authed store round trip failed: %q %v", blob, ok)
+	}
+
+	// In-process workers inherit the coordinator's token and complete jobs.
+	startWorkers(t, coord, 1)
+	j, err := coord.Submit(corpusRequest(t, 6), service.OptionsSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view := waitDone(t, coord, j, 60*time.Second); view.State != JobDone {
+		t.Fatalf("authed fleet job state %s: %s", view.State, view.Error)
+	}
+}

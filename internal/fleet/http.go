@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"io"
@@ -37,19 +38,41 @@ type errorResponse struct {
 //	POST /v1/fleet/complete   report a finished task
 //	GET  /v1/store/{key}      fetch an artifact blob (404 on miss)
 //	PUT  /v1/store/{key}      publish an artifact blob
+//
+// When Config.AuthToken is set, the /v1/fleet/* and /v1/store/* endpoints
+// require `Authorization: Bearer <token>`; the client-facing endpoints
+// stay open. See the security model in docs/FLEET.md.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", c.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
-	mux.HandleFunc("POST /v1/fleet/register", c.handleRegister)
-	mux.HandleFunc("POST /v1/fleet/poll", c.handlePoll)
-	mux.HandleFunc("POST /v1/fleet/heartbeat", c.handleHeartbeat)
-	mux.HandleFunc("POST /v1/fleet/complete", c.handleComplete)
-	mux.HandleFunc("GET /v1/store/{key}", c.handleStoreGet)
-	mux.HandleFunc("PUT /v1/store/{key}", c.handleStorePut)
+	mux.HandleFunc("POST /v1/fleet/register", c.authed(c.handleRegister))
+	mux.HandleFunc("POST /v1/fleet/poll", c.authed(c.handlePoll))
+	mux.HandleFunc("POST /v1/fleet/heartbeat", c.authed(c.handleHeartbeat))
+	mux.HandleFunc("POST /v1/fleet/complete", c.authed(c.handleComplete))
+	mux.HandleFunc("GET /v1/store/{key}", c.authed(c.handleStoreGet))
+	mux.HandleFunc("PUT /v1/store/{key}", c.authed(c.handleStorePut))
 	return mux
+}
+
+// authed gates a worker-facing handler behind the shared fleet secret.
+// With no AuthToken configured the fleet runs open (trusted network); with
+// one, every fleet and store request must carry it as a bearer token.
+func (c *Coordinator) authed(h http.HandlerFunc) http.HandlerFunc {
+	if c.cfg.AuthToken == "" {
+		return h
+	}
+	want := []byte("Bearer " + c.cfg.AuthToken)
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "missing or invalid fleet token"})
+			return
+		}
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -161,6 +184,10 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 	key := rescache.Key(r.PathValue("key"))
+	if !key.Valid() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed store key"})
+		return
+	}
 	blob, ok := c.store.Get(key)
 	if !ok {
 		w.WriteHeader(http.StatusNotFound)
@@ -171,7 +198,15 @@ func (c *Coordinator) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	// Validate before the key can reach any backend: under Go 1.22 ServeMux
+	// %2F does not act as a path separator, so without this check a crafted
+	// key like "..%2F..%2Fetc%2Fcron" would reach DiskStore.objectPath as a
+	// relative path and escape the store root.
 	key := rescache.Key(r.PathValue("key"))
+	if !key.Valid() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed store key"})
+		return
+	}
 	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(c.cfg.MaxSourceBytes)+16<<20))
 	if err != nil {
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: err.Error()})

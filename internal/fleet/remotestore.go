@@ -17,10 +17,16 @@ import (
 // drops (Put) and are counted — a flaky store must never fail an analysis.
 type RemoteStore struct {
 	base   string
+	token  string
 	client *http.Client
 
 	gets, hits, puts, errs atomic.Uint64
 }
+
+// SetAuthToken sets the shared fleet secret sent with every request (empty
+// sends none). Call before first use; it matches the coordinator's
+// Config.AuthToken.
+func (s *RemoteStore) SetAuthToken(token string) { s.token = token }
 
 // NewRemoteStore builds a store client for the coordinator at base
 // (e.g. "http://coordinator:8080"). transport nil uses
@@ -38,7 +44,13 @@ func NewRemoteStore(base string, transport http.RoundTripper) *RemoteStore {
 // Get fetches one blob. Any transport or status failure is a miss.
 func (s *RemoteStore) Get(key rescache.Key) ([]byte, bool) {
 	s.gets.Add(1)
-	resp, err := s.client.Get(s.base + "/v1/store/" + string(key))
+	req, err := http.NewRequest(http.MethodGet, s.base+"/v1/store/"+string(key), nil)
+	if err != nil {
+		s.errs.Add(1)
+		return nil, false
+	}
+	s.authorize(req)
+	resp, err := s.client.Do(req)
 	if err != nil {
 		s.errs.Add(1)
 		return nil, false
@@ -69,6 +81,7 @@ func (s *RemoteStore) Put(key rescache.Key, blob []byte) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	s.authorize(req)
 	resp, err := s.client.Do(req)
 	if err != nil {
 		s.errs.Add(1)
@@ -78,6 +91,13 @@ func (s *RemoteStore) Put(key rescache.Key, blob []byte) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
 		s.errs.Add(1)
+	}
+}
+
+// authorize attaches the fleet secret, when one is configured.
+func (s *RemoteStore) authorize(req *http.Request) {
+	if s.token != "" {
+		req.Header.Set("Authorization", "Bearer "+s.token)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -36,6 +37,10 @@ type WorkerConfig struct {
 	// PollInterval overrides the idle poll cadence the coordinator
 	// announces at registration.
 	PollInterval time.Duration
+	// Token is the shared fleet secret, sent as `Authorization: Bearer` on
+	// every wire-protocol and store request. Must match the coordinator's
+	// Config.AuthToken; leave empty against an open coordinator.
+	Token string
 }
 
 // taskOutcome is everything a finished task reports.
@@ -83,7 +88,9 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		store:  cfg.Store,
 	}
 	if w.store == nil {
-		w.store = NewRemoteStore(cfg.Coordinator, transport)
+		rs := NewRemoteStore(cfg.Coordinator, transport)
+		rs.SetAuthToken(cfg.Token)
+		w.store = rs
 	}
 	w.stages = rescache.NewStages(0)
 	w.stages.AttachStore(w.store, ofence.StageCodecs())
@@ -100,6 +107,7 @@ func NewInProcessWorker(coord *Coordinator, id string) *Worker {
 		Coordinator: "http://fleet.local",
 		Transport:   localTransport{handler: coord.Handler()},
 		ID:          id,
+		Token:       coord.cfg.AuthToken,
 	})
 }
 
@@ -116,7 +124,15 @@ func (w *Worker) post(path string, body, out any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := w.client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(payload))
+	req, err := http.NewRequest(http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if w.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.cfg.Token)
+	}
+	resp, err := w.client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -179,10 +195,16 @@ func (w *Worker) Run(ctx context.Context) error {
 }
 
 // runTask executes one leased task with a heartbeat goroutine renewing the
-// lease; a heartbeat answer listing the lease as lost cancels the task.
+// lease; a heartbeat answer listing the lease as lost cancels the task,
+// and the coordinator's per-attempt wall-time budget (if any) bounds it.
 func (w *Worker) runTask(ctx context.Context, t *Task) {
 	tctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if t.TaskTimeoutMS > 0 {
+		var tcancel context.CancelFunc
+		tctx, tcancel = context.WithTimeout(tctx, time.Duration(t.TaskTimeoutMS)*time.Millisecond)
+		defer tcancel()
+	}
 
 	hb := time.Duration(t.HeartbeatMS) * time.Millisecond
 	if hb <= 0 {
@@ -224,6 +246,12 @@ func (w *Worker) runTask(ctx context.Context, t *Task) {
 	if ctx.Err() != nil {
 		// The worker itself is dying: report nothing, let the lease lapse.
 		return
+	}
+	if err != nil && errors.Is(tctx.Err(), context.DeadlineExceeded) {
+		// The attempt blew its wall-time budget. Report that explicitly so
+		// the failure charges the attempt bound and the quarantine message
+		// is diagnosable, instead of a bare "context deadline exceeded".
+		err = fmt.Errorf("task exceeded its %dms timeout: %w", t.TaskTimeoutMS, err)
 	}
 	st := w.store.Stats()
 	req := completeRequest{

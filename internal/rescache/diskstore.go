@@ -94,6 +94,9 @@ func (d *DiskStore) replay(data []byte) {
 			continue
 		}
 		key := Key(fields[1])
+		if !key.Valid() {
+			continue
+		}
 		if _, ok := d.index[key]; !ok {
 			d.bytes += size
 		}
@@ -114,6 +117,13 @@ func (d *DiskStore) objectPath(key Key) string {
 func (d *DiskStore) Get(key Key) ([]byte, bool) {
 	d.mu.Lock()
 	d.gets++
+	if !key.Valid() {
+		// An invalid key can never have been indexed, and must never be
+		// turned into a filesystem path.
+		d.errs++
+		d.mu.Unlock()
+		return nil, false
+	}
 	ent, ok := d.index[key]
 	d.mu.Unlock()
 	if !ok {
@@ -145,6 +155,15 @@ func (d *DiskStore) Get(key Key) ([]byte, bool) {
 // index append). A key already indexed is left untouched.
 func (d *DiskStore) Put(key Key, blob []byte) {
 	d.mu.Lock()
+	if !key.Valid() {
+		// Refuse before the key can become a path under objects/ or a line
+		// in index.log: "../"-style keys would escape the root via
+		// writeObject's MkdirAll+rename, and whitespace would corrupt the
+		// space-delimited index.
+		d.errs++
+		d.mu.Unlock()
+		return
+	}
 	if _, ok := d.index[key]; ok {
 		d.mu.Unlock()
 		return

@@ -1,0 +1,82 @@
+package rescache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestKeyValid(t *testing.T) {
+	if k := KeyOf("fp", "anything"); !k.Valid() {
+		t.Fatalf("KeyOf output %q rejected", k)
+	}
+	bad := []Key{
+		"",
+		"abc",
+		Key(strings.Repeat("g", 64)),                 // non-hex
+		Key(strings.Repeat("A", 64)),                 // uppercase
+		Key(strings.Repeat("a", 63)),                 // short
+		Key(strings.Repeat("a", 65)),                 // long
+		Key("../../../../etc/passwd"),                // traversal
+		Key(strings.Repeat("a", 62) + "/x"),          // separator
+		Key(strings.Repeat("a", 60) + "a a\n"),       // whitespace/newline
+		Key("..%2f" + strings.Repeat("a", 59)),       // encoded separator
+		Key(strings.Repeat("a", 32) + "\x00" + strings.Repeat("a", 31)), // NUL
+	}
+	for _, k := range bad {
+		if k.Valid() {
+			t.Errorf("Valid(%q) = true, want false", k)
+		}
+	}
+}
+
+// TestDiskStoreRejectsInvalidKeys: a key that is not a canonical content
+// address must never become a filesystem path (escaping the store root via
+// MkdirAll+rename) or an index.log line (corrupting the space-delimited
+// format for every later entry).
+func TestDiskStoreRejectsInvalidKeys(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "store")
+	d, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evil := Key("../../pwned")
+	d.Put(evil, []byte("owned"))
+	if _, ok := d.Get(evil); ok {
+		t.Fatal("invalid key served")
+	}
+	// Nothing may exist outside dir: the only parent entry is the store.
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "store" {
+		t.Fatalf("store escaped its root: parent now holds %v", entries)
+	}
+	if st := d.Stats(); st.Errors != 2 || st.Puts != 0 || st.Entries != 0 {
+		t.Fatalf("invalid key not counted as errors: %+v", st)
+	}
+
+	// A whitespace key must not leave an injected index line behind: a
+	// valid put afterwards still round-trips across a reopen.
+	d.Put(Key("aa bb\nv1 cc 5 dd"), []byte("inject"))
+	good := KeyOf("fp", "good")
+	d.Put(good, []byte("payload"))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got, ok := d2.Get(good); !ok || string(got) != "payload" {
+		t.Fatalf("after reopen: Get = %q, %v", got, ok)
+	}
+	if st := d2.Stats(); st.Entries != 1 {
+		t.Fatalf("after reopen: entries = %d, want 1", st.Entries)
+	}
+}

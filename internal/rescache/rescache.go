@@ -23,6 +23,25 @@ import (
 // inputs.
 type Key string
 
+// Valid reports whether k has the canonical form KeyOf produces: exactly
+// 64 lowercase hex digits. Anything that accepts keys from an untrusted
+// caller — the fleet coordinator's /v1/store endpoints, or a store that
+// maps keys to filesystem paths — must reject invalid keys before use, so
+// a crafted key (path traversal, index-line injection) never reaches a
+// backend.
+func (k Key) Valid() bool {
+	if len(k) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // KeyOf hashes an options fingerprint plus any number of input parts into a
 // Key. Parts are length-framed so that concatenation ambiguities cannot
 // collide ("ab","c" hashes differently from "a","bc").
