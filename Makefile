@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fuzz test test-race race race-fleet bench bench-incremental bench-pairing bench-fleet serve eval eval-json corpus trace-demo clean
+.PHONY: all build vet lint fuzz test test-race race race-fleet bench bench-incremental bench-pairing bench-fleet bench-confidence serve eval eval-json corpus trace-demo clean
 
 all: build lint test
 
@@ -60,6 +60,14 @@ bench-pairing:
 bench-fleet:
 	OFENCE_BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json \
 		$(GO) test ./internal/fleet/ -run '^TestWriteBenchFleetJSON$$' -count=1 -v
+
+# Confidence-ranking headline number: precision/recall/F1 of the ranking
+# pass (internal/rank) on the labeled confidence corpus, swept over the
+# -min-confidence threshold grid. Refreshes BENCH_confidence.json via the
+# harness in internal/report/confidence_test.go (see docs/RANKING.md).
+bench-confidence:
+	OFENCE_BENCH_CONFIDENCE_OUT=$(CURDIR)/BENCH_confidence.json \
+		$(GO) test ./internal/report/ -run '^TestWriteBenchConfidenceJSON$$' -count=1 -v
 
 # Race-detector gate for the fleet subsystem: coordinator lease juggling,
 # worker heartbeats, the shared artifact stores.

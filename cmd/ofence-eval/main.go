@@ -6,7 +6,7 @@
 //	ofence-eval [-seed N] [-section name]
 //
 // Sections: table1 table2 table3 fixtures figure6 figure7 coverage litmus
-// validation census baseline inferred runtime all (default all).
+// validation census baseline inferred confidence runtime all (default all).
 package main
 
 import (
@@ -84,6 +84,8 @@ func main() {
 	case "inferred":
 		ev := report.RunCorpus(lazyCorpus(), opts)
 		fmt.Print(report.RenderInferred(report.Inferred(ev)))
+	case "confidence":
+		fmt.Print(report.RenderConfidence(report.RunConfidence(*seed)))
 	case "runtime":
 		fmt.Print(report.RenderRuntime(report.Runtime(lazyCorpus(), opts)))
 	default:

@@ -19,6 +19,8 @@
 //	-trace            print the per-stage observability tree to stderr
 //	-trace-out FILE   write a Chrome trace_event JSON trace (Perfetto-loadable)
 //	-exit-code        exit 1 when findings are reported (CI gating)
+//	-min-confidence C drop findings the ranking pass scores below C
+//	                  (default 0: keep all; see docs/RANKING.md)
 //	-write-window N   statements explored around write barriers (default 5)
 //	-read-window N    statements explored around read barriers (default 50)
 //	-workers N        parallel file workers (default GOMAXPROCS)
@@ -63,6 +65,7 @@ func main() {
 		writeWindow  = flag.Int("write-window", 5, "statements explored around write barriers")
 		readWindow   = flag.Int("read-window", 50, "statements explored around read barriers")
 		workers      = flag.Int("workers", 0, "parallel file workers (0 = GOMAXPROCS)")
+		minConf      = flag.Float64("min-confidence", 0, "drop findings scored below this confidence by the ranking pass (0 = keep all; the tuned default threshold is rank.DefaultThreshold, see docs/RANKING.md)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -77,6 +80,7 @@ func main() {
 	opts.Workers = *workers
 	opts.CheckOnce = *checkOnce
 	opts.InterprocDepth = *interproc
+	opts.MinConfidence = *minConf
 
 	var srcs []ofence.SourceFile
 	for _, arg := range flag.Args() {

@@ -280,6 +280,19 @@ func TestDocsBenchJSONSchema(t *testing.T) {
 	if len(files) == 0 {
 		t.Fatal("no BENCH_*.json documents found at the repo root")
 	}
+	// Subsystems with a recorded headline number must keep it recorded:
+	// losing the document silently would orphan the tuned constants that
+	// mirror it (rank.DefaultThreshold mirrors BENCH_confidence.json).
+	required := []string{"BENCH_confidence.json"}
+	have := map[string]bool{}
+	for _, f := range files {
+		have[filepath.Base(f)] = true
+	}
+	for _, f := range required {
+		if !have[f] {
+			t.Errorf("required benchmark document %s is missing (refresh with make bench-confidence)", f)
+		}
+	}
 	for _, file := range files {
 		data, err := os.ReadFile(file)
 		if err != nil {

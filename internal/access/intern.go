@@ -147,3 +147,56 @@ func FindDist(ods []ObjDist, id uint32) (int32, bool) {
 	}
 	return 0, false
 }
+
+// Usage bits describe HOW a site touches an object relative to its barrier:
+// which side of the barrier and whether it loads or stores. A site's per-
+// object usage signature (the OR of these bits) is the unit of comparison
+// for the outlier-ranking census in internal/rank — two sites follow the
+// same access-ordering protocol for an object exactly when their signatures
+// match.
+const (
+	// UsageLoadBefore marks a load of the object before the barrier.
+	UsageLoadBefore uint8 = 1 << iota
+	// UsageStoreBefore marks a store to the object before the barrier.
+	UsageStoreBefore
+	// UsageLoadAfter marks a load of the object after the barrier.
+	UsageLoadAfter
+	// UsageStoreAfter marks a store to the object after the barrier.
+	UsageStoreAfter
+)
+
+// ObjUsage pairs an interned object ID with a site's usage signature for
+// that object.
+type ObjUsage struct {
+	ID   uint32
+	Bits uint8
+}
+
+// ObjUsages returns the site's per-object usage signatures as a slice
+// sorted by interned ID. Objects not present in the table are skipped. The
+// result depends only on the site's access lists, never on their order, so
+// it is deterministic across extraction schedules.
+func (t *Interner) ObjUsages(s *Site) []ObjUsage {
+	bits := make(map[uint32]uint8, len(s.Before)+len(s.After))
+	mark := func(list []*Access, load, store uint8) {
+		for _, a := range list {
+			id, ok := t.ids[a.Object]
+			if !ok {
+				continue
+			}
+			if a.Kind == Store {
+				bits[id] |= store
+			} else {
+				bits[id] |= load
+			}
+		}
+	}
+	mark(s.Before, UsageLoadBefore, UsageStoreBefore)
+	mark(s.After, UsageLoadAfter, UsageStoreAfter)
+	out := make([]ObjUsage, 0, len(bits))
+	for id, b := range bits {
+		out = append(out, ObjUsage{ID: id, Bits: b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

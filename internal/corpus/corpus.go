@@ -76,6 +76,18 @@ const (
 	GenericDecoy
 	// Noise is a function with field accesses but no barrier.
 	Noise
+	// ProtocolFamily is one writer plus five readers of the same struct:
+	// four readers follow the protocol (flag before the read barrier,
+	// payload after) and one deviates (both after). The deviation is a real
+	// bug AND a cross-site outlier — the ranking pass's high-confidence
+	// shape (§6.4: most sites agree on an ordering, one does not).
+	ProtocolFamily
+	// CoincidentalPair is a struct whose barrier users have no consistent
+	// access ordering (no usage signature reaches a majority), plus one
+	// writer/reader duo crafted to trip the misplaced-access rule. The
+	// finding is a false positive of the generic-struct shape the paper
+	// blames for its ~50% FP ratio; the outlier census scores it low.
+	CoincidentalPair
 )
 
 // String names the kind.
@@ -115,8 +127,26 @@ func (k PatternKind) String() string {
 		return "generic-decoy"
 	case Noise:
 		return "noise"
+	case ProtocolFamily:
+		return "protocol-family"
+	case CoincidentalPair:
+		return "coincidental-pair"
 	}
 	return "unknown"
+}
+
+// ConfidenceBand labels the confidence the ranking pass (internal/rank)
+// should assign findings produced inside the pattern: "high" for injected
+// bugs (the census and margins support them), "low" for crafted false
+// positives and decoys, "" for kinds that yield no ordering findings.
+func (k PatternKind) ConfidenceBand() string {
+	switch k {
+	case Misplaced, RepeatedRead, WrongType, Unneeded, ProtocolFamily:
+		return "high"
+	case CoincidentalPair, SingleObjectDecoy, GenericDecoy, Noise:
+		return "low"
+	}
+	return ""
 }
 
 // Truth is the ground-truth record for one generated pattern.
@@ -129,6 +159,10 @@ type Truth struct {
 	StructTag string
 	// WriterFn and ReaderFn name the generated functions ("" when absent).
 	WriterFn, ReaderFn string
+	// OtherFns names additional generated functions sharing the pattern's
+	// struct (the conforming readers of a ProtocolFamily, the chaotic
+	// barrier users of a CoincidentalPair).
+	OtherFns []string
 	// ExpectPaired is whether OFence should pair the pattern's barriers.
 	ExpectPaired bool
 	// ExpectFindingKinds are the deviation kinds OFence should report
@@ -185,6 +219,18 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
+// ConfidenceConfig extends DefaultConfig with the ranking pass's evaluation
+// patterns: protocol families whose deviant reader must score high and
+// coincidental pairings whose crafted false positive must score low. The
+// default corpus itself is unchanged (the extra kinds have zero count in
+// DefaultConfig), so pairing/coverage benchmarks stay comparable.
+func ConfidenceConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Counts[ProtocolFamily] = 6
+	cfg.Counts[CoincidentalPair] = 10
+	return cfg
+}
+
 // Corpus is the generated file set plus ground truth.
 type Corpus struct {
 	// Files maps file name to C source.
@@ -218,7 +264,7 @@ func Generate(cfg Config) *Corpus {
 	for _, k := range []PatternKind{InitFlag, Seqcount, ImplicitIPC, Unneeded,
 		Misplaced, RepeatedRead, WrongType, LockPaired, AcqRel, OnceAnnotated,
 		RCUUser, CrossFile, LockProtected, StatsCounter, SingleObjectDecoy,
-		GenericDecoy, Noise} {
+		GenericDecoy, Noise, ProtocolFamily, CoincidentalPair} {
 		for i := 0; i < cfg.Counts[k]; i++ {
 			kinds = append(kinds, k)
 		}
@@ -357,6 +403,10 @@ func (g *generator) emit(k PatternKind) (src, deferred string, t *Truth) {
 		return g.genericDecoy(t), "", t
 	case Noise:
 		return g.noise(t), "", t
+	case ProtocolFamily:
+		return g.protocolFamily(t), "", t
+	case CoincidentalPair:
+		return g.coincidentalPair(t), "", t
 	}
 	return "", "", t
 }
@@ -767,6 +817,114 @@ func (g *generator) noise(t *Truth) string {
 		fmt.Fprintf(&sb, "\tacc += p->nf%d_%d;\n", i, id)
 	}
 	sb.WriteString("\treturn acc;\n}\n")
+	return sb.String()
+}
+
+// protocolFamily emits one writer and five readers of the same struct. The
+// writer stores the payload before its write barrier and the flag after;
+// four conforming readers check the flag before their read barrier and read
+// the payload after; the deviant reader does both AFTER its barrier, which
+// is deviation #1 on the flag (written after the write barrier but read
+// after the read barrier). Five of six sites agree on each object's
+// ordering, so the outlier census strongly supports the finding.
+func (g *generator) protocolFamily(t *Truth) string {
+	id := t.ID
+	st := t.StructTag
+	t.WriterFn = fmt.Sprintf("pf_w_%d", id)
+	t.ReaderFn = fmt.Sprintf("pf_dev_%d", id)
+	t.Barriers = 6
+	t.ExpectPaired = true
+	t.ExpectFinding = "misplaced"
+	t.WriteDistance, t.ReadDistance = 1, 1
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "struct %s {\n\tlong pfpay_%d;\n\tint pfflag_%d;\n};\n", st, id, id)
+	fmt.Fprintf(&sb, "static void %s(struct %s *p) {\n", t.WriterFn, st)
+	fmt.Fprintf(&sb, "\tp->pfpay_%d = 1;\n", id)
+	sb.WriteString("\tsmp_wmb();\n")
+	fmt.Fprintf(&sb, "\tp->pfflag_%d = 1;\n", id)
+	sb.WriteString("}\n")
+	for i := 0; i < 4; i++ {
+		fn := fmt.Sprintf("pf_r%d_%d", i, id)
+		t.OtherFns = append(t.OtherFns, fn)
+		fmt.Fprintf(&sb, "static void %s(struct %s *p) {\n", fn, st)
+		fmt.Fprintf(&sb, "\tif (!p->pfflag_%d)\n\t\treturn;\n", id)
+		sb.WriteString("\tsmp_rmb();\n")
+		fmt.Fprintf(&sb, "\tg_use_%d(p->pfpay_%d);\n", id, id)
+		sb.WriteString("}\n")
+	}
+	fmt.Fprintf(&sb, "static void %s(struct %s *p) {\n", t.ReaderFn, st)
+	sb.WriteString("\tsmp_rmb();\n")
+	fmt.Fprintf(&sb, "\tif (!p->pfflag_%d)\n\t\treturn;\n", id)
+	fmt.Fprintf(&sb, "\tg_use_%d(p->pfpay_%d);\n", id, id)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// coincidentalPair emits a struct with no consistent barrier protocol: five
+// chaotic users each touch field a around their barrier with a different
+// usage signature (no signature reaches half the sites), plus one
+// writer/reader duo sharing BOTH fields and crafted so the duo check fires
+// the misplaced-access rule on a. The finding is a ground-truth false
+// positive (ExpectFinding stays empty): this struct has no ordering
+// protocol to violate, so the ranking pass must score it low.
+func (g *generator) coincidentalPair(t *Truth) string {
+	id := t.ID
+	st := t.StructTag
+	t.WriterFn = fmt.Sprintf("cp_w_%d", id)
+	t.ReaderFn = fmt.Sprintf("cp_r_%d", id)
+	t.Barriers = 7
+	t.ExpectPaired = true // the crafted duo shares two objects and does pair
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "struct %s {\n\tlong cpa_%d;\n\tlong cpb_%d;\n};\n", st, id, id)
+	// The crafted duo: a stored before wmb / b after; reader loads BOTH
+	// before its rmb, so a is written-before + read-before => deviation #1.
+	fmt.Fprintf(&sb, "static void %s(struct %s *p) {\n", t.WriterFn, st)
+	fmt.Fprintf(&sb, "\tp->cpa_%d = 1;\n", id)
+	sb.WriteString("\tsmp_wmb();\n")
+	fmt.Fprintf(&sb, "\tp->cpb_%d = 2;\n", id)
+	sb.WriteString("}\n")
+	fmt.Fprintf(&sb, "static void %s(struct %s *p) {\n", t.ReaderFn, st)
+	fmt.Fprintf(&sb, "\tif (!p->cpa_%d)\n\t\treturn;\n", id)
+	fmt.Fprintf(&sb, "\tg_sink_%d(p->cpb_%d);\n", id, id)
+	sb.WriteString("\tsmp_rmb();\n")
+	fmt.Fprintf(&sb, "\tg_nop_%d_0();\n", id)
+	sb.WriteString("}\n")
+	// A farther second reader sharing both fields: it loses the pairing to
+	// the crafted reader but stays a probed alternative, so the duo's
+	// pairing margin is thin (a real protocol's pairing is decisive).
+	alt := fmt.Sprintf("cp_alt_%d", id)
+	t.OtherFns = append(t.OtherFns, alt)
+	fmt.Fprintf(&sb, "static void %s(struct %s *p) {\n", alt, st)
+	fmt.Fprintf(&sb, "\tif (!p->cpb_%d)\n\t\treturn;\n", id)
+	fmt.Fprintf(&sb, "\tg_nop_%d_1();\n\tg_nop_%d_2();\n", id, id)
+	sb.WriteString("\tsmp_rmb();\n")
+	fmt.Fprintf(&sb, "\tg_nop_%d_3();\n\tg_nop_%d_4();\n", id, id)
+	fmt.Fprintf(&sb, "\tg_use_%d(p->cpa_%d);\n", id, id)
+	sb.WriteString("}\n")
+	// Chaotic users: one shared object each (below the pairing threshold,
+	// so they never pair) with five distinct usage signatures for a.
+	loadA := fmt.Sprintf("\tg_use_%d(p->cpa_%d);\n", id, id)
+	storeA := func(v int) string { return fmt.Sprintf("\tp->cpa_%d = %d;\n", id, v) }
+	shapes := []struct {
+		before, after string
+	}{
+		{"", loadA},            // load after
+		{"", storeA(3)},        // store after
+		{loadA, loadA},         // load both sides
+		{storeA(4), storeA(5)}, // store both sides
+		{loadA, storeA(6)},     // load before, store after
+	}
+	for i, sh := range shapes {
+		fn := fmt.Sprintf("cp_u%d_%d", i, id)
+		t.OtherFns = append(t.OtherFns, fn)
+		fmt.Fprintf(&sb, "static void %s(struct %s *p) {\n", fn, st)
+		sb.WriteString(sh.before)
+		sb.WriteString("\tsmp_mb();\n")
+		sb.WriteString(sh.after)
+		sb.WriteString("}\n")
+	}
 	return sb.String()
 }
 

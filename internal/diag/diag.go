@@ -58,6 +58,10 @@ type Diagnostic struct {
 	Message  string   `json:"message"`
 	// Suppressed marks diagnostics silenced by an ofence:ignore comment.
 	Suppressed bool `json:"suppressed,omitempty"`
+	// Confidence is the ranking pass's score for the underlying finding
+	// (internal/rank); 0 for diagnostics with no ranked finding behind them
+	// (syntactic lints, baselines).
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // Context is everything a pass may consult.
@@ -133,8 +137,10 @@ func Run(ctx *Context, passes []Pass) []Diagnostic {
 }
 
 // Sort is the single place diagnostic order is defined: by file, then line,
-// then rule ID (column and message as final tie-breaks), so every consumer —
-// terminal, JSON, SARIF — sees the same deterministic sequence.
+// then rule ID, then confidence (higher first, so the strongest evidence
+// leads at equal positions), with column and message as final tie-breaks —
+// every consumer — terminal, JSON, SARIF — sees the same deterministic
+// sequence across runs.
 func Sort(ds []Diagnostic) {
 	sort.SliceStable(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
@@ -146,6 +152,9 @@ func Sort(ds []Diagnostic) {
 		}
 		if a.RuleID != b.RuleID {
 			return a.RuleID < b.RuleID
+		}
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
 		}
 		if a.Col != b.Col {
 			return a.Col < b.Col

@@ -354,3 +354,53 @@ func TestRegisterExternalPass(t *testing.T) {
 		t.Error("external rule missing from Rules()")
 	}
 }
+
+// TestSortConfidenceTieBreak is the regression test for the ranking
+// tie-break: diagnostics at the same position with the same rule must order
+// by descending confidence, and the order must be identical however the
+// input is initially arranged.
+func TestSortConfidenceTieBreak(t *testing.T) {
+	mk := func(conf float64, msg string) Diagnostic {
+		return Diagnostic{
+			RuleID: "OF0001", Severity: Error,
+			File: "x.c", Line: 10, Col: 3,
+			Function: "f", Message: msg, Confidence: conf,
+		}
+	}
+	base := []Diagnostic{
+		mk(0.25, "low"),
+		mk(0.9, "high"),
+		mk(0.5, "mid"),
+		mk(0.9, "high-b"),
+	}
+	perms := [][]int{
+		{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1},
+	}
+	var want []Diagnostic
+	for pi, perm := range perms {
+		ds := make([]Diagnostic, len(base))
+		for i, j := range perm {
+			ds[i] = base[j]
+		}
+		Sort(ds)
+		for i := 1; i < len(ds); i++ {
+			if ds[i-1].Confidence < ds[i].Confidence {
+				t.Fatalf("perm %d: confidence order violated at %d: %+v before %+v", pi, i, ds[i-1], ds[i])
+			}
+		}
+		if pi == 0 {
+			want = ds
+			continue
+		}
+		for i := range ds {
+			if ds[i] != want[i] {
+				t.Fatalf("perm %d: equal-position findings order unstably at %d: %+v vs %+v", pi, i, ds[i], want[i])
+			}
+		}
+	}
+	// Equal confidence falls through to the message tie-break, so the two
+	// 0.9 entries keep one canonical order too.
+	if want[0].Message != "high" || want[1].Message != "high-b" {
+		t.Fatalf("equal-confidence entries must order by message: %+v", want[:2])
+	}
+}

@@ -93,6 +93,7 @@ func findingDiag(f *ofence.Finding, r Rule) Diagnostic {
 		RuleID: r.ID, Severity: r.Severity,
 		File: file, Line: line, Col: col,
 		Function: f.Site.Fn.Name, Message: msg,
+		Confidence: f.Confidence,
 	}
 }
 

@@ -1,6 +1,10 @@
 package diag
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"ofence/internal/rank"
+)
 
 // SARIF 2.1.0 export (https://docs.oasis-open.org/sarif/sarif/v2.1.0/): one
 // run, the tool's rules in tool.driver.rules, one result per diagnostic,
@@ -59,10 +63,14 @@ type Message struct {
 
 // SarifResult is one finding.
 type SarifResult struct {
-	RuleID       string        `json:"ruleId"`
-	RuleIndex    int           `json:"ruleIndex"`
-	Level        string        `json:"level"`
-	Message      Message       `json:"message"`
+	RuleID    string  `json:"ruleId"`
+	RuleIndex int     `json:"ruleIndex"`
+	Level     string  `json:"level"`
+	Message   Message `json:"message"`
+	// Rank is the SARIF result rank (0.0–100.0), populated from the
+	// ranking pass's confidence (confidence × 100); omitted for
+	// diagnostics with no ranked finding behind them.
+	Rank         float64       `json:"rank,omitempty"`
 	Locations    []Location    `json:"locations,omitempty"`
 	Suppressions []Suppression `json:"suppressions,omitempty"`
 }
@@ -127,6 +135,15 @@ func ToSARIF(ds []Diagnostic, rules []Rule) *Log {
 			RuleIndex: idx,
 			Level:     string(d.Severity),
 			Message:   Message{Text: d.Message},
+		}
+		if d.Confidence > 0 {
+			res.Rank = d.Confidence * 100
+			// Low-confidence errors/warnings demote to notes so SARIF
+			// viewers triage by the same evidence the -min-confidence gate
+			// uses; the rank carries the exact score.
+			if d.Confidence < rank.DefaultThreshold && res.Level != string(Note) {
+				res.Level = string(Note)
+			}
 		}
 		if d.File != "" {
 			loc := Location{PhysicalLocation: PhysicalLocation{

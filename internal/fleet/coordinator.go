@@ -409,12 +409,12 @@ func (c *Coordinator) poll(workerID string) *Task {
 			}
 		}
 		return &Task{
-			ID:          t.id,
-			JobID:       j.id,
-			Kind:        t.kind,
-			Files:       files,
-			Defines:     j.req.Defines,
-			Options:     j.spec,
+			ID:            t.id,
+			JobID:         j.id,
+			Kind:          t.kind,
+			Files:         files,
+			Defines:       j.req.Defines,
+			Options:       j.spec,
 			Attempt:       t.attempt,
 			LeaseMS:       c.cfg.LeaseTimeout.Milliseconds(),
 			HeartbeatMS:   c.cfg.HeartbeatEvery.Milliseconds(),

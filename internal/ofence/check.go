@@ -66,6 +66,10 @@ type Finding struct {
 	SuggestedBarrier string
 	// Explanation is the human-readable rationale embedded in patches.
 	Explanation string
+	// Confidence is the calibrated score in [0, 1] the ranking pass
+	// (internal/rank) assigns after checking; findings below
+	// Options.MinConfidence are gated out of Result.Findings.
+	Confidence float64
 }
 
 // String renders the finding.

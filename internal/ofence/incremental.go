@@ -299,9 +299,10 @@ type IncrementalStats struct {
 // excluded: it changes scheduling, never output. The serving subsystem uses
 // the same fingerprint for its whole-result cache keys.
 func (o Options) Fingerprint() string {
-	return fmt.Sprintf("ofence-v1|ww=%d|rw=%d|inline=%d|ip=%d|maxu=%d|min=%d|once=%t|generic=%s|wake=%s|sem=%s",
+	return fmt.Sprintf("ofence-v2|ww=%d|rw=%d|inline=%d|ip=%d|maxu=%d|min=%d|once=%t|minconf=%g|generic=%s|wake=%s|sem=%s",
 		o.Access.WriteWindow, o.Access.ReadWindow, o.Access.InlineDepth,
 		o.InterprocDepth, o.Access.MaxUnits, o.MinSharedObjects, o.CheckOnce,
+		o.MinConfidence,
 		strings.Join(o.GenericStructs, ","),
 		strings.Join(o.Access.ExtraWakeUps, ","),
 		strings.Join(o.Access.ExtraBarrierSemantics, ","))

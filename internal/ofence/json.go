@@ -37,6 +37,8 @@ type FindingView struct {
 	Object      *ObjectView `json:"object,omitempty"`
 	Suggested   string      `json:"suggested,omitempty"`
 	Explanation string      `json:"explanation"`
+	// Confidence is the ranking pass's calibrated score (internal/rank).
+	Confidence float64 `json:"confidence"`
 }
 
 // InferredView is the serializable form of an interprocedurally inferred
@@ -102,6 +104,7 @@ func (r *Result) View() ResultView {
 			Position:    f.Site.Pos.String(),
 			Suggested:   f.SuggestedBarrier,
 			Explanation: f.Explanation,
+			Confidence:  f.Confidence,
 		}
 		if f.Object != (access.Object{}) {
 			ov := objectView(f.Object)

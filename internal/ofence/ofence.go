@@ -49,6 +49,12 @@ type Options struct {
 	// across file boundaries up to this depth. 0 — the default — preserves
 	// the paper's one-level same-file behavior byte for byte.
 	InterprocDepth int
+	// MinConfidence gates findings by the ranking pass's score
+	// (internal/rank): findings scoring below it are dropped from
+	// Result.Findings. 0 — the default — disables the gate; every finding
+	// is still scored. rank.DefaultThreshold is the tuned operating point
+	// recorded in BENCH_confidence.json.
+	MinConfidence float64
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -543,6 +549,11 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	ksp.Add("findings", int64(len(res.Findings)))
 	ksp.End()
 	res.Timing.Check = time.Since(phaseStart)
+
+	// Phase 4: confidence ranking (internal/rank). Every finding is scored
+	// from the outlier census, pairing margins, site richness and semantics
+	// provenance; MinConfidence > 0 additionally gates the finding list.
+	rankFindings(ctx, res, opts)
 	return res, nil
 }
 

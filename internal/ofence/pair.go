@@ -51,6 +51,21 @@ type PairStats struct {
 	// Pruned counts tentative pairing candidates that did not survive the
 	// mutual-best handshake (the pre-existing candidates_pruned counter).
 	Pruned int64
+	// Margins maps a writer site ID (Site.ID) to its candidate-weight
+	// margin: the winning weight and the best PROBED alternative. The
+	// confidence ranker (internal/rank) uses the margin as evidence of how
+	// decisively the pairing won. The runner-up is optimistic — candidate
+	// pairs skipped by the weight lower bound are never probed, so a true
+	// runner-up can be missed — which only ever overstates the margin.
+	Margins map[string]PairMargin
+}
+
+// PairMargin is one writer's winning candidate weight and the lowest weight
+// any other probed partner site achieved (-1 when no alternative partner
+// was probed: a decisive win).
+type PairMargin struct {
+	Weight   int
+	RunnerUp int
 }
 
 // siteRef is one inverted-index posting: a site (by canonical index) that
@@ -65,6 +80,10 @@ type candidate struct {
 	other  int32 // canonical site index, or -1 for none
 	weight int
 	o1, o2 uint32
+	// second is the lowest weight any probed partner OTHER than `other`
+	// achieved during the search, or -1 when none was probed. It never
+	// influences candidate selection — it only feeds PairStats.Margins.
+	second int
 }
 
 type pairer struct {
@@ -219,6 +238,10 @@ func (pr *pairer) run(ctx context.Context) (pairings []*Pairing, unpaired, impli
 			tentative[int32(i)] = append(tentative[int32(i)], best)
 			tentative[best.other] = append(tentative[best.other],
 				candidate{other: int32(i), weight: best.weight, o1: best.o1, o2: best.o2})
+			if pr.stats.Margins == nil {
+				pr.stats.Margins = map[string]PairMargin{}
+			}
+			pr.stats.Margins[pr.ids[i]] = PairMargin{Weight: best.weight, RunnerUp: best.second}
 		} else if b.WakeUpAfter >= 0 {
 			implicit = append(implicit, b)
 		}
@@ -346,7 +369,7 @@ func (pr *pairer) computeBests(ctx context.Context) []candidate {
 				if ctx.Err() != nil {
 					break // canceled: analyze surfaces the error after the phase
 				}
-				bests[i] = candidate{other: -1, weight: -1}
+				bests[i] = candidate{other: -1, weight: -1, second: -1}
 				if isWriteSide(pr.sites[i]) {
 					bests[i] = pr.bestFor(int32(i), &st)
 				}
@@ -369,7 +392,18 @@ func (pr *pairer) computeBests(ctx context.Context) []candidate {
 // before touching the index.
 func (pr *pairer) bestFor(b int32, st *PairStats) candidate {
 	objs := pr.siteObjs[b]
-	best := candidate{other: -1, weight: -1}
+	best := candidate{other: -1, weight: -1, second: -1}
+	// noteAlt records a probed-but-losing partner's weight for the margin
+	// evidence. It never touches the selection state, so the winning
+	// candidate — and therefore the pairing output — is unchanged by it.
+	noteAlt := func(w int, site int32) {
+		if site == best.other {
+			return
+		}
+		if best.second < 0 || w < best.second {
+			best.second = w
+		}
+	}
 	for i := 0; i < len(objs); i++ {
 		for j := i + 1; j < len(objs); j++ {
 			o1, o2 := objs[i].ID, objs[j].ID
@@ -379,14 +413,27 @@ func (pr *pairer) bestFor(b int32, st *PairStats) candidate {
 				continue
 			}
 			st.IndexProbes++
-			pair, pairWeight := pr.getPair(b, o1, o2)
+			pair, pairWeight, alt, altWeight := pr.getPair(b, o1, o2)
 			if pair < 0 {
 				continue
 			}
 			w := myWeight * pairWeight
 			if (best.weight < 0 || w < best.weight) &&
 				(pr.orders(b, o1, o2) || pr.orders(pair, o1, o2)) {
-				best = candidate{other: pair, weight: w, o1: o1, o2: o2}
+				if best.other >= 0 && best.other != pair &&
+					(best.second < 0 || best.weight < best.second) {
+					best.second = best.weight // dethroned winner becomes runner-up
+				}
+				second := best.second
+				best = candidate{other: pair, weight: w, o1: o1, o2: o2, second: second}
+			} else {
+				noteAlt(w, pair)
+			}
+			if alt >= 0 {
+				// The intersection's own second-best site is a probed
+				// alternative too — without it, a writer with exactly one
+				// object pair would always look decisively paired.
+				noteAlt(myWeight*altWeight, alt)
 			}
 		}
 	}
@@ -406,7 +453,14 @@ func (pr *pairer) bestFor(b int32, st *PairStats) candidate {
 			}
 			w := myWeight * pairWeight
 			if best.weight < 0 || w < best.weight {
-				best = candidate{other: pair, weight: w, o1: od.ID, o2: od.ID}
+				if best.other >= 0 && best.other != pair &&
+					(best.second < 0 || best.weight < best.second) {
+					best.second = best.weight
+				}
+				second := best.second
+				best = candidate{other: pair, weight: w, o1: od.ID, o2: od.ID, second: second}
+			} else {
+				noteAlt(w, pair)
 			}
 		}
 	}
@@ -417,11 +471,13 @@ func (pr *pairer) bestFor(b int32, st *PairStats) candidate {
 // of the two objects' postings: the other site, surrounded by both o1 and
 // o2, with the lowest distance product. Postings are in ascending canonical
 // site order and the minimum is kept strictly, so equal-weight ties resolve
-// to the earliest site — the engine's deterministic tie-break.
-func (pr *pairer) getPair(b int32, o1, o2 uint32) (int32, int) {
+// to the earliest site — the engine's deterministic tie-break. The
+// second-best site of the intersection (alt, altW) is returned for the
+// margin evidence only; it never influences the selected pair.
+func (pr *pairer) getPair(b int32, o1, o2 uint32) (match int32, bestW int, alt int32, altW int) {
 	l1, l2 := pr.index[o1], pr.index[o2]
 	bid := pr.ids[b]
-	match, bestW := int32(-1), -1
+	match, bestW, alt, altW = -1, -1, -1, -1
 	for i, j := 0, 0; i < len(l1) && j < len(l2); {
 		if l1[i].site < l2[j].site {
 			i++
@@ -435,13 +491,16 @@ func (pr *pairer) getPair(b int32, o1, o2 uint32) (int32, int) {
 		if s != b && pr.ids[s] != bid { // skip the same physical barrier
 			w := int(l1[i].w) * int(l2[j].w)
 			if bestW < 0 || w < bestW {
+				alt, altW = match, bestW
 				bestW, match = w, s
+			} else if altW < 0 || w < altW {
+				alt, altW = s, w
 			}
 		}
 		i++
 		j++
 	}
-	return match, bestW
+	return match, bestW, alt, altW
 }
 
 // getSingle is the MinSharedObjects==1 ablation variant of getPair: the

@@ -1,0 +1,254 @@
+// Package rank is the confidence-ranking pass that runs after pairing and
+// checking: every finding is assigned a calibrated confidence in [0, 1]
+// combining four evidence channels, so consumers can sort findings by how
+// likely they are to be real bugs and gate out the low-confidence tail
+// (`-min-confidence`). The paper reports a ~50% patch false-positive ratio;
+// this layer exists to beat it.
+//
+// The channels, in weight order:
+//
+//  1. Outlier statistics (Index): a cross-project census of how every site
+//     orders its accesses to each interned (struct, field) object. When N
+//     sites agree on an access-ordering protocol for an object and the
+//     finding's site deviates, the agreement is evidence the deviation is a
+//     bug — the signal of the context-sensitive outlier-based kernel-race
+//     work. When no majority protocol exists, the object looks generic
+//     (the paper's main false-positive source, §6.4) and confidence drops.
+//  2. Pairing-weight margin: how decisively the winning pair beat the best
+//     probed alternative (Result.PairStats.Margins), plus the winning
+//     weight itself — lower weight means closer accesses, a more confident
+//     pairing.
+//  3. Site richness and window provenance: barriers with more surrounding
+//     accesses in their exploration windows are better-understood contexts;
+//     sites only seen through inlined callees are discounted.
+//  4. Barrier-semantics provenance: orderings that rest on
+//     interprocedurally INFERRED semantics (internal/semprop, depth > 0)
+//     rather than the memmodel catalog are discounted.
+//
+// The default gate threshold is not guessed: `make bench-confidence` sweeps
+// thresholds against the labeled corpus (internal/report) and
+// BENCH_confidence.json records the tuned operating point, which
+// DefaultThreshold mirrors.
+package rank
+
+import (
+	"math"
+	"sort"
+
+	"ofence/internal/access"
+)
+
+// DefaultThreshold is the tuned default for the -min-confidence gate: the
+// precision/recall sweep in internal/report (make bench-confidence) selects
+// the smallest threshold maximizing F1 on the labeled corpus, and this
+// constant mirrors the recorded operating point in BENCH_confidence.json.
+const DefaultThreshold = 0.50
+
+// Channel weights. They express a priority order (outlier agreement is the
+// strongest exogenous signal; semantics provenance the weakest) and sum to
+// 1 so Combine stays in [0, 1].
+const (
+	weightOutlier   = 0.40
+	weightMargin    = 0.20
+	weightRichness  = 0.25
+	weightSemantics = 0.15
+)
+
+// Index is the cross-project outlier census: for every interned
+// (struct, field) object, how many sites exhibit each access-ordering
+// protocol (usage signature — see access.ObjUsage). Build once per analysis
+// over the full deduplicated site set; query per finding. Immutable after
+// BuildIndex.
+type Index struct {
+	in *access.Interner
+	// census[id] maps a usage signature to the number of sites whose
+	// windows touch object id with exactly that signature.
+	census []map[uint8]int
+	// total[id] is the number of sites touching object id at all.
+	total []int
+}
+
+// BuildIndex computes the census over every site's usage signatures. The
+// result depends only on the set of sites, not their order.
+func BuildIndex(sites []*access.Site) *Index {
+	in := access.InternSites(sites)
+	x := &Index{
+		in:     in,
+		census: make([]map[uint8]int, in.Len()),
+		total:  make([]int, in.Len()),
+	}
+	for _, s := range sites {
+		for _, u := range in.ObjUsages(s) {
+			m := x.census[u.ID]
+			if m == nil {
+				m = make(map[uint8]int, 4)
+				x.census[u.ID] = m
+			}
+			m[u.Bits]++
+			x.total[u.ID]++
+		}
+	}
+	return x
+}
+
+// Objects returns the number of objects in the census.
+func (x *Index) Objects() int { return x.in.Len() }
+
+// Support is the outlier evidence for one (object, site) query: how the
+// OTHER sites touching the object order their accesses, and whether the
+// queried site deviates from their majority protocol.
+type Support struct {
+	// Others is the number of sites other than the queried one whose
+	// windows touch the object.
+	Others int
+	// Majority is the size of the largest protocol among the others, and
+	// MajoritySig its signature. A single-site object has no others and
+	// therefore no majority (Majority == 0).
+	Majority    int
+	MajoritySig uint8
+	// Sig is the queried site's own signature for the object (0 when the
+	// site does not touch it).
+	Sig uint8
+	// Deviates reports that a majority protocol exists among the others
+	// and the queried site's signature differs from it.
+	Deviates bool
+}
+
+// Support queries the census for object o as seen from site s: s's own
+// contribution is subtracted out, so the majority is established purely by
+// the other sites. An object the index has never seen yields a zero Support.
+func (x *Index) Support(o access.Object, s *access.Site) Support {
+	id, ok := x.in.ID(o)
+	if !ok {
+		return Support{}
+	}
+	var sig uint8
+	for _, u := range x.in.ObjUsages(s) {
+		if u.ID == id {
+			sig = u.Bits
+			break
+		}
+	}
+	sp := Support{Sig: sig, Others: x.total[id]}
+	if sig != 0 {
+		sp.Others-- // exclude the queried site itself
+	}
+	// Majority among the others, deterministic tie-break: lowest signature.
+	sigs := make([]int, 0, len(x.census[id]))
+	for b := range x.census[id] {
+		sigs = append(sigs, int(b))
+	}
+	sort.Ints(sigs)
+	for _, b := range sigs {
+		n := x.census[id][uint8(b)]
+		if uint8(b) == sig {
+			n-- // the queried site's own vote does not establish a protocol
+		}
+		if n > sp.Majority {
+			sp.Majority, sp.MajoritySig = n, uint8(b)
+		}
+	}
+	sp.Deviates = sp.Majority > 0 && sp.Sig != sp.MajoritySig &&
+		float64(sp.Majority) >= 0.5*float64(sp.Others)
+	return sp
+}
+
+// Evidence gathers the four channels for one finding. The ofence package
+// fills it from the analysis result; Combine folds it into a score.
+type Evidence struct {
+	// Outlier is channel 1, from Index.Support on the finding's object; the
+	// zero value (no object, or an object never indexed) is neutral.
+	Outlier Support
+
+	// HasPairing marks findings attached to a pairing; Weight is the
+	// pairing's winning distance product (lower = closer = more confident)
+	// and RunnerUp the best probed alternative weight from
+	// PairStats.Margins (<= 0 when no alternative was probed — a decisive
+	// win). RunnerUp is an optimistic margin: bound-pruned candidates are
+	// never probed, so a true runner-up can be missed.
+	HasPairing bool
+	Weight     int
+	RunnerUp   int
+
+	// Richness is the finding site's Site.Richness(); Inlined marks sites
+	// seen only through an inlined callee rather than their lexical owner.
+	Richness int
+	Inlined  bool
+
+	// InferredSem marks findings whose ordering rests on interprocedurally
+	// inferred (not catalogued) barrier semantics.
+	InferredSem bool
+}
+
+// outlierScore maps channel 1 onto [0, 1]. Fewer than two other sites is no
+// evidence either way (0.5). With others present: a strong majority the
+// finding deviates from pushes the score up with both the agreement
+// fraction and the absolute count; no majority at all means the object's
+// uses are chaotic — the generic-struct false-positive shape — and the
+// score drops hard; a site that FOLLOWS the majority protocol it was
+// reported against is likely an analysis artifact.
+func outlierScore(sp Support) float64 {
+	if sp.Others < 2 {
+		return 0.5
+	}
+	frac := float64(sp.Majority) / float64(sp.Others)
+	if frac < 0.5 {
+		return 0.15
+	}
+	if sp.Deviates {
+		bulk := float64(sp.Majority) / float64(sp.Majority+2)
+		return 0.5 + 0.5*frac*bulk
+	}
+	return 0.35
+}
+
+// marginScore maps channel 2 onto [0, 1]: half from the winning weight
+// (decaying as accesses sit farther from their barriers), half from how far
+// behind the best probed alternative finished. Findings without a pairing
+// (unneeded barriers) are neutral.
+func marginScore(ev Evidence) float64 {
+	if !ev.HasPairing {
+		return 0.5
+	}
+	w := 1.0 / (1.0 + float64(ev.Weight)/64.0)
+	r := 1.0 // no probed alternative: a decisive win
+	if ev.RunnerUp > 0 && ev.Weight > 0 && ev.RunnerUp >= ev.Weight {
+		r = 1.0 - float64(ev.Weight)/float64(ev.RunnerUp)
+	}
+	return 0.5*w + 0.5*r
+}
+
+// richnessScore maps channel 3 onto [0, 1): saturating in the number of
+// window accesses, discounted for inlined provenance.
+func richnessScore(ev Evidence) float64 {
+	r := float64(ev.Richness) / (float64(ev.Richness) + 4.0)
+	if ev.Inlined {
+		r *= 0.75
+	}
+	return r
+}
+
+// semanticsScore maps channel 4 onto [0, 1]: explicit catalog semantics are
+// fully trusted, inferred semantics heavily discounted.
+func semanticsScore(ev Evidence) float64 {
+	if ev.InferredSem {
+		return 0.3
+	}
+	return 1.0
+}
+
+// Combine folds the four channels into one confidence in [0, 1], rounded to
+// four decimals so serialized output is stable and readable.
+func Combine(ev Evidence) float64 {
+	s := weightOutlier*outlierScore(ev.Outlier) +
+		weightMargin*marginScore(ev) +
+		weightRichness*richnessScore(ev) +
+		weightSemantics*semanticsScore(ev)
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return math.Round(s*10000) / 10000
+}

@@ -1,0 +1,107 @@
+package report
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ofence/internal/rank"
+)
+
+// TestConfidenceSweep is the ranking pass's acceptance gate: on the labeled
+// confidence corpus, gating at the tuned threshold must improve precision
+// over the unranked baseline without losing more than five points of recall,
+// the chosen threshold must match rank.DefaultThreshold within one grid
+// step, and every high-band true positive must outrank every finding from a
+// low-band (crafted false positive / decoy) pattern.
+func TestConfidenceSweep(t *testing.T) {
+	st := RunConfidence(42)
+	if st.Findings == 0 || st.Baseline.TP == 0 {
+		t.Fatalf("sweep saw no labeled findings: %+v", st)
+	}
+	if st.Baseline.FP == 0 {
+		t.Fatalf("confidence corpus produced no false positives; the sweep has nothing to discriminate (baseline %+v)", st.Baseline)
+	}
+	if st.Chosen.Precision <= st.Baseline.Precision {
+		t.Errorf("chosen threshold %.2f does not improve precision: %.3f vs baseline %.3f",
+			st.Chosen.Threshold, st.Chosen.Precision, st.Baseline.Precision)
+	}
+	if drop := st.Baseline.Recall - st.Chosen.Recall; drop > 0.05 {
+		t.Errorf("recall drop %.3f exceeds 0.05 (baseline %.3f, chosen %.3f)",
+			drop, st.Baseline.Recall, st.Chosen.Recall)
+	}
+	if d := math.Abs(st.Chosen.Threshold - rank.DefaultThreshold); d > 0.02 {
+		t.Errorf("chosen threshold %.2f drifted from rank.DefaultThreshold %.2f; retune the constant",
+			st.Chosen.Threshold, rank.DefaultThreshold)
+	}
+	if !st.BandsOrdered {
+		t.Errorf("confidence bands overlap: min(high TP)=%.4f <= max(low)=%.4f",
+			st.MinHighConfidence, st.MaxLowConfidence)
+	}
+}
+
+// TestConfidenceSweepSeeds checks the band separation is not a seed-42
+// artifact: the scorer must order the bands on other corpus draws too.
+func TestConfidenceSweepSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep is slow")
+	}
+	for _, seed := range []int64{7, 1234} {
+		st := RunConfidence(seed)
+		if !st.BandsOrdered {
+			t.Errorf("seed %d: bands overlap: min(high TP)=%.4f <= max(low)=%.4f",
+				seed, st.MinHighConfidence, st.MaxLowConfidence)
+		}
+		if st.Chosen.Precision <= st.Baseline.Precision {
+			t.Errorf("seed %d: no precision gain (%.3f vs %.3f)",
+				seed, st.Chosen.Precision, st.Baseline.Precision)
+		}
+	}
+}
+
+// TestWriteBenchConfidenceJSON refreshes BENCH_confidence.json in the
+// BENCH_*.json schema (benchmark/command/results/acceptance; docs_test.go
+// lints the shape). Gated behind OFENCE_BENCH_CONFIDENCE_OUT so plain
+// `go test` stays fast; `make bench-confidence` sets it.
+func TestWriteBenchConfidenceJSON(t *testing.T) {
+	out := os.Getenv("OFENCE_BENCH_CONFIDENCE_OUT")
+	if out == "" {
+		t.Skip("set OFENCE_BENCH_CONFIDENCE_OUT to refresh BENCH_confidence.json")
+	}
+	start := time.Now()
+	st := RunConfidence(42)
+	elapsed := time.Since(start)
+
+	doc := map[string]any{
+		"benchmark":   "ConfidenceSweep",
+		"description": "Precision/recall/F1 of the confidence ranking pass (internal/rank) on the labeled confidence corpus (DefaultConfig seed 42 plus protocol-family and coincidental-pair patterns). 'baseline' keeps every finding (threshold 0); 'chosen' is the smallest max-F1 threshold on the 0.02 grid, which rank.DefaultThreshold mirrors.",
+		"command":     "go test -run '^TestWriteBenchConfidenceJSON$' -count=1 ./internal/report/",
+		"refresh":     "make bench-confidence",
+		"environment": map[string]string{
+			"go":   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			"date": time.Now().Format("2006-01-02"),
+		},
+		"results": map[string]any{
+			"findings_scored":     st.Findings,
+			"baseline":            st.Baseline,
+			"chosen":              st.Chosen,
+			"default_threshold":   rank.DefaultThreshold,
+			"min_high_confidence": st.MinHighConfidence,
+			"max_low_confidence":  st.MaxLowConfidence,
+			"bands_ordered":       st.BandsOrdered,
+			"sweep_ms":            elapsed.Milliseconds(),
+		},
+		"acceptance": "precision at the chosen threshold strictly improves over the unranked baseline with recall loss <= 0.05; high-band true positives all outrank low-band findings (bands_ordered); |chosen - rank.DefaultThreshold| <= 0.02 (TestConfidenceSweep enforces all three on every run)",
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (chosen t=%.2f P=%.3f R=%.3f)", out, st.Chosen.Threshold, st.Chosen.Precision, st.Chosen.Recall)
+}

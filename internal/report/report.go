@@ -283,6 +283,9 @@ func truthIndex(c *corpus.Corpus) map[string]*corpus.Truth {
 		if tr.ReaderFn != "" {
 			m[tr.ReaderFn] = tr
 		}
+		for _, fn := range tr.OtherFns {
+			m[fn] = tr
+		}
 	}
 	return m
 }

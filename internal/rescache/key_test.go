@@ -14,14 +14,14 @@ func TestKeyValid(t *testing.T) {
 	bad := []Key{
 		"",
 		"abc",
-		Key(strings.Repeat("g", 64)),                 // non-hex
-		Key(strings.Repeat("A", 64)),                 // uppercase
-		Key(strings.Repeat("a", 63)),                 // short
-		Key(strings.Repeat("a", 65)),                 // long
-		Key("../../../../etc/passwd"),                // traversal
-		Key(strings.Repeat("a", 62) + "/x"),          // separator
-		Key(strings.Repeat("a", 60) + "a a\n"),       // whitespace/newline
-		Key("..%2f" + strings.Repeat("a", 59)),       // encoded separator
+		Key(strings.Repeat("g", 64)),           // non-hex
+		Key(strings.Repeat("A", 64)),           // uppercase
+		Key(strings.Repeat("a", 63)),           // short
+		Key(strings.Repeat("a", 65)),           // long
+		Key("../../../../etc/passwd"),          // traversal
+		Key(strings.Repeat("a", 62) + "/x"),    // separator
+		Key(strings.Repeat("a", 60) + "a a\n"), // whitespace/newline
+		Key("..%2f" + strings.Repeat("a", 59)), // encoded separator
 		Key(strings.Repeat("a", 32) + "\x00" + strings.Repeat("a", 31)), // NUL
 	}
 	for _, k := range bad {

@@ -164,6 +164,22 @@ func (inf *Inference) NameKinds() map[string]memmodel.BarrierKind {
 	return byName
 }
 
+// InferredOnly returns the names whose barrier semantics exist ONLY by
+// inference — functions the fixpoint classified as implicit barriers that
+// the built-in memmodel catalog does not list. Orderings resting on these
+// names carry extra uncertainty, which the confidence ranker
+// (internal/rank) discounts. The input is Result.Inferred; a nil slice
+// (depth 0) yields an empty map.
+func InferredOnly(fns []InferredFn) map[string]bool {
+	out := make(map[string]bool, len(fns))
+	for _, f := range fns {
+		if !f.Known {
+			out[f.Name] = true
+		}
+	}
+	return out
+}
+
 // fnInfo is the per-function precomputation reused across fixpoint rounds.
 type fnInfo struct {
 	graph *cfg.Graph

@@ -14,28 +14,44 @@ var latencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// histogram is a fixed-bucket latency histogram (Prometheus-compatible:
-// cumulative bucket counts, sum and count).
+// confidenceBuckets are the histogram upper bounds for the per-finding
+// confidence scores (internal/rank), linear over the score's [0, 1] range.
+var confidenceBuckets = []float64{
+	0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1,
+}
+
+// histogram is a fixed-bucket histogram (Prometheus-compatible: cumulative
+// bucket counts, sum and count). The bucket bounds are chosen at
+// construction: latency seconds for stage histograms, confidence scores for
+// the findings-confidence histogram.
 type histogram struct {
-	mu     sync.Mutex
-	counts []uint64 // one per bucket, non-cumulative; rendered cumulatively
-	inf    uint64
-	sum    float64
-	n      uint64
+	mu      sync.Mutex
+	buckets []float64
+	counts  []uint64 // one per bucket, non-cumulative; rendered cumulatively
+	inf     uint64
+	sum     float64
+	n       uint64
 }
 
 func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(latencyBuckets))}
+	return newHistogramWith(latencyBuckets)
+}
+
+func newHistogramWith(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]uint64, len(buckets))}
 }
 
 func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
+	h.observeValue(d.Seconds())
+}
+
+func (h *histogram) observeValue(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.sum += s
+	h.sum += v
 	h.n++
-	for i, ub := range latencyBuckets {
-		if s <= ub {
+	for i, ub := range h.buckets {
+		if v <= ub {
 			h.counts[i]++
 			return
 		}
@@ -44,17 +60,17 @@ func (h *histogram) observe(d time.Duration) {
 }
 
 // snapshot returns cumulative bucket counts (per Prometheus convention),
-// the sum of observations in seconds and the total count.
+// the sum of observations and the total count.
 func (h *histogram) snapshot() (cum []uint64, sum float64, n uint64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	cum = make([]uint64, len(latencyBuckets)+1)
+	cum = make([]uint64, len(h.buckets)+1)
 	var running uint64
 	for i, c := range h.counts {
 		running += c
 		cum[i] = running
 	}
-	cum[len(latencyBuckets)] = running + h.inf
+	cum[len(h.buckets)] = running + h.inf
 	return cum, h.sum, h.n
 }
 
@@ -70,6 +86,10 @@ type metrics struct {
 	mu       sync.Mutex
 	stages   map[string]*histogram
 	pipeline map[string]*histogram
+	// confidence is the per-finding confidence-score histogram
+	// (ofence_findings_confidence), one sample per finding a finished job
+	// returned — the live shape of the ranking pass's output.
+	confidence *histogram
 
 	jobsSubmitted uint64
 	jobsDone      uint64
@@ -92,7 +112,11 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{stages: map[string]*histogram{}, pipeline: map[string]*histogram{}}
+	return &metrics{
+		stages:     map[string]*histogram{},
+		pipeline:   map[string]*histogram{},
+		confidence: newHistogramWith(confidenceBuckets),
+	}
 }
 
 func (m *metrics) stage(name string) *histogram {
@@ -203,5 +227,16 @@ func (m *metrics) render(b *strings.Builder, gauges map[string]float64) {
 		fmt.Fprintf(b, "ofence_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
 		fmt.Fprintf(b, "ofence_stage_duration_seconds_sum{stage=%q} %g\n", name, sum)
 		fmt.Fprintf(b, "ofence_stage_duration_seconds_count{stage=%q} %d\n", name, n)
+	}
+
+	if cum, sum, n := m.confidence.snapshot(); n > 0 {
+		b.WriteString("# HELP ofence_findings_confidence Confidence score of each finding returned by finished jobs (internal/rank)\n")
+		b.WriteString("# TYPE ofence_findings_confidence histogram\n")
+		for i, ub := range confidenceBuckets {
+			fmt.Fprintf(b, "ofence_findings_confidence_bucket{le=\"%g\"} %d\n", ub, cum[i])
+		}
+		fmt.Fprintf(b, "ofence_findings_confidence_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
+		fmt.Fprintf(b, "ofence_findings_confidence_sum %g\n", sum)
+		fmt.Fprintf(b, "ofence_findings_confidence_count %d\n", n)
 	}
 }

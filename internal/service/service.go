@@ -53,6 +53,10 @@ type OptionsSpec struct {
 	MinSharedObjects int  `json:"min_shared_objects,omitempty"`
 	CheckOnce        bool `json:"check_once,omitempty"`
 	Workers          int  `json:"workers,omitempty"`
+	// MinConfidence gates findings by the ranking pass's score
+	// (internal/rank); 0 keeps every finding. Folded into the result-cache
+	// fingerprint: gated and ungated results never alias.
+	MinConfidence float64 `json:"min_confidence,omitempty"`
 }
 
 // Resolve maps the spec onto the engine options. It is exported for the
@@ -81,6 +85,9 @@ func (o OptionsSpec) resolve() ofence.Options {
 	opts.CheckOnce = o.CheckOnce
 	if o.Workers > 0 {
 		opts.Workers = o.Workers
+	}
+	if o.MinConfidence > 0 {
+		opts.MinConfidence = o.MinConfidence
 	}
 	return opts
 }
@@ -589,6 +596,9 @@ func (s *Service) run(j *Job) {
 		j.state = JobDone
 		j.result = v.(*ofence.ResultView)
 		s.met.add(&s.met.inferredSemantics, uint64(len(j.result.Inferred)))
+		for _, f := range j.result.Findings {
+			s.met.confidence.observeValue(f.Confidence)
+		}
 	case errors.Is(err, context.Canceled):
 		j.state = JobCanceled
 		j.errMsg = err.Error()
