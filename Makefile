@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fuzz test test-race race race-fleet bench bench-incremental bench-pairing bench-fleet bench-confidence serve eval eval-json corpus trace-demo clean
+.PHONY: all build vet lint fuzz test test-race race race-fleet bench bench-incremental bench-pairing bench-fleet bench-confidence bench-frontend serve eval eval-json corpus trace-demo clean
 
 all: build lint test
 
@@ -68,6 +68,16 @@ bench-fleet:
 bench-confidence:
 	OFENCE_BENCH_CONFIDENCE_OUT=$(CURDIR)/BENCH_confidence.json \
 		$(GO) test ./internal/report/ -run '^TestWriteBenchConfidenceJSON$$' -count=1 -v
+
+# Frontend headline number: the pre-overhaul frontend (rune lexer,
+# heap-allocated AST) vs the zero-copy/interned/arena frontend, plus cold
+# whole-project analysis classic vs pipelined at Workers=8. Asserts the new
+# frontend's analysis output byte-identical to the legacy oracle, then
+# refreshes BENCH_frontend.json via the harness in
+# internal/ofence/frontend_bench_test.go.
+bench-frontend:
+	OFENCE_BENCH_FRONTEND_OUT=$(CURDIR)/BENCH_frontend.json \
+		$(GO) test ./internal/ofence/ -run '^TestWriteBenchFrontendJSON$$' -count=1 -v
 
 # Race-detector gate for the fleet subsystem: coordinator lease juggling,
 # worker heartbeats, the shared artifact stores.

@@ -61,12 +61,13 @@ func main() {
 		pprofA   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		storeK   = flag.String("store", "", "artifact store backend: memory, disk, or empty for none")
 		storeDir = flag.String("store-dir", "", "disk store directory (required with -store disk)")
+		storeMax = flag.Int64("store-max-bytes", 0, "artifact store byte budget; oldest blobs are evicted past it (0 = unbounded disk, 256MiB memory default)")
 		fleetOn  = flag.Bool("fleet", false, "run as a fleet coordinator with in-process workers instead of a single-process service")
 		fleetN   = flag.Int("fleet-workers", 4, "in-process fleet workers under -fleet (0 = none; external ofence-worker processes may join)")
 		fleetTok = flag.String("fleet-token", "", "shared secret required on the worker and store endpoints under -fleet (empty = open, trusted network only)")
 	)
 	flag.Parse()
-	store, err := openStore(*storeK, *storeDir)
+	store, err := openStore(*storeK, *storeDir, *storeMax)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,18 +99,19 @@ func main() {
 	}
 }
 
-// openStore maps the -store/-store-dir flags onto a backend.
-func openStore(kind, dir string) (rescache.ArtifactStore, error) {
+// openStore maps the -store/-store-dir/-store-max-bytes flags onto a
+// backend.
+func openStore(kind, dir string, maxBytes int64) (rescache.ArtifactStore, error) {
 	switch kind {
 	case "":
 		return nil, nil
 	case "memory":
-		return rescache.NewMemStore(0), nil
+		return rescache.NewMemStore(maxBytes), nil
 	case "disk":
 		if dir == "" {
 			return nil, fmt.Errorf("-store disk requires -store-dir")
 		}
-		return rescache.OpenDiskStore(dir)
+		return rescache.OpenDiskStoreCapped(dir, maxBytes)
 	default:
 		return nil, fmt.Errorf("unknown -store backend %q (want memory or disk)", kind)
 	}

@@ -24,6 +24,8 @@
 //	-write-window N   statements explored around write barriers (default 5)
 //	-read-window N    statements explored around read barriers (default 50)
 //	-workers N        parallel file workers (default GOMAXPROCS)
+//	-cpuprofile FILE  write a pprof CPU profile of the run
+//	-memprofile FILE  write a pprof heap profile at exit
 //
 // See docs/CLI.md for the full flag reference and docs/OBSERVABILITY.md for
 // the tracing guide.
@@ -36,8 +38,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"ofence/internal/diag"
@@ -66,12 +71,23 @@ func main() {
 		readWindow   = flag.Int("read-window", 50, "statements explored around read barriers")
 		workers      = flag.Int("workers", 0, "parallel file workers (0 = GOMAXPROCS)")
 		minConf      = flag.Float64("min-confidence", 0, "drop findings scored below this confidence by the ranking pass (0 = keep all; the tuned default threshold is rank.DefaultThreshold, see docs/RANKING.md)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: ofence [flags] <dir-or-file.c>...")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	// Profiles must be flushed on every exit path, so all later exits go
+	// through exit() rather than os.Exit directly.
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
 	}
 
 	opts := ofence.DefaultOptions()
@@ -87,49 +103,51 @@ func main() {
 		found, err := addPath(arg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		srcs = append(srcs, found...)
 	}
 	files := len(srcs)
 	if files == 0 {
 		fmt.Fprintln(os.Stderr, "ofence: no .c files found")
-		os.Exit(1)
+		exit(1)
 	}
 
 	ctx, tracer := traceContext(*traceFlag || *traceOut != "")
 
 	proj := ofence.NewProject()
 	kernelhdr.Register(proj)
-	proj.AddSourcesCtx(ctx, srcs) // parallel parse, deterministic order
-	res, err := proj.AnalyzeParallel(ctx, opts)
+	// The fused pipelined schedule: each worker streams a file from
+	// preprocess through extraction instead of parsing everything to a
+	// barrier first. Output is byte-identical to the two-phase sequence.
+	res, err := proj.AnalyzeSourcesCtx(ctx, srcs, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	if *jsonOut {
 		data, err := json.MarshalIndent(res.View(), "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		os.Stdout.Write(append(data, '\n'))
 		printStageStats(*stageStats, proj, res)
 		finishTrace(tracer, *traceFlag, *traceOut)
-		os.Exit(exitStatus(*useExitCode, len(res.Findings)))
+		exit(exitStatus(*useExitCode, len(res.Findings)))
 	}
 
 	if *sarifOut {
 		data, nDiags, err := sarifReport(ctx, res, proj, srcs, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		os.Stdout.Write(append(data, '\n'))
 		printStageStats(*stageStats, proj, res)
 		finishTrace(tracer, *traceFlag, *traceOut)
-		os.Exit(exitStatus(*useExitCode, nDiags))
+		exit(exitStatus(*useExitCode, nDiags))
 	}
 
 	fmt.Printf("ofence: %d files, %d barrier sites, %d pairings, %d unpaired, %d implicit-IPC\n",
@@ -188,7 +206,52 @@ func main() {
 	}
 	printStageStats(*stageStats, proj, res)
 	finishTrace(tracer, *traceFlag, *traceOut)
-	os.Exit(exitStatus(*useExitCode, len(res.Findings)))
+	exit(exitStatus(*useExitCode, len(res.Findings)))
+}
+
+// startProfiles implements -cpuprofile/-memprofile: it starts the CPU
+// profile immediately and returns an idempotent stop function that ends the
+// CPU profile and writes the heap profile. The stop function runs both on
+// the normal return path (deferred) and inside exit(), whichever comes
+// first — os.Exit skips deferred calls, so every exit after profiling
+// starts must go through exit().
+func startProfiles(cpu, mem string) func() {
+	var stopCPU func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ofence: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ofence: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if stopCPU != nil {
+				stopCPU()
+			}
+			if mem != "" {
+				f, err := os.Create(mem)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ofence: -memprofile: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // flush unreached garbage so the profile shows live heap
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "ofence: -memprofile: %v\n", err)
+				}
+			}
+		})
+	}
 }
 
 // printStageStats implements -stage-stats: the incremental file counters of

@@ -192,6 +192,11 @@ type Options struct {
 	// InterprocDepth bounds cross-file callee inlining; 0 keeps the paper's
 	// same-file one-level behavior exactly.
 	InterprocDepth int
+	// Syms, when set, canonicalizes Object strings through the project-wide
+	// identifier table, so equal (struct, field) tuples from different files
+	// share one backing string. Purely an allocation/locality optimization;
+	// Object identity is value-based either way.
+	Syms *ctoken.SymTab
 }
 
 // isWakeUp consults the kernel catalog plus the user extensions.
@@ -304,6 +309,15 @@ func NewExtractor(file string, table *ctypes.Table, opts Options) *Extractor {
 	return &Extractor{table: table, file: file, opts: opts}
 }
 
+// object builds the (struct, field) tuple, canonicalizing both strings
+// through the shared identifier table when one is configured.
+func (e *Extractor) object(structName, field string) Object {
+	if s := e.opts.Syms; s != nil {
+		return Object{Struct: s.Canon(structName), Field: s.Canon(field)}
+	}
+	return Object{Struct: structName, Field: field}
+}
+
 // barrierInfo describes the barrier-ness of a unit.
 type barrierInfo struct {
 	name string
@@ -389,6 +403,31 @@ func (e *Extractor) extractUnits(fn *cast.FuncDecl, units []*cfg.Unit) []*Site {
 		return sc
 	}
 
+	// Memoize the raw accesses of each unit. Overlapping windows of nearby
+	// barriers previously re-walked the same unit's expression tree once per
+	// site; now the walk happens at most once per unit, and each site gets a
+	// cheap slab-backed copy carrying its own Distance/Before.
+	raw := make([][]*Access, len(units))
+	rawDone := make([]bool, len(units))
+	rawOf := func(j int) []*Access {
+		if !rawDone[j] {
+			raw[j] = e.unitAccesses(units[j], scopeOf(units[j]))
+			rawDone[j] = true
+		}
+		return raw[j]
+	}
+	var slab []Access
+	cloneAt := func(a *Access, dist int, before bool) *Access {
+		if len(slab) == cap(slab) {
+			slab = make([]Access, 0, 128)
+		}
+		slab = slab[:len(slab)+1]
+		c := &slab[len(slab)-1]
+		*c = *a
+		c.Distance, c.Before = dist, before
+		return c
+	}
+
 	var sites []*Site
 	for i, u := range units {
 		for _, b := range infos[i].barriers {
@@ -413,10 +452,8 @@ func (e *Extractor) extractUnits(fn *cast.FuncDecl, units []*cfg.Unit) []*Site {
 				if len(infos[j].barriers) > 0 || infos[j].sem {
 					break // bounded at other barriers (§4.2)
 				}
-				for _, a := range e.unitAccesses(units[j], scopeOf(units[j])) {
-					a.Distance = i - j
-					a.Before = true
-					site.Before = append(site.Before, a)
+				for _, a := range rawOf(j) {
+					site.Before = append(site.Before, cloneAt(a, i-j, true))
 				}
 			}
 			// Forward exploration.
@@ -432,10 +469,8 @@ func (e *Extractor) extractUnits(fn *cast.FuncDecl, units []*cfg.Unit) []*Site {
 				if infos[j].wake && site.WakeUpAfter < 0 {
 					site.WakeUpAfter = j - i
 				}
-				for _, a := range e.unitAccesses(units[j], scopeOf(units[j])) {
-					a.Distance = j - i
-					a.Before = false
-					site.After = append(site.After, a)
+				for _, a := range rawOf(j) {
+					site.After = append(site.After, cloneAt(a, j-i, false))
 				}
 			}
 			sortByDistance(site.Before)
@@ -573,7 +608,7 @@ func (e *Extractor) combinedAccess(site *Site, b barrierInfo, u *cfg.Unit, sc *c
 		kind = Store
 	}
 	a := &Access{
-		Object: Object{Struct: owner, Field: fe.Name}, Kind: kind,
+		Object: e.object(owner, fe.Name), Kind: kind,
 		Unit: u, Distance: 0, Before: p.AccessBefore, Expr: fe, Pos: fe.Position,
 	}
 	if p.AccessBefore {
@@ -612,7 +647,7 @@ func (e *Extractor) seqAccess(site *Site, b barrierInfo, u *cfg.Unit, sc *ctypes
 	}
 	after := memmodel.SeqcountAccessAfter(b.name)
 	a := &Access{
-		Object: Object{Struct: structName, Field: "sequence"},
+		Object: e.object(structName, "sequence"),
 		Kind:   kind, Unit: u, Distance: 0, Before: !after, Pos: b.call.Position,
 	}
 	if after {
@@ -658,7 +693,7 @@ func (e *Extractor) exprAccesses(expr cast.Expr, u *cfg.Unit, sc *ctypes.Scope, 
 			return
 		}
 		out = append(out, &Access{
-			Object: Object{Struct: owner, Field: fe.Name},
+			Object: e.object(owner, fe.Name),
 			Kind:   kind, Unit: u, Expr: fe, Once: onceHere, Pos: fe.Position,
 		})
 	}

@@ -108,7 +108,11 @@ func Linearize(fn *cast.FuncDecl, opts LinearizeOptions) []*Unit {
 type linearizer struct {
 	opts  LinearizeOptions
 	units []*Unit
-	full  bool
+	// slab batch-allocates Units so linearizing a function does not heap-
+	// allocate per statement. Full slabs are abandoned to the units pointing
+	// into them (same lifetime), so handing out interior pointers is safe.
+	slab []Unit
+	full bool
 }
 
 func (l *linearizer) add(u *Unit) {
@@ -117,6 +121,26 @@ func (l *linearizer) add(u *Unit) {
 		return
 	}
 	l.units = append(l.units, u)
+}
+
+// newUnit allocates a Unit from the slab and adds it to the stream,
+// returning it so call sites can set InlinedCall after the fact.
+func (l *linearizer) newUnit(kind UnitKind, stmt cast.Stmt, expr cast.Expr, fn *cast.FuncDecl, inlinedFrom string, pos ctoken.Position) *Unit {
+	if len(l.slab) == cap(l.slab) {
+		n := cap(l.slab) * 2
+		if n < 32 {
+			n = 32
+		}
+		if n > 1024 {
+			n = 1024
+		}
+		l.slab = make([]Unit, 0, n)
+	}
+	l.slab = l.slab[:len(l.slab)+1]
+	u := &l.slab[len(l.slab)-1]
+	u.Kind, u.Stmt, u.Expr, u.Fn, u.InlinedFrom, u.Pos = kind, stmt, expr, fn, inlinedFrom, pos
+	l.add(u)
+	return u
 }
 
 func (l *linearizer) fn(fn *cast.FuncDecl, inlinedFrom string, depth, rdepth int) {
@@ -172,19 +196,17 @@ func (l *linearizer) stmt(s cast.Stmt, fn *cast.FuncDecl, inlinedFrom string, de
 	case *cast.BlockStmt:
 		l.block(x, fn, inlinedFrom, depth, rdepth)
 	case *cast.ExprStmt:
-		u := &Unit{Kind: UnitStmt, Stmt: x, Expr: x.X, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position}
-		l.add(u)
+		u := l.newUnit(UnitStmt, x, x.X, fn, inlinedFrom, x.Position)
 		if l.maybeInline(x.X, fn, depth, rdepth) {
 			u.InlinedCall = true
 		}
 	case *cast.DeclStmt:
-		u := &Unit{Kind: UnitStmt, Stmt: x, Expr: x.Init, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position}
-		l.add(u)
+		u := l.newUnit(UnitStmt, x, x.Init, fn, inlinedFrom, x.Position)
 		if x.Init != nil && l.maybeInline(x.Init, fn, depth, rdepth) {
 			u.InlinedCall = true
 		}
 	case *cast.IfStmt:
-		l.add(&Unit{Kind: UnitCond, Stmt: x, Expr: x.Cond, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
+		l.newUnit(UnitCond, x, x.Cond, fn, inlinedFrom, x.Position)
 		l.stmt(x.Then, fn, inlinedFrom, depth, rdepth)
 		if x.Else != nil {
 			l.stmt(x.Else, fn, inlinedFrom, depth, rdepth)
@@ -194,23 +216,23 @@ func (l *linearizer) stmt(s cast.Stmt, fn *cast.FuncDecl, inlinedFrom string, de
 			l.stmt(x.Init, fn, inlinedFrom, depth, rdepth)
 		}
 		if x.Cond != nil {
-			l.add(&Unit{Kind: UnitCond, Stmt: x, Expr: x.Cond, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
+			l.newUnit(UnitCond, x, x.Cond, fn, inlinedFrom, x.Position)
 		}
 		l.stmt(x.Body, fn, inlinedFrom, depth, rdepth)
 		if x.Post != nil {
-			l.add(&Unit{Kind: UnitStmt, Stmt: x, Expr: x.Post, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
+			l.newUnit(UnitStmt, x, x.Post, fn, inlinedFrom, x.Position)
 		}
 	case *cast.WhileStmt:
-		l.add(&Unit{Kind: UnitCond, Stmt: x, Expr: x.Cond, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
+		l.newUnit(UnitCond, x, x.Cond, fn, inlinedFrom, x.Position)
 		l.stmt(x.Body, fn, inlinedFrom, depth, rdepth)
 	case *cast.DoWhileStmt:
 		l.stmt(x.Body, fn, inlinedFrom, depth, rdepth)
-		l.add(&Unit{Kind: UnitCond, Stmt: x, Expr: x.Cond, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
+		l.newUnit(UnitCond, x, x.Cond, fn, inlinedFrom, x.Position)
 	case *cast.SwitchStmt:
-		l.add(&Unit{Kind: UnitCond, Stmt: x, Expr: x.Tag, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
+		l.newUnit(UnitCond, x, x.Tag, fn, inlinedFrom, x.Position)
 		l.stmt(x.Body, fn, inlinedFrom, depth, rdepth)
 	case *cast.ReturnStmt:
-		l.add(&Unit{Kind: UnitStmt, Stmt: x, Expr: x.Value, Fn: fn, InlinedFrom: inlinedFrom, Pos: x.Position})
+		l.newUnit(UnitStmt, x, x.Value, fn, inlinedFrom, x.Position)
 	case *cast.CaseStmt, *cast.LabelStmt, *cast.EmptyStmt,
 		*cast.BreakStmt, *cast.ContinueStmt, *cast.GotoStmt, *cast.AsmStmt:
 		// Control labels and jumps carry no memory accesses; they do not

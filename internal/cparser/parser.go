@@ -27,9 +27,15 @@ type Parser struct {
 	i    int
 	errs []error
 
+	// arena batch-allocates the hot AST node kinds. nil (NewLegacy) means
+	// plain per-node allocation.
+	arena *cast.Arena
+
 	// typedefs tracks typedef names so declarations can be distinguished
-	// from expressions. Seeded with the common kernel integer typedefs.
+	// from expressions. The legacy parser seeds it with the kernel typedefs;
+	// the arena parser sets base and consults the shared kernelTypedefSet.
 	typedefs map[string]bool
+	base     bool
 }
 
 // kernelTypedefs are typedef names assumed known even when their defining
@@ -44,14 +50,51 @@ var kernelTypedefs = []string{
 	"wait_queue_head_t", "dma_addr_t", "phys_addr_t", "resource_size_t",
 }
 
-// New returns a parser over a preprocessed token stream.
+// kernelTypedefSet is the kernelTypedefs list as a shared immutable set, so
+// the arena parser consults it in place instead of copying 49 entries into a
+// fresh map per file.
+var kernelTypedefSet = func() map[string]bool {
+	m := make(map[string]bool, len(kernelTypedefs))
+	for _, n := range kernelTypedefs {
+		m[n] = true
+	}
+	return m
+}()
+
+// New returns a parser over a preprocessed token stream. AST nodes are
+// batch-allocated from a per-parser arena, and the kernel typedef seed is
+// consulted via the shared set (the typedefs map is created lazily on the
+// first typedef declaration).
 func New(toks []ctoken.Token) *Parser {
+	return &Parser{toks: toks, arena: new(cast.Arena), base: true}
+}
+
+// NewLegacy returns a parser that heap-allocates every node individually —
+// the pre-arena behavior, kept as the differential and benchmark oracle.
+func NewLegacy(toks []ctoken.Token) *Parser {
 	p := &Parser{toks: toks, typedefs: map[string]bool{}}
 	for _, n := range kernelTypedefs {
 		p.typedefs[n] = true
 	}
 	return p
 }
+
+// isTypedef reports whether name is a known typedef.
+func (p *Parser) isTypedef(name string) bool {
+	return p.typedefs[name] || (p.base && kernelTypedefSet[name])
+}
+
+// addTypedef records a typedef declaration.
+func (p *Parser) addTypedef(name string) {
+	if p.typedefs == nil {
+		p.typedefs = make(map[string]bool, 8)
+	}
+	p.typedefs[name] = true
+}
+
+// ArenaBytes reports the slab bytes allocated for this parse (0 on the
+// legacy path) — the source of the frontend.arena_bytes counter.
+func (p *Parser) ArenaBytes() int64 { return p.arena.Bytes() }
 
 // ParseSource preprocesses and parses src in one call.
 func ParseSource(file, src string, opts cpp.Options) (*cast.File, []error) {
@@ -82,6 +125,13 @@ func ParseSourceCtx(ctx context.Context, file, src string, opts cpp.Options) (*c
 // as ParseSource reports them, and the output depends only on (file, pre) —
 // never on ambient state — so it may be memoized under pre's fingerprint.
 func ParseTokens(ctx context.Context, file string, pre *cpp.Result) (*cast.File, []error) {
+	f, errs, _ := ParseTokensMetered(ctx, file, pre)
+	return f, errs
+}
+
+// ParseTokensMetered is ParseTokens plus the arena bytes consumed by the
+// parse, for callers that aggregate frontend allocation counters.
+func ParseTokensMetered(ctx context.Context, file string, pre *cpp.Result) (*cast.File, []error, int64) {
 	_, sp := obs.Start(ctx, "parse")
 	defer sp.End()
 	sp.SetAttr("file", file)
@@ -91,7 +141,8 @@ func ParseTokens(ctx context.Context, file string, pre *cpp.Result) (*cast.File,
 	sp.Add("tokens", int64(len(pre.Tokens)))
 	sp.Add("decls", int64(len(f.Decls)))
 	sp.Add("errors", int64(len(errs)))
-	return f, errs
+	sp.Add("arena_bytes", p.ArenaBytes())
+	return f, errs, p.ArenaBytes()
 }
 
 // Errors returns the parse errors recorded so far.
@@ -125,16 +176,34 @@ func (p *Parser) next() ctoken.Token {
 	return t
 }
 
-func (p *Parser) at(k ctoken.Kind) bool { return p.cur().Kind == k }
+// advance is next() for callers that discard the token: it skips the
+// 56-byte Token copy, which the compiler does not eliminate on its own.
+func (p *Parser) advance() {
+	if p.i < len(p.toks) {
+		p.i++
+	}
+}
+
+// at and atKeyword are the parser's innermost loop; they read the token in
+// place instead of copying it (a Token is 56 bytes).
+func (p *Parser) at(k ctoken.Kind) bool {
+	if p.i >= len(p.toks) {
+		return k == ctoken.EOF
+	}
+	return p.toks[p.i].Kind == k
+}
 
 func (p *Parser) atKeyword(kw string) bool {
-	t := p.cur()
+	if p.i >= len(p.toks) {
+		return false
+	}
+	t := &p.toks[p.i]
 	return t.Kind == ctoken.Keyword && t.Text == kw
 }
 
 func (p *Parser) accept(k ctoken.Kind) bool {
 	if p.at(k) {
-		p.next()
+		p.advance()
 		return true
 	}
 	return false
@@ -142,7 +211,7 @@ func (p *Parser) accept(k ctoken.Kind) bool {
 
 func (p *Parser) acceptKeyword(kw string) bool {
 	if p.atKeyword(kw) {
-		p.next()
+		p.advance()
 		return true
 	}
 	return false
@@ -176,12 +245,12 @@ func (p *Parser) skipBalancedTo(kinds ...ctoken.Kind) {
 		if depth == 0 {
 			for _, k := range kinds {
 				if t.Kind == k {
-					p.next()
+					p.advance()
 					return
 				}
 			}
 		}
-		p.next()
+		p.advance()
 	}
 }
 
@@ -194,6 +263,9 @@ func (p *Parser) ParseFile(name string) *cast.File {
 	if len(p.toks) > 0 {
 		f.Position = p.toks[0].Pos
 	}
+	if p.arena != nil {
+		f.Decls = make([]cast.Decl, 0, 32)
+	}
 	for !p.at(ctoken.EOF) {
 		before := p.i
 		d := p.parseTopDecl()
@@ -203,7 +275,7 @@ func (p *Parser) ParseFile(name string) *cast.File {
 		if p.i == before {
 			// No progress: skip one token to guarantee termination.
 			p.errorf(p.cur().Pos, "unexpected token %v at top level", p.cur())
-			p.next()
+			p.advance()
 		}
 	}
 	return f
@@ -282,7 +354,7 @@ func (p *Parser) parseTopDecl() cast.Decl {
 	} else {
 		p.expect(ctoken.Semi)
 	}
-	return &cast.VarDecl{Position: typ.Position, Name: name, Type: typ, Init: init, Extern: extern, Static: static}
+	return p.newVarDecl(typ.Position, name, typ, init, extern, static)
 }
 
 func (p *Parser) parseStorage() (static, inline, extern bool) {
@@ -304,7 +376,7 @@ func (p *Parser) parseStorage() (static, inline, extern bool) {
 }
 
 func (p *Parser) skipAttribute() {
-	p.next() // __attribute__
+	p.advance() // __attribute__
 	if p.at(ctoken.LParen) {
 		depth := 0
 		for {
@@ -318,11 +390,11 @@ func (p *Parser) skipAttribute() {
 			if t.Kind == ctoken.RParen {
 				depth--
 				if depth == 0 {
-					p.next()
+					p.advance()
 					return
 				}
 			}
-			p.next()
+			p.advance()
 		}
 	}
 }
@@ -378,12 +450,15 @@ func (p *Parser) tryStructDef() (cast.Decl, bool) {
 
 func (p *Parser) parseStructBody(pos ctoken.Position, tag string, union bool) *cast.StructDecl {
 	p.expect(ctoken.LBrace)
-	sd := &cast.StructDecl{Position: pos, Tag: tag, Union: union}
+	sd := p.newStructDecl(pos, tag, union)
+	if p.arena != nil {
+		sd.Fields = make([]*cast.FieldDecl, 0, 8)
+	}
 	for !p.at(ctoken.RBrace) && !p.at(ctoken.EOF) {
 		before := p.i
 		p.parseFieldGroup(sd)
 		if p.i == before {
-			p.next()
+			p.advance()
 		}
 	}
 	p.expect(ctoken.RBrace)
@@ -405,17 +480,16 @@ func (p *Parser) parseFieldGroup(sd *cast.StructDecl) {
 			inner := p.parseStructBody(kw.Pos, tag, kw.Text == "union")
 			if p.at(ctoken.Semi) {
 				// Anonymous member: flatten.
-				p.next()
+				p.advance()
 				sd.Fields = append(sd.Fields, inner.Fields...)
 				return
 			}
 			// Named member of anonymous struct type.
 			if p.at(ctoken.Ident) {
 				name := p.next().Text
-				sd.Fields = append(sd.Fields, &cast.FieldDecl{
-					Position: kw.Pos, Name: name,
-					Type: &cast.TypeExpr{Position: kw.Pos, Name: kw.Text + " " + tag, Struct: tag, Union: kw.Text == "union"},
-				})
+				ft := p.newTypeExpr(kw.Pos)
+				ft.Name, ft.Struct, ft.Union = p.taggedName(kw.Text, tag), tag, kw.Text == "union"
+				sd.Fields = append(sd.Fields, p.newFieldDecl(kw.Pos, name, ft))
 				p.skipBalancedTo(ctoken.Semi)
 				return
 			}
@@ -439,13 +513,13 @@ func (p *Parser) parseFieldGroup(sd *cast.StructDecl) {
 		// Function-pointer field "(*f)(...)": record under its name.
 		if p.at(ctoken.LParen) {
 			save := p.i
-			p.next()
+			p.advance()
 			if p.accept(ctoken.Star) && p.at(ctoken.Ident) {
 				name := p.next().Text
 				p.skipBalancedTo(ctoken.Semi)
 				fp := ft
 				fp.Pointers++
-				sd.Fields = append(sd.Fields, &cast.FieldDecl{Position: fp.Position, Name: name, Type: &fp})
+				sd.Fields = append(sd.Fields, p.newFieldDecl(fp.Position, name, p.newTypeExprCopy(&fp)))
 				return
 			}
 			p.i = save
@@ -457,7 +531,7 @@ func (p *Parser) parseFieldGroup(sd *cast.StructDecl) {
 			return
 		}
 		name := p.next().Text
-		fd := &cast.FieldDecl{Position: ft.Position, Name: name, Type: &ft}
+		fd := p.newFieldDecl(ft.Position, name, p.newTypeExprCopy(&ft))
 		for p.accept(ctoken.LBracket) {
 			fd.Type.ArrayDims++
 			p.skipBalancedToBracket()
@@ -486,8 +560,8 @@ func (p *Parser) tryEnumDef() (cast.Decl, bool) {
 		p.i = save
 		return nil, false
 	}
-	p.next()
-	ed := &cast.EnumDecl{Position: kw.Pos, Tag: tag}
+	p.advance()
+	ed := p.newEnumDecl(kw.Pos, tag)
 	for !p.at(ctoken.RBrace) && !p.at(ctoken.EOF) {
 		if p.at(ctoken.Ident) {
 			ed.Names = append(ed.Names, p.next().Text)
@@ -521,14 +595,15 @@ func (p *Parser) parseTypedef() cast.Decl {
 			}
 			name := p.expect(ctoken.Ident).Text
 			p.expect(ctoken.Semi)
-			p.typedefs[name] = true
+			p.addTypedef(name)
 			if sd.Tag == "" {
 				sd.Tag = name // anonymous struct named after its typedef
 			}
-			return &cast.TypedefDecl{
-				Position: pos, Name: name, Struct: sd,
-				Type: &cast.TypeExpr{Position: pos, Name: kw.Text + " " + sd.Tag, Struct: sd.Tag, Union: sd.Union, Pointers: ptr},
-			}
+			tt := p.newTypeExpr(pos)
+			tt.Name, tt.Struct, tt.Union, tt.Pointers = p.taggedName(kw.Text, sd.Tag), sd.Tag, sd.Union, ptr
+			td := p.newTypedefDecl(pos, name, tt)
+			td.Struct = sd
+			return td
 		}
 		// typedef struct tag Name;
 		ptr := 0
@@ -537,12 +612,11 @@ func (p *Parser) parseTypedef() cast.Decl {
 		}
 		if p.at(ctoken.Ident) {
 			name := p.next().Text
-			p.typedefs[name] = true
+			p.addTypedef(name)
 			p.skipBalancedTo(ctoken.Semi)
-			return &cast.TypedefDecl{
-				Position: pos, Name: name,
-				Type: &cast.TypeExpr{Position: pos, Name: kw.Text + " " + tag, Struct: tag, Union: kw.Text == "union", Pointers: ptr},
-			}
+			tt := p.newTypeExpr(pos)
+			tt.Name, tt.Struct, tt.Union, tt.Pointers = p.taggedName(kw.Text, tag), tag, kw.Text == "union", ptr
+			return p.newTypedefDecl(pos, name, tt)
 		}
 		p.skipBalancedTo(ctoken.Semi)
 		return nil
@@ -551,9 +625,11 @@ func (p *Parser) parseTypedef() cast.Decl {
 		if _, ok := p.tryEnumDef(); ok {
 			if p.at(ctoken.Ident) {
 				name := p.next().Text
-				p.typedefs[name] = true
+				p.addTypedef(name)
 				p.accept(ctoken.Semi)
-				return &cast.TypedefDecl{Position: pos, Name: name, Type: &cast.TypeExpr{Position: pos, Name: "int"}}
+				tt := p.newTypeExpr(pos)
+				tt.Name = "int"
+				return p.newTypedefDecl(pos, name, tt)
 			}
 			return nil
 		}
@@ -566,14 +642,14 @@ func (p *Parser) parseTypedef() cast.Decl {
 	// typedef ret (*fn)(args);
 	if p.at(ctoken.LParen) {
 		save := p.i
-		p.next()
+		p.advance()
 		if p.accept(ctoken.Star) && p.at(ctoken.Ident) {
 			name := p.next().Text
-			p.typedefs[name] = true
+			p.addTypedef(name)
 			p.skipBalancedTo(ctoken.Semi)
-			t := *typ
+			t := p.newTypeExprCopy(typ)
 			t.Pointers++
-			return &cast.TypedefDecl{Position: pos, Name: name, Type: &t}
+			return p.newTypedefDecl(pos, name, t)
 		}
 		p.i = save
 		p.skipBalancedTo(ctoken.Semi)
@@ -589,8 +665,8 @@ func (p *Parser) parseTypedef() cast.Decl {
 		p.skipBalancedToBracket()
 	}
 	p.expect(ctoken.Semi)
-	p.typedefs[name] = true
-	return &cast.TypedefDecl{Position: pos, Name: name, Type: typ}
+	p.addTypedef(name)
+	return p.newTypedefDecl(pos, name, typ)
 }
 
 // ---------------------------------------------------------------------------
@@ -615,7 +691,7 @@ func (p *Parser) startsType() bool {
 		}
 		return false
 	case ctoken.Ident:
-		if !p.typedefs[t.Text] {
+		if !p.isTypedef(t.Text) {
 			return false
 		}
 		// A typedef name begins a declaration only when followed by a
@@ -640,7 +716,7 @@ func (p *Parser) startsType() bool {
 // typeof) followed by pointer stars. Returns nil when no type is present.
 func (p *Parser) parseType() *cast.TypeExpr {
 	pos := p.cur().Pos
-	typ := &cast.TypeExpr{Position: pos}
+	typ := p.newTypeExpr(pos)
 	seen := false
 
 	for {
@@ -649,14 +725,14 @@ func (p *Parser) parseType() *cast.TypeExpr {
 			switch t.Text {
 			case "const":
 				typ.Const = true
-				p.next()
+				p.advance()
 				continue
 			case "volatile", "__volatile__":
 				typ.Volatile = true
-				p.next()
+				p.advance()
 				continue
 			case "restrict", "__restrict":
-				p.next()
+				p.advance()
 				continue
 			case "__attribute__":
 				p.skipAttribute()
@@ -673,13 +749,13 @@ func (p *Parser) parseType() *cast.TypeExpr {
 					// reference by tag.
 					p.parseStructBody(kw.Pos, tag, union)
 				}
-				typ.Name = kw.Text + " " + tag
+				typ.Name = p.taggedName(kw.Text, tag)
 				typ.Struct = tag
 				typ.Union = union
 				seen = true
 				continue
 			case "enum":
-				p.next()
+				p.advance()
 				tag := ""
 				if p.at(ctoken.Ident) {
 					tag = p.next().Text
@@ -687,11 +763,11 @@ func (p *Parser) parseType() *cast.TypeExpr {
 				if p.at(ctoken.LBrace) {
 					p.skipBalancedTo(ctoken.RBrace)
 				}
-				typ.Name = "enum " + tag
+				typ.Name = p.taggedName("enum", tag)
 				seen = true
 				continue
 			case "typeof", "__typeof__":
-				p.next()
+				p.advance()
 				if p.at(ctoken.LParen) {
 					p.skipBalancedTo(ctoken.RParen)
 				}
@@ -706,14 +782,14 @@ func (p *Parser) parseType() *cast.TypeExpr {
 					typ.Name += " " + t.Text
 				}
 				seen = true
-				p.next()
+				p.advance()
 				continue
 			}
 		}
-		if t.Kind == ctoken.Ident && !seen && p.typedefs[t.Text] {
+		if t.Kind == ctoken.Ident && !seen && p.isTypedef(t.Text) {
 			typ.Name = t.Text
 			seen = true
-			p.next()
+			p.advance()
 			continue
 		}
 		break
@@ -727,7 +803,7 @@ func (p *Parser) parseType() *cast.TypeExpr {
 			continue
 		}
 		if p.atKeyword("const") || p.atKeyword("volatile") || p.atKeyword("__volatile__") || p.atKeyword("restrict") || p.atKeyword("__restrict") {
-			p.next()
+			p.advance()
 			continue
 		}
 		if p.atKeyword("__attribute__") {
@@ -743,10 +819,13 @@ func (p *Parser) parseType() *cast.TypeExpr {
 // Functions
 
 func (p *Parser) parseFuncRest(result *cast.TypeExpr, name string, static, inline bool) cast.Decl {
-	fd := &cast.FuncDecl{Position: result.Position, Name: name, Result: result, Static: static, Inline: inline}
+	fd := p.newFuncDecl(result.Position, name, result, static, inline)
+	if p.arena != nil {
+		fd.Params = make([]*cast.ParamDecl, 0, 4)
+	}
 	p.expect(ctoken.LParen)
 	if p.atKeyword("void") && p.peekAt(1).Kind == ctoken.RParen {
-		p.next()
+		p.advance()
 	}
 	for !p.at(ctoken.RParen) && !p.at(ctoken.EOF) {
 		if p.accept(ctoken.Ellipsis) {
@@ -763,13 +842,13 @@ func (p *Parser) parseFuncRest(result *cast.TypeExpr, name string, static, inlin
 			}
 			continue
 		}
-		prm := &cast.ParamDecl{Position: pt.Position, Type: pt}
+		prm := p.newParamDecl(pt.Position, pt)
 		if p.at(ctoken.Ident) {
 			prm.Name = p.next().Text
 		} else if p.at(ctoken.LParen) {
 			// Function-pointer parameter "ret (*f)(...)".
 			save := p.i
-			p.next()
+			p.advance()
 			if p.accept(ctoken.Star) && p.at(ctoken.Ident) {
 				prm.Name = p.next().Text
 				prm.Type.Pointers++
@@ -832,7 +911,7 @@ func (p *Parser) skipParam() {
 				return
 			}
 		}
-		p.next()
+		p.advance()
 	}
 }
 
@@ -841,7 +920,14 @@ func (p *Parser) skipParam() {
 
 func (p *Parser) parseBlock() *cast.BlockStmt {
 	pos := p.expect(ctoken.LBrace).Pos
-	b := &cast.BlockStmt{Position: pos}
+	b := p.newBlock(pos)
+	if p.arena != nil {
+		// Statement lists were the parser's hottest leftover allocation: an
+		// append-grown nil slice reallocates through every doubling step.
+		// Most blocks fit eight statements; legacy (nil arena) keeps the
+		// original growth profile.
+		b.Stmts = make([]cast.Stmt, 0, 8)
+	}
 	for !p.at(ctoken.RBrace) && !p.at(ctoken.EOF) {
 		before := p.i
 		s := p.parseStmt()
@@ -850,7 +936,7 @@ func (p *Parser) parseBlock() *cast.BlockStmt {
 		}
 		if p.i == before {
 			p.errorf(p.cur().Pos, "cannot parse statement at %v", p.cur())
-			p.next()
+			p.advance()
 		}
 	}
 	p.expect(ctoken.RBrace)
@@ -863,7 +949,7 @@ func (p *Parser) parseStmt() cast.Stmt {
 	case t.Kind == ctoken.LBrace:
 		return p.parseBlock()
 	case t.Kind == ctoken.Semi:
-		p.next()
+		p.advance()
 		return &cast.EmptyStmt{Position: t.Pos}
 	case t.Kind == ctoken.Keyword:
 		switch t.Text {
@@ -878,7 +964,7 @@ func (p *Parser) parseStmt() cast.Stmt {
 		case "switch":
 			return p.parseSwitch()
 		case "case":
-			p.next()
+			p.advance()
 			v := p.parseCondExprNoComma()
 			// GNU case ranges "case A ... B:" are flattened to A.
 			if p.accept(ctoken.Ellipsis) {
@@ -887,34 +973,34 @@ func (p *Parser) parseStmt() cast.Stmt {
 			p.expect(ctoken.Colon)
 			return &cast.CaseStmt{Position: t.Pos, Value: v}
 		case "default":
-			p.next()
+			p.advance()
 			p.expect(ctoken.Colon)
 			return &cast.CaseStmt{Position: t.Pos}
 		case "return":
-			p.next()
+			p.advance()
 			var v cast.Expr
 			if !p.at(ctoken.Semi) {
 				v = p.parseExpr()
 			}
 			p.expect(ctoken.Semi)
-			return &cast.ReturnStmt{Position: t.Pos, Value: v}
+			return p.newReturn(t.Pos, v)
 		case "break":
-			p.next()
+			p.advance()
 			p.expect(ctoken.Semi)
 			return &cast.BreakStmt{Position: t.Pos}
 		case "continue":
-			p.next()
+			p.advance()
 			p.expect(ctoken.Semi)
 			return &cast.ContinueStmt{Position: t.Pos}
 		case "goto":
-			p.next()
+			p.advance()
 			lbl := p.expect(ctoken.Ident).Text
 			p.expect(ctoken.Semi)
 			return &cast.GotoStmt{Position: t.Pos, Label: lbl}
 		case "asm", "__asm__":
-			p.next()
+			p.advance()
 			for p.atKeyword("volatile") || p.atKeyword("__volatile__") {
-				p.next()
+				p.advance()
 			}
 			start := p.i
 			if p.at(ctoken.LParen) {
@@ -930,8 +1016,8 @@ func (p *Parser) parseStmt() cast.Stmt {
 	case t.Kind == ctoken.Ident:
 		// Label: "name:"
 		if p.peekAt(1).Kind == ctoken.Colon {
-			p.next()
-			p.next()
+			p.advance()
+			p.advance()
 			return &cast.LabelStmt{Position: t.Pos, Name: t.Text}
 		}
 		if p.startsType() {
@@ -943,7 +1029,7 @@ func (p *Parser) parseStmt() cast.Stmt {
 	}
 	e := p.parseExpr()
 	p.expect(ctoken.Semi)
-	return &cast.ExprStmt{Position: t.Pos, X: e}
+	return p.newExprStmt(t.Pos, e)
 }
 
 func (p *Parser) sliceText(from, to int) string {
@@ -959,7 +1045,7 @@ func (p *Parser) parseDeclStmt() cast.Stmt {
 	if typ == nil {
 		e := p.parseExpr()
 		p.expect(ctoken.Semi)
-		return &cast.ExprStmt{Position: p.cur().Pos, X: e}
+		return p.newExprStmt(p.cur().Pos, e)
 	}
 	if !p.at(ctoken.Ident) {
 		// struct definitions inside functions etc. — skip.
@@ -967,7 +1053,7 @@ func (p *Parser) parseDeclStmt() cast.Stmt {
 		return &cast.EmptyStmt{Position: typ.Position}
 	}
 	name := p.next().Text
-	ds := &cast.DeclStmt{Position: typ.Position, Name: name, Type: typ}
+	ds := p.newDeclStmt(typ.Position, name, typ)
 	for p.accept(ctoken.LBracket) {
 		ds.Type.ArrayDims++
 		p.skipBalancedToBracket()
@@ -984,7 +1070,7 @@ func (p *Parser) parseDeclStmt() cast.Stmt {
 	if p.at(ctoken.Comma) {
 		stmts := []cast.Stmt{ds}
 		for p.accept(ctoken.Comma) {
-			sub := &cast.DeclStmt{Position: p.cur().Pos, Type: cloneType(typ)}
+			sub := p.newDeclStmt(p.cur().Pos, "", cloneType(typ))
 			sub.Type.Pointers = 0
 			for p.accept(ctoken.Star) {
 				sub.Type.Pointers++
@@ -1003,7 +1089,9 @@ func (p *Parser) parseDeclStmt() cast.Stmt {
 			stmts = append(stmts, sub)
 		}
 		p.expect(ctoken.Semi)
-		return &cast.BlockStmt{Position: ds.Position, Stmts: stmts}
+		blk := p.newBlock(ds.Position)
+		blk.Stmts = stmts
+		return blk
 	}
 	p.expect(ctoken.Semi)
 	return ds
@@ -1024,24 +1112,24 @@ func (p *Parser) parseIf() cast.Stmt {
 	if p.acceptKeyword("else") {
 		els = p.parseStmt()
 	}
-	return &cast.IfStmt{Position: pos, Cond: cond, Then: then, Else: els}
+	return p.newIf(pos, cond, then, els)
 }
 
 func (p *Parser) parseFor() cast.Stmt {
 	pos := p.next().Pos // for
 	p.expect(ctoken.LParen)
-	fs := &cast.ForStmt{Position: pos}
+	fs := p.newFor(pos)
 	if !p.at(ctoken.Semi) {
 		if p.startsType() {
 			typ := p.parseType()
 			name := p.expect(ctoken.Ident).Text
-			ds := &cast.DeclStmt{Position: typ.Position, Name: name, Type: typ}
+			ds := p.newDeclStmt(typ.Position, name, typ)
 			if p.accept(ctoken.Assign) {
 				ds.Init = p.parseInitializer()
 			}
 			fs.Init = ds
 		} else {
-			fs.Init = &cast.ExprStmt{Position: p.cur().Pos, X: p.parseExpr()}
+			fs.Init = p.newExprStmt(p.cur().Pos, p.parseExpr())
 		}
 	}
 	p.expect(ctoken.Semi)
@@ -1063,7 +1151,7 @@ func (p *Parser) parseWhile() cast.Stmt {
 	cond := p.parseExpr()
 	p.expect(ctoken.RParen)
 	body := p.parseStmt()
-	return &cast.WhileStmt{Position: pos, Cond: cond, Body: body}
+	return p.newWhile(pos, cond, body)
 }
 
 func (p *Parser) parseDoWhile() cast.Stmt {
@@ -1076,7 +1164,7 @@ func (p *Parser) parseDoWhile() cast.Stmt {
 	cond := p.parseExpr()
 	p.expect(ctoken.RParen)
 	p.expect(ctoken.Semi)
-	return &cast.DoWhileStmt{Position: pos, Body: body, Cond: cond}
+	return p.newDoWhile(pos, body, cond)
 }
 
 func (p *Parser) parseSwitch() cast.Stmt {
@@ -1085,7 +1173,7 @@ func (p *Parser) parseSwitch() cast.Stmt {
 	tag := p.parseExpr()
 	p.expect(ctoken.RParen)
 	body := p.parseBlock()
-	return &cast.SwitchStmt{Position: pos, Tag: tag, Body: body}
+	return p.newSwitch(pos, tag, body)
 }
 
 // ---------------------------------------------------------------------------
@@ -1097,7 +1185,7 @@ func (p *Parser) parseExpr() cast.Expr {
 	for p.at(ctoken.Comma) {
 		pos := p.next().Pos
 		y := p.parseAssignExpr()
-		e = &cast.CommaExpr{Position: pos, X: e, Y: y}
+		e = p.newComma(pos, e, y)
 	}
 	return e
 }
@@ -1107,7 +1195,7 @@ func (p *Parser) parseAssignExpr() cast.Expr {
 	if p.cur().Kind.IsAssign() {
 		op := p.next()
 		rhs := p.parseAssignExpr()
-		return &cast.AssignExpr{Position: op.Pos, Op: op.Kind, X: lhs, Y: rhs}
+		return p.newAssign(op.Pos, op.Kind, lhs, rhs)
 	}
 	return lhs
 }
@@ -1127,7 +1215,7 @@ func (p *Parser) parseCondExprNoComma() cast.Expr {
 	}
 	p.expect(ctoken.Colon)
 	els := p.parseCondExprNoComma()
-	return &cast.CondExpr{Position: pos, Cond: cond, Then: then, Else: els}
+	return p.newCond(pos, cond, then, els)
 }
 
 var binaryPrec = map[ctoken.Kind]int{
@@ -1152,7 +1240,7 @@ func (p *Parser) parseBinaryExpr(minPrec int) cast.Expr {
 		}
 		op := p.next()
 		rhs := p.parseBinaryExpr(prec + 1)
-		lhs = &cast.BinaryExpr{Position: op.Pos, Op: op.Kind, X: lhs, Y: rhs}
+		lhs = p.newBinary(op.Pos, op.Kind, lhs, rhs)
 	}
 }
 
@@ -1160,28 +1248,28 @@ func (p *Parser) parseUnaryExpr() cast.Expr {
 	t := p.cur()
 	switch t.Kind {
 	case ctoken.Not, ctoken.Minus, ctoken.Plus, ctoken.Tilde, ctoken.Star, ctoken.Amp, ctoken.PlusPlus, ctoken.MinusMinus:
-		p.next()
+		p.advance()
 		x := p.parseUnaryExpr()
-		return &cast.UnaryExpr{Position: t.Pos, Op: t.Kind, X: x}
+		return p.newUnary(t.Pos, t.Kind, x)
 	case ctoken.Keyword:
 		if t.Text == "sizeof" {
-			p.next()
+			p.advance()
 			if p.at(ctoken.LParen) {
 				save := p.i
-				p.next()
+				p.advance()
 				if typ := p.parseType(); typ != nil && p.at(ctoken.RParen) {
-					p.next()
+					p.advance()
 					return &cast.SizeofTypeExpr{Position: t.Pos, Type: typ}
 				}
 				p.i = save
 			}
 			x := p.parseUnaryExpr()
-			return &cast.UnaryExpr{Position: t.Pos, Sizeof: true, X: x}
+			return p.newSizeof(t.Pos, x)
 		}
 	case ctoken.LParen:
 		// Cast "(type)expr", statement expression "({...})", or paren expr.
 		save := p.i
-		p.next()
+		p.advance()
 		if p.at(ctoken.LBrace) {
 			blk := p.parseBlock()
 			p.expect(ctoken.RParen)
@@ -1189,12 +1277,12 @@ func (p *Parser) parseUnaryExpr() cast.Expr {
 			return p.parsePostfixOps(se)
 		}
 		if typ := p.parseType(); typ != nil && p.at(ctoken.RParen) {
-			p.next()
+			p.advance()
 			// "(type)" must be followed by a castable expression; otherwise
 			// it was a parenthesized identifier that looked like a typedef.
 			if p.canStartExpr() {
 				x := p.parseUnaryExpr()
-				return &cast.CastExpr{Position: t.Pos, Type: typ, X: x}
+				return p.newCast(t.Pos, typ, x)
 			}
 		}
 		p.i = save
@@ -1224,21 +1312,24 @@ func (p *Parser) parsePostfixOps(e cast.Expr) cast.Expr {
 		t := p.cur()
 		switch t.Kind {
 		case ctoken.Dot:
-			p.next()
+			p.advance()
 			name := p.expect(ctoken.Ident).Text
-			e = &cast.FieldExpr{Position: t.Pos, X: e, Name: name}
+			e = p.newField(t.Pos, e, name, false)
 		case ctoken.Arrow:
-			p.next()
+			p.advance()
 			name := p.expect(ctoken.Ident).Text
-			e = &cast.FieldExpr{Position: t.Pos, X: e, Name: name, Arrow: true}
+			e = p.newField(t.Pos, e, name, true)
 		case ctoken.LBracket:
-			p.next()
+			p.advance()
 			idx := p.parseExpr()
 			p.expect(ctoken.RBracket)
-			e = &cast.IndexExpr{Position: t.Pos, X: e, Index: idx}
+			e = p.newIndex(t.Pos, e, idx)
 		case ctoken.LParen:
-			p.next()
-			call := &cast.CallExpr{Position: t.Pos, Fun: e}
+			p.advance()
+			call := p.newCall(t.Pos, e)
+			if p.arena != nil && !p.at(ctoken.RParen) {
+				call.Args = make([]cast.Expr, 0, 4)
+			}
 			for !p.at(ctoken.RParen) && !p.at(ctoken.EOF) {
 				call.Args = append(call.Args, p.parseCallArg())
 				if !p.accept(ctoken.Comma) {
@@ -1248,8 +1339,8 @@ func (p *Parser) parsePostfixOps(e cast.Expr) cast.Expr {
 			p.expect(ctoken.RParen)
 			e = call
 		case ctoken.PlusPlus, ctoken.MinusMinus:
-			p.next()
-			e = &cast.PostfixExpr{Position: t.Pos, Op: t.Kind, X: e}
+			p.advance()
+			e = p.newPostfix(t.Pos, t.Kind, e)
 		default:
 			return e
 		}
@@ -1266,13 +1357,13 @@ func (p *Parser) parsePrimaryExpr() cast.Expr {
 	t := p.cur()
 	switch t.Kind {
 	case ctoken.Ident:
-		p.next()
-		return &cast.Ident{Position: t.Pos, Name: t.Text}
+		p.advance()
+		return p.newIdent(t.Pos, t.Text)
 	case ctoken.Int, ctoken.Float, ctoken.Char, ctoken.String:
-		p.next()
-		return &cast.Lit{Position: t.Pos, Kind: t.Kind, Text: t.Text}
+		p.advance()
+		return p.newLit(t.Pos, t.Kind, t.Text)
 	case ctoken.LParen:
-		p.next()
+		p.advance()
 		if p.at(ctoken.LBrace) {
 			blk := p.parseBlock()
 			p.expect(ctoken.RParen)
@@ -1286,12 +1377,12 @@ func (p *Parser) parsePrimaryExpr() cast.Expr {
 	case ctoken.Keyword:
 		// Keywords that survive into expressions (e.g. unexpanded typeof
 		// uses) degrade to identifiers to keep the analysis going.
-		p.next()
-		return &cast.Ident{Position: t.Pos, Name: t.Text}
+		p.advance()
+		return p.newIdent(t.Pos, t.Text)
 	}
 	p.errorf(t.Pos, "unexpected token %v in expression", t)
-	p.next()
-	return &cast.Ident{Position: t.Pos, Name: "<error>"}
+	p.advance()
+	return p.newIdent(t.Pos, "<error>")
 }
 
 func (p *Parser) parseInitializer() cast.Expr {
@@ -1310,7 +1401,7 @@ func (p *Parser) parseInitList() cast.Expr {
 			if p.accept(ctoken.Dot) {
 				p.accept(ctoken.Ident)
 			} else {
-				p.next()
+				p.advance()
 				p.skipBalancedToBracket()
 			}
 		}

@@ -14,8 +14,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ofence/internal/ctoken"
 	"ofence/internal/obs"
@@ -41,6 +43,16 @@ type Options struct {
 	Defines map[string]string
 	// MaxExpansionDepth bounds recursive macro expansion. Defaults to 64.
 	MaxExpansionDepth int
+	// Syms, when non-nil, interns every identifier the directive scanner
+	// emits into a shared symbol table (see ctoken.SymTab): all files of a
+	// project agree on one canonical spelling per identifier. Ignored by the
+	// legacy lexer path. Never changes the token stream or the fingerprint.
+	Syms *ctoken.SymTab
+	// LegacyLexer tokenizes with the original map-dispatch ctoken.Lexer
+	// instead of the zero-copy ctoken.Scanner. The output is identical
+	// (differential suites pin it); the flag exists so benchmarks and tests
+	// can hold the pre-overhaul frontend as an oracle.
+	LegacyLexer bool
 }
 
 // Result is the preprocessed token stream plus diagnostics.
@@ -49,6 +61,21 @@ type Result struct {
 	Errors []error
 	// Macros is the final macro table, useful for tests and tooling.
 	Macros map[string]*Macro
+
+	// fp/fpFile memoize Fingerprint for the file the run was attributed to:
+	// the digest is streamed while tokens are emitted, so the usual caller
+	// (the incremental pipeline, which fingerprints under the same name it
+	// preprocessed) never re-walks the stream. Unexported on purpose — a
+	// Result rebuilt by gob (the disk stage codec) falls back to the slow
+	// re-computation below.
+	fp     string
+	fpFile string
+
+	// legacy marks a run produced under Options.LegacyLexer. Fingerprint
+	// then recomputes through the historical fmt.Fprintf formulation — the
+	// same bytes, at the pre-overhaul cost — so the oracle path measures
+	// what the original frontend actually did.
+	legacy bool
 }
 
 // Fingerprint returns the content address of the preprocess artifact: the
@@ -58,15 +85,63 @@ type Result struct {
 // tokens and the result carries the same errors — so the fingerprint is the
 // cache key the incremental pipeline builds parse/cfg/extract keys from.
 func (r *Result) Fingerprint(file string) string {
+	if r.fp != "" && file == r.fpFile {
+		return r.fp
+	}
+	if r.legacy {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00", file)
+		for _, tok := range r.Tokens {
+			fmt.Fprintf(h, "%s\x00%s:%d:%d\n", tok.Text, tok.Pos.File, tok.Pos.Line, tok.Pos.Col)
+		}
+		for _, err := range r.Errors {
+			fmt.Fprintf(h, "E%s\x00", err.Error())
+		}
+		return hex.EncodeToString(h.Sum(nil))
+	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00", file)
+	var buf []byte
+	buf = hashSeed(h, buf, file)
 	for _, tok := range r.Tokens {
-		fmt.Fprintf(h, "%s\x00%s:%d:%d\n", tok.Text, tok.Pos.File, tok.Pos.Line, tok.Pos.Col)
+		buf = hashToken(h, buf, tok)
 	}
 	for _, err := range r.Errors {
-		fmt.Fprintf(h, "E%s\x00", err.Error())
+		buf = hashError(h, buf, err)
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashSeed, hashToken and hashError stream the fingerprint preimage — the
+// exact byte sequence the historical fmt.Fprintf formulation produced
+// ("file\x00", then "text\x00file:line:col\n" per token, then "Eerr\x00"
+// per diagnostic) — without fmt's reflection or per-token allocations. They
+// thread a reusable scratch buffer.
+func hashSeed(h hash.Hash, buf []byte, file string) []byte {
+	buf = append(buf[:0], file...)
+	buf = append(buf, 0)
+	h.Write(buf)
+	return buf
+}
+
+func hashToken(h hash.Hash, buf []byte, tok ctoken.Token) []byte {
+	buf = append(buf[:0], tok.Text...)
+	buf = append(buf, 0)
+	buf = append(buf, tok.Pos.File...)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(tok.Pos.Line), 10)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(tok.Pos.Col), 10)
+	buf = append(buf, '\n')
+	h.Write(buf)
+	return buf
+}
+
+func hashError(h hash.Hash, buf []byte, err error) []byte {
+	buf = append(buf[:0], 'E')
+	buf = append(buf, err.Error()...)
+	buf = append(buf, 0)
+	h.Write(buf)
+	return buf
 }
 
 type preprocessor struct {
@@ -75,6 +150,100 @@ type preprocessor struct {
 	out      []ctoken.Token
 	errs     []error
 	includes map[string]bool // cycle protection
+
+	// h accumulates the content fingerprint while tokens are emitted, so
+	// Result.Fingerprint for the root file is ready the moment preprocessing
+	// finishes; hbuf batches the pending preimage bytes so the digest sees
+	// one Write per few kilobytes instead of one per token. The byte stream
+	// is identical either way, so fingerprints are unchanged.
+	h    hash.Hash
+	hbuf []byte
+
+	// hpfx caches the "\x00file:line:" chunk of the token preimage — tokens
+	// cluster by line, so the file name and line digits are re-rendered only
+	// when the line changes. The emitted byte stream is unchanged.
+	hpfx     []byte
+	hpfxFile string
+	hpfxLine int
+
+	// lineBuf is the streaming path's one reused scratch buffer: directive
+	// lines and macro-bearing line suffixes are collected here before
+	// dispatch/expand. Safe to reuse per line — nothing retains line tokens
+	// (macro bodies are copied at definition time).
+	lineBuf []ctoken.Token
+
+	// ident memoizes SymTab.Canon lookups for the streaming scanner.
+	ident *ctoken.IdentCache
+
+	// macroBloom is a first-byte filter over defined macro names: the
+	// streaming path checks it before probing the macro table for every
+	// identifier. Bits are only ever set (#undef leaves them — a false
+	// positive just falls through to the map), so the filter can never hide
+	// a definition.
+	macroBloom [8]uint32
+}
+
+func (p *preprocessor) bloomAdd(name string) {
+	if len(name) > 0 {
+		c := name[0]
+		p.macroBloom[c>>5] |= 1 << (c & 31)
+	}
+}
+
+func (p *preprocessor) bloomHas(name string) bool {
+	c := name[0]
+	return p.macroBloom[c>>5]&(1<<(c&31)) != 0
+}
+
+// appendDecimal renders v in base 10 like strconv.AppendInt, with inline
+// paths for the 1-3 digit values that dominate line/column numbers.
+func appendDecimal(b []byte, v int) []byte {
+	switch {
+	case v < 10:
+		return append(b, byte('0'+v))
+	case v < 100:
+		return append(b, byte('0'+v/10), byte('0'+v%10))
+	case v < 1000:
+		return append(b, byte('0'+v/100), byte('0'+v/10%10), byte('0'+v%10))
+	default:
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+}
+
+// hashTok appends tok's fingerprint preimage to the pending batch, flushing
+// to the digest when the batch fills. The batch is staged through locals so
+// the per-token appends store the slice headers back to the heap once, not
+// once per append (each header store is a write barrier on this path).
+func (p *preprocessor) hashTok(tok ctoken.Token) {
+	if p.h == nil {
+		return
+	}
+	b := p.hbuf
+	if len(b) >= 4<<10 {
+		p.h.Write(b)
+		b = b[:0]
+	}
+	if tok.Pos.Line != p.hpfxLine || tok.Pos.File != p.hpfxFile {
+		pfx := append(p.hpfx[:0], 0)
+		pfx = append(pfx, tok.Pos.File...)
+		pfx = append(pfx, ':')
+		pfx = appendDecimal(pfx, tok.Pos.Line)
+		pfx = append(pfx, ':')
+		p.hpfx = pfx
+		p.hpfxFile, p.hpfxLine = tok.Pos.File, tok.Pos.Line
+	}
+	b = append(b, tok.Text...)
+	b = append(b, p.hpfx...)
+	b = appendDecimal(b, tok.Pos.Col)
+	p.hbuf = append(b, '\n')
+}
+
+// flushHash drains the pending preimage batch into the digest.
+func (p *preprocessor) flushHash() {
+	if len(p.hbuf) > 0 {
+		p.h.Write(p.hbuf)
+		p.hbuf = p.hbuf[:0]
+	}
 }
 
 // Preprocess runs the preprocessor over src, attributing positions to file.
@@ -96,6 +265,23 @@ func PreprocessCtx(ctx context.Context, file, src string, opts Options) *Result 
 	return res
 }
 
+// scratch recycles the streaming preprocessor's per-file working buffers —
+// the pending fingerprint preimage, its line-prefix cache, and the directive
+// line buffer. None of them escape into the Result, so a pool entry is free
+// to move between files and workers.
+type scratch struct {
+	hbuf    []byte
+	hpfx    []byte
+	lineBuf []ctoken.Token
+	ident   *ctoken.IdentCache
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &scratch{hbuf: make([]byte, 0, 8<<10)}
+	},
+}
+
 func preprocess(file, src string, opts Options) *Result {
 	if opts.MaxExpansionDepth <= 0 {
 		opts.MaxExpansionDepth = 64
@@ -105,12 +291,50 @@ func preprocess(file, src string, opts Options) *Result {
 		macros:   map[string]*Macro{},
 		includes: map[string]bool{},
 	}
+	var sc *scratch
+	if !opts.LegacyLexer {
+		// The overhauled frontend sizes the output once, fingerprints as it
+		// emits, and runs on pooled scratch buffers. The legacy oracle keeps
+		// the original cost profile: a nil output slice grown by append, and
+		// no streamed fingerprint — Result.Fingerprint re-walks the tokens on
+		// demand, as the pre-overhaul frontend always did.
+		sc = scratchPool.Get().(*scratch)
+		p.h = sha256.New()
+		p.hbuf = append(sc.hbuf[:0], file...)
+		p.hbuf = append(p.hbuf, 0)
+		p.hpfx = sc.hpfx
+		p.lineBuf = sc.lineBuf
+		if opts.Syms != nil {
+			if sc.ident == nil {
+				sc.ident = new(ctoken.IdentCache)
+			}
+			p.ident = sc.ident.For(opts.Syms)
+		}
+	}
 	for name, body := range opts.Defines {
 		lx := ctoken.NewLexer("<define:"+name+">", body)
 		p.macros[name] = &Macro{Name: name, Body: lx.All()}
+		p.bloomAdd(name)
 	}
 	p.processFile(file, src)
-	return &Result{Tokens: p.out, Errors: p.errs, Macros: p.macros}
+	res := &Result{Tokens: p.out, Errors: p.errs, Macros: p.macros, legacy: opts.LegacyLexer}
+	if p.h != nil {
+		for _, err := range p.errs {
+			p.flushHash()
+			p.hbuf = hashError(p.h, p.hbuf, err)
+			p.hbuf = p.hbuf[:0]
+		}
+		p.flushHash()
+		res.fp = hex.EncodeToString(p.h.Sum(nil))
+		res.fpFile = file
+	}
+	if sc != nil {
+		sc.hbuf = p.hbuf[:0]
+		sc.hpfx = p.hpfx[:0]
+		sc.lineBuf = p.lineBuf[:0]
+		scratchPool.Put(sc)
+	}
+	return res
 }
 
 func (p *preprocessor) errorf(pos ctoken.Position, format string, args ...any) {
@@ -124,7 +348,9 @@ type line struct {
 	pos       ctoken.Position
 }
 
-func splitLines(file, src string, errs *[]error) []line {
+// splitLinesLegacy is the original Lexer-driven splitter, kept as the
+// differential oracle behind Options.LegacyLexer.
+func splitLinesLegacy(file, src string, errs *[]error) []line {
 	lx := ctoken.NewLexer(file, src)
 	lx.KeepNewlines = true
 	var lines []line
@@ -191,87 +417,205 @@ func (p *preprocessor) processFile(file, src string) {
 	p.includes[file] = true
 	defer delete(p.includes, file)
 
-	lines := splitLines(file, src, &p.errs)
-	var conds []condState
-
-	live := func() bool {
-		for _, c := range conds {
-			if !c.active {
-				return false
-			}
-		}
-		return true
+	if !p.opts.LegacyLexer {
+		p.streamFile(file, src)
+		return
 	}
 
+	lines := splitLinesLegacy(file, src, &p.errs)
+	var conds []condState
 	for _, ln := range lines {
-		switch ln.directive {
-		case "ifdef", "ifndef":
-			want := ln.directive == "ifdef"
-			on := false
-			if len(ln.toks) >= 1 && ln.toks[0].Kind == ctoken.Ident {
-				_, defined := p.macros[ln.toks[0].Text]
-				on = defined == want
-			} else {
-				p.errorf(ln.pos, "#%s requires an identifier", ln.directive)
+		conds = p.dispatch(ln, conds)
+	}
+	if len(conds) != 0 {
+		p.errorf(ctoken.Position{File: file, Line: 1, Col: 1}, "unterminated conditional (%d open)", len(conds))
+	}
+}
+
+// condsLive reports whether every open conditional branch is active.
+func condsLive(conds []condState) bool {
+	for _, c := range conds {
+		if !c.active {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatch processes one line against the conditional stack and returns the
+// updated stack. It is shared by the legacy line walk (which feeds it every
+// line) and the streaming path (which feeds it directive lines only and
+// emits ordinary tokens inline).
+func (p *preprocessor) dispatch(ln line, conds []condState) []condState {
+	switch ln.directive {
+	case "ifdef", "ifndef":
+		want := ln.directive == "ifdef"
+		on := false
+		if len(ln.toks) >= 1 && ln.toks[0].Kind == ctoken.Ident {
+			_, defined := p.macros[ln.toks[0].Text]
+			on = defined == want
+		} else {
+			p.errorf(ln.pos, "#%s requires an identifier", ln.directive)
+		}
+		conds = append(conds, condState{active: on, everMatched: on, parentLive: condsLive(conds)})
+	case "if":
+		on := p.evalCond(ln.toks, ln.pos)
+		conds = append(conds, condState{active: on, everMatched: on, parentLive: condsLive(conds)})
+	case "elif":
+		if len(conds) == 0 {
+			p.errorf(ln.pos, "#elif without #if")
+			return conds
+		}
+		c := &conds[len(conds)-1]
+		if c.everMatched {
+			c.active = false
+		} else {
+			c.active = p.evalCond(ln.toks, ln.pos)
+			c.everMatched = c.active
+		}
+	case "else":
+		if len(conds) == 0 {
+			p.errorf(ln.pos, "#else without #if")
+			return conds
+		}
+		c := &conds[len(conds)-1]
+		c.active = !c.everMatched
+		c.everMatched = true
+	case "endif":
+		if len(conds) == 0 {
+			p.errorf(ln.pos, "#endif without #if")
+			return conds
+		}
+		conds = conds[:len(conds)-1]
+	case "define":
+		if condsLive(conds) {
+			p.define(ln)
+		}
+	case "undef":
+		if condsLive(conds) && len(ln.toks) >= 1 {
+			delete(p.macros, ln.toks[0].Text)
+		}
+	case "include":
+		if condsLive(conds) {
+			p.include(ln)
+		}
+	case "pragma", "error", "warning", "line", "#":
+		// Ignored. #error inside a dead branch is common in the kernel.
+		if ln.directive == "error" && condsLive(conds) {
+			p.errorf(ln.pos, "#error: %s", renderTokens(ln.toks))
+		}
+	case "":
+		if condsLive(conds) {
+			// hide starts nil: expand only ever reads it (lookups and range
+			// are fine on a nil map) and builds fresh sub maps, so the
+			// historical per-line map literal was pure allocation.
+			p.expandInto(ln.toks, 0, nil)
+		}
+	default:
+		// Unknown directive: skip, as Smatch does.
+	}
+	return conds
+}
+
+// streamFile is the overhauled single-pass preprocessor: it drives the
+// zero-copy scanner token by token and emits ordinary live-line tokens
+// straight into the output — each folded into the running fingerprint as it
+// passes — with no whole-file token buffer and no line materialization in
+// between. Directive lines and macro-bearing line suffixes are collected
+// into one small reused buffer and handled by the same dispatch/expand
+// machinery as the legacy walk, so semantics match line for line.
+func (p *preprocessor) streamFile(file, src string) {
+	sc := ctoken.NewScanner(file, src)
+	sc.KeepNewlines = true
+	sc.Syms = p.opts.Syms
+	sc.Ident = p.ident
+	if p.out == nil {
+		// Root file: size the output once for the expected whole-file token
+		// count — dense C runs about one token per four source bytes — so
+		// emission almost never reallocates.
+		p.out = make([]ctoken.Token, 0, len(src)/4+16)
+	}
+	errStart := len(p.errs)
+	buf := p.lineBuf[:0]
+	var conds []condState
+	t := sc.Next()
+	for t.Kind != ctoken.EOF {
+		if t.Kind == ctoken.Newline {
+			t = sc.Next()
+			continue
+		}
+		if t.Kind == ctoken.Hash {
+			// Directive: collect the rest of the line and dispatch it. The
+			// buffer is free for reuse as soon as dispatch returns — #define
+			// copies the body it retains, everything else consumes the tokens
+			// synchronously.
+			ln := line{pos: t.Pos}
+			buf = buf[:0]
+			for t = sc.Next(); t.Kind != ctoken.Newline && t.Kind != ctoken.EOF; t = sc.Next() {
+				buf = append(buf, t)
 			}
-			conds = append(conds, condState{active: on, everMatched: on, parentLive: live()})
-		case "if":
-			on := p.evalCond(ln.toks, ln.pos)
-			conds = append(conds, condState{active: on, everMatched: on, parentLive: live()})
-		case "elif":
-			if len(conds) == 0 {
-				p.errorf(ln.pos, "#elif without #if")
-				continue
+			if len(buf) > 0 { // "#" alone is a null directive
+				if name := buf[0]; name.Kind == ctoken.Ident || name.Kind == ctoken.Keyword {
+					ln.directive = name.Text
+					ln.toks = buf[1:]
+				} else {
+					ln.directive = "#"
+					ln.toks = buf
+				}
+				conds = p.dispatch(ln, conds)
 			}
-			c := &conds[len(conds)-1]
-			if c.everMatched {
-				c.active = false
-			} else {
-				c.active = p.evalCond(ln.toks, ln.pos)
-				c.everMatched = c.active
+			continue
+		}
+		if !condsLive(conds) {
+			// Dead branch: discard tokens to end of line. Interning is
+			// suspended — these tokens are never emitted, so the symbol
+			// table has no business seeing their identifiers.
+			syms := sc.Syms
+			sc.Syms = nil
+			for t.Kind != ctoken.Newline && t.Kind != ctoken.EOF {
+				t = sc.Next()
 			}
-		case "else":
-			if len(conds) == 0 {
-				p.errorf(ln.pos, "#else without #if")
-				continue
+			sc.Syms = syms
+			continue
+		}
+		// Ordinary live line: stream tokens directly, falling back to the
+		// expander from the first macro invocation on.
+		hasMacros := len(p.macros) > 0
+		for {
+			if hasMacros && t.Kind == ctoken.Ident && p.bloomHas(t.Text) {
+				if _, ok := p.macros[t.Text]; ok {
+					buf = buf[:0]
+					for ; t.Kind != ctoken.Newline && t.Kind != ctoken.EOF; t = sc.Next() {
+						buf = append(buf, t)
+					}
+					expanded := p.expand(buf, 0, nil)
+					for _, et := range expanded {
+						p.hashTok(et)
+					}
+					p.out = append(p.out, expanded...)
+					break
+				}
 			}
-			c := &conds[len(conds)-1]
-			c.active = !c.everMatched
-			c.everMatched = true
-		case "endif":
-			if len(conds) == 0 {
-				p.errorf(ln.pos, "#endif without #if")
-				continue
+			p.hashTok(t)
+			p.out = append(p.out, t)
+			t = sc.Next()
+			if t.Kind == ctoken.Newline || t.Kind == ctoken.EOF {
+				break
 			}
-			conds = conds[:len(conds)-1]
-		case "define":
-			if live() {
-				p.define(ln)
-			}
-		case "undef":
-			if live() && len(ln.toks) >= 1 {
-				delete(p.macros, ln.toks[0].Text)
-			}
-		case "include":
-			if live() {
-				p.include(ln)
-			}
-		case "pragma", "error", "warning", "line", "#":
-			// Ignored. #error inside a dead branch is common in the kernel.
-			if ln.directive == "error" && live() {
-				p.errorf(ln.pos, "#error: %s", renderTokens(ln.toks))
-			}
-		case "":
-			if live() {
-				p.expandInto(ln.toks, 0, map[string]bool{})
-			}
-		default:
-			// Unknown directive: skip, as Smatch does.
 		}
 	}
 	if len(conds) != 0 {
 		p.errorf(ctoken.Position{File: file, Line: 1, Col: 1}, "unterminated conditional (%d open)", len(conds))
 	}
+	// The line splitter reported a file's lexical errors before any of its
+	// directive errors; splice the scanner's errors into the same slot so
+	// diagnostics order (and with it the fingerprint) is unchanged.
+	if scErrs := sc.Errors(); len(scErrs) > 0 {
+		p.errs = append(p.errs, scErrs...)
+		copy(p.errs[errStart+len(scErrs):], p.errs[errStart:len(p.errs)-len(scErrs)])
+		copy(p.errs[errStart:], scErrs)
+	}
+	p.lineBuf = buf[:0]
 }
 
 func (p *preprocessor) define(ln line) {
@@ -305,11 +649,24 @@ func (p *preprocessor) define(ln line) {
 			p.errorf(ln.pos, "unterminated macro parameter list for %s", name)
 			return
 		}
-		m.Body = rest[i+1:]
+		m.Body = copyToks(rest[i+1:])
 	} else {
-		m.Body = rest
+		m.Body = copyToks(rest)
 	}
 	p.macros[name] = m
+	p.bloomAdd(name)
+}
+
+// copyToks detaches a macro body from the pooled line buffer it was scanned
+// into: macro definitions outlive processFile (they are retained by
+// Result.Macros), so they must not alias recycled token storage.
+func copyToks(toks []ctoken.Token) []ctoken.Token {
+	if len(toks) == 0 {
+		return nil
+	}
+	out := make([]ctoken.Token, len(toks))
+	copy(out, toks)
+	return out
 }
 
 func (p *preprocessor) include(ln line) {
@@ -343,9 +700,14 @@ func (p *preprocessor) include(ln line) {
 	p.processFile(path, src)
 }
 
-// expandInto appends toks to the output, expanding macros.
+// expandInto appends toks to the output, expanding macros. Only the legacy
+// line walk reaches it — the streaming path emits ordinary tokens inline —
+// so it keeps the original always-allocate expander cost profile.
 func (p *preprocessor) expandInto(toks []ctoken.Token, depth int, hide map[string]bool) {
 	expanded := p.expand(toks, depth, hide)
+	for _, t := range expanded {
+		p.hashTok(t)
+	}
 	p.out = append(p.out, expanded...)
 }
 

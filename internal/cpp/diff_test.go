@@ -1,0 +1,85 @@
+package cpp
+
+import (
+	"testing"
+
+	"ofence/internal/ctoken"
+)
+
+// preprocessDiffCorpus exercises the directive splitter's corner cases:
+// null directives, malformed directives, continuations, conditionals, and
+// macro machinery.
+var preprocessDiffCorpus = []string{
+	"",
+	"int x;\n",
+	"#define A 1\nint v = A;\n",
+	"#define SQ(x) ((x)*(x))\nint v = SQ(2+3);\n",
+	"#define CAT(a,b) a##b\nint CAT(foo,bar) = 1;\n",
+	"#define STR(x) #x\nchar *s = STR(hello world);\n",
+	"#define V(...) f(__VA_ARGS__)\nV(1,2,3);\n",
+	"#\n# \n#!\n#1\n# # x\n",
+	"#if defined(FOO) && (1 + 2 > 2)\nint a;\n#elif 0\nint b;\n#else\nint c;\n#endif\n",
+	"#ifdef MISSING\nbroken {\n#endif\nint ok;\n",
+	"#define X 1 \\\n + 2\nint v = X;\n",
+	"#include \"inc.h\"\nint after;\n",
+	"#include <a/b.h>\n",
+	"#error in dead branch\n",
+	"#if 1\n#error live\n#endif\n",
+	"#pragma once\n#unknown dir\n",
+	"#undef A\n#define A(x x\nA(1)\n",
+	"int unterminated = \"str\n#define B 2\nint b = B;\n",
+	"#if (3 % 0)\nint z;\n#endif\n",
+}
+
+// TestPreprocessScannerMatchesLegacy pins the zero-copy frontend to the
+// legacy lexer path: identical tokens, diagnostics and fingerprints for
+// every corpus entry, with includes, defines and interning in play.
+func TestPreprocessScannerMatchesLegacy(t *testing.T) {
+	base := Options{
+		Include: map[string]string{"inc.h": "#define FROM_INC 7\nint inc_var = FROM_INC;\n"},
+		Defines: map[string]string{"CONFIG_SMP": "1"},
+	}
+	for i, src := range preprocessDiffCorpus {
+		legacyOpts := base
+		legacyOpts.LegacyLexer = true
+		fastOpts := base
+		fastOpts.Syms = ctoken.NewSymTab()
+		want := Preprocess("diff.c", src, legacyOpts)
+		got := Preprocess("diff.c", src, fastOpts)
+		if len(want.Tokens) != len(got.Tokens) {
+			t.Fatalf("case %d: token count %d vs %d", i, len(want.Tokens), len(got.Tokens))
+		}
+		for j := range want.Tokens {
+			if want.Tokens[j] != got.Tokens[j] {
+				t.Fatalf("case %d: token %d differs: legacy %v @%s, scanner %v @%s",
+					i, j, want.Tokens[j], want.Tokens[j].Pos, got.Tokens[j], got.Tokens[j].Pos)
+			}
+		}
+		if len(want.Errors) != len(got.Errors) {
+			t.Fatalf("case %d: error count %d vs %d (%v vs %v)", i, len(want.Errors), len(got.Errors), want.Errors, got.Errors)
+		}
+		for j := range want.Errors {
+			if want.Errors[j].Error() != got.Errors[j].Error() {
+				t.Fatalf("case %d: error %d differs:\n legacy:  %s\n scanner: %s", i, j, want.Errors[j], got.Errors[j])
+			}
+		}
+		if wf, gf := want.Fingerprint("diff.c"), got.Fingerprint("diff.c"); wf != gf {
+			t.Fatalf("case %d: fingerprint differs: %s vs %s", i, wf, gf)
+		}
+	}
+}
+
+// TestFingerprintStreamedMatchesRecomputed checks the streamed digest (fast
+// path) against a from-scratch re-walk of the same Result, and that other
+// file names take the slow path rather than returning the memo.
+func TestFingerprintStreamedMatchesRecomputed(t *testing.T) {
+	res := Preprocess("a.c", "#define F(x) (x+1)\nint v = F(F(2));\nbad @\n", Options{})
+	fast := res.Fingerprint("a.c")
+	clone := &Result{Tokens: res.Tokens, Errors: res.Errors, Macros: res.Macros}
+	if slow := clone.Fingerprint("a.c"); slow != fast {
+		t.Fatalf("streamed fingerprint %s != recomputed %s", fast, slow)
+	}
+	if other := res.Fingerprint("b.c"); other == fast {
+		t.Fatalf("fingerprint ignored the file name")
+	}
+}

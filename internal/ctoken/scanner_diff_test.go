@@ -1,0 +1,141 @@
+package ctoken
+
+import (
+	"fmt"
+	"testing"
+)
+
+// diffStreams tokenizes src with both the legacy Lexer (the oracle) and the
+// zero-copy Scanner in the given newline mode and reports the first
+// divergence in tokens or diagnostics.
+func diffStreams(t *testing.T, src string, keepNewlines bool) {
+	t.Helper()
+	lx := NewLexer("diff.c", src)
+	lx.KeepNewlines = keepNewlines
+	sc := NewScanner("diff.c", src)
+	sc.KeepNewlines = keepNewlines
+	for i := 0; ; i++ {
+		want := lx.Next()
+		got := sc.Next()
+		if want != got {
+			t.Fatalf("token %d differs for %q (keepNewlines=%v):\n lexer:   %v @%s\n scanner: %v @%s",
+				i, src, keepNewlines, want, want.Pos, got, got.Pos)
+		}
+		if want.Kind == EOF {
+			break
+		}
+		if i > len(src)+16 {
+			t.Fatalf("tokenizer failed to terminate on %q", src)
+		}
+	}
+	le, se := lx.Errors(), sc.Errors()
+	if len(le) != len(se) {
+		t.Fatalf("error count differs for %q: lexer %v, scanner %v", src, le, se)
+	}
+	for i := range le {
+		if le[i].Error() != se[i].Error() {
+			t.Fatalf("error %d differs for %q:\n lexer:   %s\n scanner: %s", i, src, le[i], se[i])
+		}
+	}
+}
+
+var diffCorpus = []string{
+	"",
+	"int x;",
+	"a->b->c = 1;",
+	"x <<= 2; y >>= 3; z ... ; q <<~ >>",
+	"p++ + ++q; a-- - --b; a->b -- c",
+	"0x7fUL 0b1010 017 1.5e-3f 1e9 1.f 1. .5 0. 3..2",
+	`"str" "es\"c" 'c' '\'' '\\' L"wide" L "notwide" Lx"id"`,
+	"\"unterminated\n\"closed\"",
+	"'unterminated\n'c'",
+	"/* block */ x // line\ny /* unterminated",
+	"a \\\n b \\\r\n c \\q",
+	"# define FOO(x) x##y\n#if defined(BAR)\n#endif\n",
+	"struct foo { int bar; } __attribute__((packed));",
+	"typeof(x) y; _Bool b; _Static_assert(1, \"m\");",
+	"a@b `c` $dollar _under $ @",
+	"smp_wmb(); WRITE_ONCE(p->x, 1); smp_store_release(&s->f, v);",
+	"for (i = 0; i < n; i++) { sum += arr[i]; }",
+	"do { seq = read_seqcount_begin(&s->seq); } while (read_seqcount_retry(&s->seq, seq));",
+	"int a = x ? y : z, *p = &v;",
+	"\n\n\n  \t\v\f\r\n x",
+	"...............",
+	"<<<<= >>>>= &&& ||| ### !!= ==== %=%",
+	"0b2 0bx 0x 0xg 12abc 1e+ 1e 1ee4 5lLuU",
+}
+
+// TestScannerMatchesLexer runs the differential corpus in both newline
+// modes.
+func TestScannerMatchesLexer(t *testing.T) {
+	for i, src := range diffCorpus {
+		t.Run(fmt.Sprintf("case%02d", i), func(t *testing.T) {
+			diffStreams(t, src, false)
+			diffStreams(t, src, true)
+		})
+	}
+}
+
+// TestScannerKeywordParity pins the scanner's compiled keyword switch to the
+// keywords map the Lexer consults, in both directions.
+func TestScannerKeywordParity(t *testing.T) {
+	for kw := range keywords {
+		if !isKeywordSwitch(kw) {
+			t.Errorf("keyword %q missing from isKeywordSwitch", kw)
+		}
+	}
+	for _, name := range []string{"", "iff", "Int", "int_", "__attribute",
+		"_static_assert", "restricted", "type", "whiles"} {
+		if isKeywordSwitch(name) != keywords[name] {
+			t.Errorf("isKeywordSwitch(%q) = %v, keywords map says %v",
+				name, isKeywordSwitch(name), keywords[name])
+		}
+	}
+}
+
+// TestScannerInternsIdentifiers checks that a shared SymTab canonicalizes
+// spellings: equal identifiers from different files come back as the same
+// backing string and ID.
+func TestScannerInternsIdentifiers(t *testing.T) {
+	syms := NewSymTab()
+	scan := func(src string) []Token {
+		sc := NewScanner("intern.c", src)
+		sc.Syms = syms
+		return sc.AppendAll(nil)
+	}
+	a := scan("alpha beta alpha")
+	b := scan("beta alpha")
+	if a[0].Text != "alpha" || a[1].Text != "beta" {
+		t.Fatalf("unexpected tokens %v", a)
+	}
+	if syms.Intern(a[0].Text) != syms.Intern(b[1].Text) {
+		t.Errorf("alpha interned to two IDs")
+	}
+	if syms.Intern(a[1].Text) != syms.Intern(b[0].Text) {
+		t.Errorf("beta interned to two IDs")
+	}
+	if got := syms.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	if syms.Name(syms.Intern("alpha")) != "alpha" {
+		t.Errorf("Name round-trip failed")
+	}
+	if syms.Canon("alpha") != "alpha" {
+		t.Errorf("Canon changed the spelling")
+	}
+}
+
+// FuzzScannerMatchesLexer fuzzes the scanner against the legacy oracle over
+// kernel-idiom seeds and whatever the mutator invents.
+func FuzzScannerMatchesLexer(f *testing.F) {
+	for _, src := range diffCorpus {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		diffStreams(t, src, false)
+		diffStreams(t, src, true)
+	})
+}

@@ -1,0 +1,78 @@
+package ctoken
+
+import (
+	"strings"
+	"sync"
+)
+
+// SymTab is a concurrency-safe identifier table assigning dense uint32 IDs
+// to identifier spellings. The zero-copy Scanner interns every identifier it
+// emits, which serves two purposes:
+//
+//   - Canonicalization: all tokens spelling the same identifier share one
+//     backing string (cloned once, so token text stops pinning whole source
+//     buffers), and every later map keyed by identifier hashes fewer distinct
+//     string headers.
+//   - Shared IDs: downstream consumers — internal/access canonicalizes the
+//     (struct, field) strings of its Objects through the same table — agree
+//     on one identity per name without re-hashing per stage.
+//
+// A Project-level SymTab is shared by every worker of the pipelined
+// frontend, so all methods are safe for concurrent use.
+type SymTab struct {
+	mu    sync.RWMutex
+	ids   map[string]uint32
+	names []string
+}
+
+// NewSymTab returns an empty table, pre-sized for a project-scale identifier
+// population so the hot interning path rarely rehashes.
+func NewSymTab() *SymTab {
+	return &SymTab{
+		ids:   make(map[string]uint32, 4096),
+		names: make([]string, 0, 4096),
+	}
+}
+
+// Intern returns name's dense ID, assigning the next one on first sight.
+func (t *SymTab) Intern(name string) uint32 {
+	t.mu.RLock()
+	id, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id = uint32(len(t.names))
+	// Clone so the table never pins a source buffer through a substring.
+	name = strings.Clone(name)
+	t.ids[name] = id
+	t.names = append(t.names, name)
+	return id
+}
+
+// Canon returns the canonical backing string for name, interning it on
+// first sight. The result compares equal to name but is shared by every
+// caller, so holding it never retains the caller's buffer.
+func (t *SymTab) Canon(name string) string {
+	return t.names[t.Intern(name)]
+}
+
+// Name returns the spelling interned as id. It panics on IDs the table
+// never issued, like a slice index out of range.
+func (t *SymTab) Name(id uint32) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.names[id]
+}
+
+// Len returns the number of interned identifiers; valid IDs are [0, Len).
+func (t *SymTab) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}

@@ -29,11 +29,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"ofence/internal/access"
 	"ofence/internal/cast"
 	"ofence/internal/cparser"
 	"ofence/internal/cpp"
+	"ofence/internal/ctoken"
 	"ofence/internal/ctypes"
 	"ofence/internal/obs"
 	"ofence/internal/rescache"
@@ -59,6 +61,11 @@ type artifacts struct {
 	// and parser diagnostics, as AddSource has always reported them).
 	ast  *cast.File
 	errs []error
+	// tokens and arenaBytes are frontend cost meters: the preprocessed token
+	// count and the parser's AST arena footprint, recorded when the stages
+	// ran and carried through cache hits for the frontend.* obs counters.
+	tokens     int
+	arenaBytes int64
 	// table is the cfg-stage symbol table; nil until the first Analyze.
 	table *ctypes.Table
 	// sitesKey records the extract-stage key sites were computed under
@@ -79,6 +86,8 @@ type preArtifact struct {
 type parseArtifact struct {
 	ast  *cast.File
 	errs []error
+	// arenaBytes is the AST arena footprint of the parse that built ast.
+	arenaBytes int64
 }
 
 // extractArtifact is the extract-stage cache value.
@@ -147,16 +156,23 @@ func (p *Project) frontend(ctx context.Context, name, src string, env projectEnv
 	v, _, _ := p.stages.Stage(stagePreprocess).Do(preKey, func() (any, error) {
 		wrapCtx, wrapSpan = obs.Start(ctx, "parse")
 		wrapSpan.SetAttr("file", name)
-		pre := cpp.PreprocessCtx(wrapCtx, name, src, cpp.Options{Include: env.include, Defines: env.defines})
+		copts := cpp.Options{Include: env.include, Defines: env.defines, Syms: p.syms}
+		if p.legacyFrontend {
+			copts.Syms, copts.LegacyLexer = nil, true
+		}
+		pre := cpp.PreprocessCtx(wrapCtx, name, src, copts)
 		return &preArtifact{pre: pre, hash: pre.Fingerprint(name)}, nil
 	})
 	pa := v.(*preArtifact)
 
 	pv, _, _ := p.stages.Stage(stageParse).Do(rescache.KeyOf("parse-v1", name, pa.hash), func() (any, error) {
 		psr := cparser.New(pa.pre.Tokens)
+		if p.legacyFrontend {
+			psr = cparser.NewLegacy(pa.pre.Tokens)
+		}
 		ast := psr.ParseFile(name)
 		errs := append(append([]error{}, pa.pre.Errors...), psr.Errors()...)
-		return &parseArtifact{ast: ast, errs: errs}, nil
+		return &parseArtifact{ast: ast, errs: errs, arenaBytes: psr.ArenaBytes()}, nil
 	})
 	ba := pv.(*parseArtifact)
 
@@ -166,7 +182,10 @@ func (p *Project) frontend(ctx context.Context, name, src string, env projectEnv
 		wrapSpan.Add("errors", int64(len(ba.errs)))
 		wrapSpan.End()
 	}
-	return &artifacts{preHash: pa.hash, ast: ba.ast, errs: ba.errs}
+	return &artifacts{
+		preHash: pa.hash, ast: ba.ast, errs: ba.errs,
+		tokens: len(pa.pre.Tokens), arenaBytes: ba.arenaBytes,
+	}
 }
 
 // refreshStale re-runs the front-end for units whose preprocessing
@@ -209,6 +228,69 @@ func (p *Project) refreshStale(ctx context.Context, files []*FileUnit, env proje
 	for range stale {
 		<-done
 	}
+}
+
+// pipelineFile streams one unit through the fused per-file pipeline of the
+// depth-0 Analyze: front-end refresh (only when the unit is new or its
+// environment went stale), then the reuse-check → table → extract tail. It
+// preserves refreshStale's semantics exactly — a unit whose preprocessed
+// content is unchanged keeps every artifact, including cached sites — and
+// the classic path's reuse accounting: +reused for in-place or shared-cache
+// sites, +recomputed when extraction runs.
+func (p *Project) pipelineFile(ectx context.Context, fu *FileUnit, env projectEnv, fp string, opts Options, extractCache *rescache.Cache, reused, recomputed *atomic.Int64) {
+	p.mu.Lock()
+	art, stale, src := fu.art, fu.envStale, fu.src
+	p.mu.Unlock()
+
+	if art == nil || stale {
+		fresh := p.frontend(ectx, fu.Name, src, env)
+		p.mu.Lock()
+		if fu.art == nil || fu.art.preHash != fresh.preHash {
+			fu.art = fresh
+			fu.AST, fu.Errs = fresh.ast, fresh.errs
+			fu.Table, fu.Sites = nil, nil
+		}
+		fu.envStale = false
+		art = fu.art
+		p.mu.Unlock()
+	}
+
+	want := extractKeyFor(fp, fu.Name, art.preHash, "")
+	if art.sitesKey == want {
+		reused.Add(1)
+		p.mu.Lock()
+		fu.Table, fu.Sites = art.table, art.sites
+		p.mu.Unlock()
+		return
+	}
+	v, hit, _ := extractCache.Do(want, func() (any, error) {
+		recomputed.Add(1)
+		table := p.tableFor(fu.Name, art)
+		aopts := opts.Access
+		aopts.Syms = p.extractSyms()
+		ex := access.NewExtractor(fu.Name, table, aopts)
+		sites := ex.ExtractFileCtx(ectx, art.ast)
+		return &extractArtifact{table: table, sites: sites}, nil
+	})
+	if hit {
+		reused.Add(1)
+	}
+	ea := v.(*extractArtifact)
+	next := *art
+	next.table, next.sites, next.sitesKey = ea.table, ea.sites, want
+	p.mu.Lock()
+	fu.art = &next
+	fu.Table, fu.Sites = ea.table, ea.sites
+	p.mu.Unlock()
+}
+
+// extractSyms returns the identifier table extraction should canonicalize
+// Object strings through — nil on the legacy oracle path.
+func (p *Project) extractSyms() *ctoken.SymTab {
+	if p.legacyFrontend {
+		return nil
+	}
+	return p.syms
 }
 
 // tableFor returns the cfg-stage symbol table for one file, memoized under

@@ -21,6 +21,7 @@ import (
 	"ofence/internal/access"
 	"ofence/internal/callgraph"
 	"ofence/internal/cast"
+	"ofence/internal/ctoken"
 	"ofence/internal/ctypes"
 	"ofence/internal/memmodel"
 	"ofence/internal/obs"
@@ -113,6 +114,16 @@ type Project struct {
 	// stages holds the content-addressed per-file artifact caches, shared
 	// with clones so equal work is never redone.
 	stages *rescache.Stages
+	// syms is the project-wide identifier table: the zero-copy tokenizer
+	// interns every identifier spelling through it, and extraction
+	// canonicalizes Object strings against it, so equal names across files
+	// share one backing string. Shared with clones (it only ever grows).
+	syms *ctoken.SymTab
+	// legacyFrontend routes preprocessing through the pre-interning lexer
+	// and parsing through the arena-free parser. The frontend overhaul's
+	// differential tests and benchmarks use it as the oracle; it is never
+	// set in production paths.
+	legacyFrontend bool
 	// runMu serializes Analyze calls on this project: runs swap the
 	// per-unit artifact records, which concurrent runs would race on.
 	runMu sync.Mutex
@@ -124,6 +135,7 @@ func NewProject() *Project {
 		headers: map[string]string{},
 		defines: map[string]string{},
 		stages:  rescache.NewStages(0),
+		syms:    ctoken.NewSymTab(),
 	}
 }
 
@@ -208,6 +220,33 @@ func (p *Project) AddSourcesCtx(ctx context.Context, srcs []SourceFile) []*FileU
 	return units
 }
 
+// AnalyzeSources adds srcs to the project and analyzes them in one call.
+// See AnalyzeSourcesCtx.
+func (p *Project) AnalyzeSources(srcs []SourceFile, opts Options) *Result {
+	res, _ := p.AnalyzeSourcesCtx(context.Background(), srcs, opts)
+	return res
+}
+
+// AnalyzeSourcesCtx appends srcs as pending units and analyzes the project.
+// Unlike AddSources+Analyze — which parses every file to a barrier before
+// any extraction starts — the pending units enter Analyze's pipelined
+// schedule (at InterprocDepth 0), so one worker carries a file from
+// preprocess through extraction while others are still parsing later files.
+// The result is byte-identical to the two-call sequence; only the schedule
+// differs.
+func (p *Project) AnalyzeSourcesCtx(ctx context.Context, srcs []SourceFile, opts Options) (*Result, error) {
+	units := make([]*FileUnit, len(srcs))
+	for i, sf := range srcs {
+		// envStale routes the unit through the front-end on first analysis,
+		// both in the fused pipeline and in refreshStale.
+		units[i] = &FileUnit{Name: sf.Name, src: sf.Src, envStale: true}
+	}
+	p.mu.Lock()
+	p.files = append(p.files, units...)
+	p.mu.Unlock()
+	return p.analyze(ctx, opts)
+}
+
 // Files returns a snapshot of the file units in insertion order.
 func (p *Project) Files() []*FileUnit {
 	p.mu.Lock()
@@ -232,6 +271,9 @@ func (p *Project) Clone() *Project {
 		files:   make([]*FileUnit, 0, len(p.files)),
 		envHash: p.envHash,
 		stages:  p.stages,
+		syms:    p.syms,
+
+		legacyFrontend: p.legacyFrontend,
 	}
 	for k, v := range p.headers {
 		q.headers[k] = v
@@ -392,111 +434,147 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	phaseStart := time.Now()
-
-	// Phase 0: re-run the front-end for units dirtied by Define/AddHeader,
-	// so every unit's artifacts are keyed by current content.
-	p.refreshStale(ctx, files, env, workers)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// Interprocedural mode: build the cross-file call graph and run the
-	// barrier-semantics fixpoint before extraction, so every file's
-	// exploration sees the inferred implicit barriers and can splice callees
-	// across file boundaries. Both phases are cheap and project-wide, so
-	// they always run; the per-file extract cache stays sound because its
-	// keys fold in each file's dependency-closure hash — a one-file edit
-	// re-keys (and so re-extracts) every transitive caller, and only those.
-	var resolve func(file string) func(string) *cast.FuncDecl
-	var inferredNames map[string]memmodel.BarrierKind
-	var closures map[string]string
-	if opts.InterprocDepth > 0 {
-		cgf := make([]callgraph.File, 0, len(files))
-		for _, fu := range files {
-			cgf = append(cgf, callgraph.File{Name: fu.Name, AST: fu.AST})
-		}
-		_, gsp := obs.Start(ctx, "callgraph")
-		g := callgraph.Build(cgf)
-		res.CallGraph = g.Stats()
-		gsp.Add("functions", int64(res.CallGraph.Functions))
-		gsp.Add("edges", int64(res.CallGraph.Edges))
-		gsp.Add("unresolved", int64(res.CallGraph.Unresolved))
-		gsp.End()
-		_, ssp := obs.Start(ctx, "semprop")
-		inf := semprop.Infer(g, semprop.Options{ExtraFull: opts.Access.ExtraBarrierSemantics})
-		res.Inferred = inf.Functions()
-		ssp.Add("inferred", int64(len(res.Inferred)))
-		ssp.End()
-		inferredNames = inf.NameKinds()
-		resolve = g.ResolverFor
-		closures = interprocClosures(g.FileDeps(), files)
-	}
-
-	// Phase 1: per-file extraction, in parallel. A unit whose artifact
-	// record already carries sites for the wanted key is served in place; a
-	// key found in the shared stage cache (e.g. computed by a clone) is
-	// adopted without running; only genuinely new (file content × options ×
-	// closure) combinations execute.
-	ectx, esp := obs.Start(ctx, "extract")
-	var reused, recomputed atomic.Int64
+	var reused, recomputed, busyNS atomic.Int64
 	extractCache := p.stages.Stage(stageExtract)
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for _, fu := range files {
-		p.mu.Lock()
-		art := fu.art
-		p.mu.Unlock()
-		want := extractKeyFor(fp, fu.Name, art.preHash, closures[fu.Name])
-		if art.sitesKey == want {
-			reused.Add(1)
-			p.mu.Lock()
-			fu.Table, fu.Sites = art.table, art.sites
-			p.mu.Unlock()
-			continue
+	var ectx context.Context
+	var esp *obs.Span
+
+	if opts.InterprocDepth == 0 {
+		// Phases 0+1 fused into a pipelined per-file schedule: each worker
+		// streams one file end to end — front-end refresh (preprocess+parse,
+		// only when the unit is stale or new) → symbol table → extraction —
+		// so there is no front-end barrier and the parse of a later file
+		// overlaps the extraction of an earlier one. Sound only at depth 0,
+		// where a file's extraction depends on nothing but that file.
+		ectx, esp = obs.Start(ctx, "extract")
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for _, fu := range files {
+			wg.Add(1)
+			go func(fu *FileUnit) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					return // canceled: leave the unit's artifacts as they were
+				}
+				start := time.Now()
+				defer func() { busyNS.Add(int64(time.Since(start))) }()
+				p.pipelineFile(ectx, fu, env, fp, opts, extractCache, &reused, &recomputed)
+			}(fu)
 		}
-		wg.Add(1)
-		go func(fu *FileUnit, art *artifacts, want rescache.Key) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if ctx.Err() != nil {
-				return // canceled: leave the unit's artifacts as they were
+		wg.Wait()
+	} else {
+		// Phase 0: re-run the front-end for units dirtied by Define/AddHeader,
+		// so every unit's artifacts are keyed by current content. A barrier
+		// here is required: the call graph below needs every AST.
+		p.refreshStale(ctx, files, env, workers)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		// Interprocedural mode: build the cross-file call graph and run the
+		// barrier-semantics fixpoint before extraction, so every file's
+		// exploration sees the inferred implicit barriers and can splice callees
+		// across file boundaries. Both phases are cheap and project-wide, so
+		// they always run; the per-file extract cache stays sound because its
+		// keys fold in each file's dependency-closure hash — a one-file edit
+		// re-keys (and so re-extracts) every transitive caller, and only those.
+		var resolve func(file string) func(string) *cast.FuncDecl
+		var inferredNames map[string]memmodel.BarrierKind
+		var closures map[string]string
+		{
+			cgf := make([]callgraph.File, 0, len(files))
+			for _, fu := range files {
+				cgf = append(cgf, callgraph.File{Name: fu.Name, AST: fu.AST})
 			}
-			v, hit, _ := extractCache.Do(want, func() (any, error) {
-				recomputed.Add(1)
-				table := p.tableFor(fu.Name, art)
-				aopts := opts.Access
-				if opts.InterprocDepth > 0 {
+			_, gsp := obs.Start(ctx, "callgraph")
+			g := callgraph.Build(cgf)
+			res.CallGraph = g.Stats()
+			gsp.Add("functions", int64(res.CallGraph.Functions))
+			gsp.Add("edges", int64(res.CallGraph.Edges))
+			gsp.Add("unresolved", int64(res.CallGraph.Unresolved))
+			gsp.End()
+			_, ssp := obs.Start(ctx, "semprop")
+			inf := semprop.Infer(g, semprop.Options{ExtraFull: opts.Access.ExtraBarrierSemantics})
+			res.Inferred = inf.Functions()
+			ssp.Add("inferred", int64(len(res.Inferred)))
+			ssp.End()
+			inferredNames = inf.NameKinds()
+			resolve = g.ResolverFor
+			closures = interprocClosures(g.FileDeps(), files)
+		}
+
+		// Phase 1: per-file extraction, in parallel. A unit whose artifact
+		// record already carries sites for the wanted key is served in place; a
+		// key found in the shared stage cache (e.g. computed by a clone) is
+		// adopted without running; only genuinely new (file content × options ×
+		// closure) combinations execute.
+		ectx, esp = obs.Start(ctx, "extract")
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for _, fu := range files {
+			p.mu.Lock()
+			art := fu.art
+			p.mu.Unlock()
+			want := extractKeyFor(fp, fu.Name, art.preHash, closures[fu.Name])
+			if art.sitesKey == want {
+				reused.Add(1)
+				p.mu.Lock()
+				fu.Table, fu.Sites = art.table, art.sites
+				p.mu.Unlock()
+				continue
+			}
+			wg.Add(1)
+			go func(fu *FileUnit, art *artifacts, want rescache.Key) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					return // canceled: leave the unit's artifacts as they were
+				}
+				start := time.Now()
+				defer func() { busyNS.Add(int64(time.Since(start))) }()
+				v, hit, _ := extractCache.Do(want, func() (any, error) {
+					recomputed.Add(1)
+					table := p.tableFor(fu.Name, art)
+					aopts := opts.Access
+					aopts.Syms = p.extractSyms()
 					aopts.InferredSemantics = inferredNames
 					aopts.Resolve = resolve(fu.Name)
 					aopts.InterprocDepth = opts.InterprocDepth
+					ex := access.NewExtractor(fu.Name, table, aopts)
+					sites := ex.ExtractFileCtx(ectx, art.ast)
+					return &extractArtifact{table: table, sites: sites}, nil
+				})
+				if hit {
+					reused.Add(1)
 				}
-				ex := access.NewExtractor(fu.Name, table, aopts)
-				sites := ex.ExtractFileCtx(ectx, art.ast)
-				return &extractArtifact{table: table, sites: sites}, nil
-			})
-			if hit {
-				reused.Add(1)
-			}
-			ea := v.(*extractArtifact)
-			next := *art
-			next.table, next.sites, next.sitesKey = ea.table, ea.sites, want
-			p.mu.Lock()
-			fu.art = &next
-			fu.Table, fu.Sites = ea.table, ea.sites
-			p.mu.Unlock()
-		}(fu, art, want)
+				ea := v.(*extractArtifact)
+				next := *art
+				next.table, next.sites, next.sitesKey = ea.table, ea.sites, want
+				p.mu.Lock()
+				fu.art = &next
+				fu.Table, fu.Sites = ea.table, ea.sites
+				p.mu.Unlock()
+			}(fu, art, want)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	res.Timing.Extract = time.Since(phaseStart)
 	if err := ctx.Err(); err != nil {
 		esp.End()
 		return nil, err
 	}
 
+	var frontTokens, frontArena int64
 	for _, fu := range files {
 		res.Sites = append(res.Sites, fu.Sites...)
 		res.ParseErrors = append(res.ParseErrors, fu.Errs...)
+		if fu.art != nil {
+			frontTokens += int64(fu.art.tokens)
+			frontArena += fu.art.arenaBytes
+		}
 	}
 	res.Incremental = IncrementalStats{
 		FilesTotal:      len(files),
@@ -507,6 +585,11 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	esp.Add("files_reused", reused.Load())
 	esp.Add("files_recomputed", recomputed.Load())
 	esp.Add("sites", int64(len(res.Sites)))
+	esp.Add("frontend.tokens", frontTokens)
+	esp.Add("frontend.arena_bytes", frontArena)
+	if wall := time.Since(phaseStart); wall > 0 && workers > 0 {
+		esp.Add("pipeline.occupancy_pct", busyNS.Load()*100/(int64(wall)*int64(workers)))
+	}
 	esp.End()
 	if opts.InterprocDepth > 0 {
 		// Cross-file inlining makes the same physical barrier visible from

@@ -34,26 +34,65 @@ import (
 //   - Get serves only indexed keys and verifies the blob's length and
 //     SHA-256 against the index line before returning it, so a torn or
 //     corrupted object file is reported as a miss and dropped, never served.
+//   - Eviction appends a "d1 <key>" tombstone line before unlinking the
+//     object. A crash between the two leaves a tombstoned entry with an
+//     orphaned object file — invisible, rewritten by the next Put of that
+//     key. A crash before the tombstone batch reaches disk resurrects the
+//     index line of an already-unlinked object, which Get's verification
+//     then drops. Replayers that predate tombstones skip the two-field
+//     lines and converge the same way.
+//   - Compaction rewrites the live index to tmp/ (fsync'd) and renames it
+//     over index.log, so a crash leaves either the old log (tombstones and
+//     all) or the fully-written compact one, never a partial index.
 type DiskStore struct {
-	root  string
-	mu    sync.Mutex
-	index map[Key]diskEntry
-	log   *os.File
-	gets  uint64
-	hits  uint64
-	puts  uint64
-	errs  uint64
-	bytes int64
+	root      string
+	mu        sync.Mutex
+	index     map[Key]diskEntry
+	log       *os.File
+	gets      uint64
+	hits      uint64
+	puts      uint64
+	errs      uint64
+	evictions uint64
+	bytes     int64
+
+	// maxBytes is the eviction budget (<= 0: unbounded). order is the
+	// insertion queue eviction consumes from, oldest first; an entry is
+	// stale — skipped — when its seq no longer matches the index, which
+	// happens when a key is re-put after eviction.
+	maxBytes int64
+	seq      uint64
+	order    []diskOrder
+
+	// logLines counts lines in index.log; lines beyond the live entries
+	// are garbage (superseded entries, tombstones) and trigger compaction.
+	logLines int
 }
 
 type diskEntry struct {
 	size int64
 	sum  string // hex SHA-256 of the blob
+	seq  uint64 // insertion sequence, pairs with the order queue
+}
+
+type diskOrder struct {
+	key Key
+	seq uint64
 }
 
 // OpenDiskStore opens (creating if needed) a disk store rooted at dir and
 // replays its index. Stray tmp files from interrupted writes are removed.
 func OpenDiskStore(dir string) (*DiskStore, error) {
+	return OpenDiskStoreCapped(dir, 0)
+}
+
+// OpenDiskStoreCapped is OpenDiskStore with an eviction budget: once the
+// indexed blobs exceed maxBytes, the oldest entries are evicted (tombstoned
+// in the index, object unlinked) until the store fits, keeping at least the
+// newest entry. maxBytes <= 0 disables eviction. A store over budget on
+// open — smaller cap than last run, or garbage from a crashed eviction —
+// is trimmed immediately.
+func OpenDiskStoreCapped(dir string, maxBytes int64) (*DiskStore, error) {
 	for _, sub := range []string{"objects", "tmp"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("diskstore: %w", err)
@@ -64,7 +103,7 @@ func OpenDiskStore(dir string) (*DiskStore, error) {
 		_ = os.Remove(filepath.Join(dir, "tmp", e.Name()))
 	}
 
-	d := &DiskStore{root: dir, index: map[Key]diskEntry{}}
+	d := &DiskStore{root: dir, index: map[Key]diskEntry{}, maxBytes: maxBytes}
 	idxPath := filepath.Join(dir, "index.log")
 	if data, err := os.ReadFile(idxPath); err == nil {
 		d.replay(data)
@@ -76,16 +115,31 @@ func OpenDiskStore(dir string) (*DiskStore, error) {
 		return nil, fmt.Errorf("diskstore: open index: %w", err)
 	}
 	d.log = log
+	d.mu.Lock()
+	d.evictLocked()
+	d.maybeCompactLocked()
+	d.mu.Unlock()
 	return d, nil
 }
 
-// replay parses the index, skipping malformed lines (a torn final append)
-// and entries whose object file is gone.
+// replay parses the index, skipping malformed lines (a torn final append).
+// "v1 <key> <size> <sum>" lines insert or supersede an entry; "d1 <key>"
+// tombstones drop one. Live entries keep their log order, so eviction order
+// survives restarts.
 func (d *DiskStore) replay(data []byte) {
 	sc := bufio.NewScanner(strings.NewReader(string(data)))
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
+		d.logLines++
+		if len(fields) == 2 && fields[0] == "d1" {
+			key := Key(fields[1])
+			if ent, ok := d.index[key]; ok {
+				delete(d.index, key)
+				d.bytes -= ent.size
+			}
+			continue
+		}
 		if len(fields) != 4 || fields[0] != "v1" {
 			continue // torn or foreign line: ignore
 		}
@@ -97,11 +151,125 @@ func (d *DiskStore) replay(data []byte) {
 		if !key.Valid() {
 			continue
 		}
-		if _, ok := d.index[key]; !ok {
-			d.bytes += size
+		if old, ok := d.index[key]; ok {
+			d.bytes -= old.size
 		}
-		d.index[key] = diskEntry{size: size, sum: fields[3]}
+		d.bytes += size
+		d.seq++
+		d.index[key] = diskEntry{size: size, sum: fields[3], seq: d.seq}
+		d.order = append(d.order, diskOrder{key: key, seq: d.seq})
 	}
+}
+
+// evictLocked drops the oldest entries until the store fits its budget,
+// always keeping the newest entry (one oversized blob is served, not
+// thrashed). Tombstones are appended before objects are unlinked and the
+// batch is fsync'd once; see the crash-consistency protocol above.
+func (d *DiskStore) evictLocked() {
+	if d.maxBytes <= 0 {
+		return
+	}
+	evicted := false
+	for d.bytes > d.maxBytes && len(d.index) > 1 && len(d.order) > 0 {
+		o := d.order[0]
+		d.order = d.order[1:]
+		ent, ok := d.index[o.key]
+		if !ok || ent.seq != o.seq {
+			continue // evicted earlier, or re-put since: a newer order entry exists
+		}
+		if d.log != nil {
+			if _, err := d.log.WriteString("d1 " + string(o.key) + "\n"); err != nil {
+				d.errs++
+				return
+			}
+			d.logLines++
+		}
+		delete(d.index, o.key)
+		d.bytes -= ent.size
+		d.evictions++
+		evicted = true
+		_ = os.Remove(d.objectPath(o.key))
+	}
+	if evicted && d.log != nil {
+		if err := d.log.Sync(); err != nil {
+			d.errs++
+		}
+	}
+}
+
+// maybeCompactLocked rewrites index.log down to its live entries once
+// garbage lines (superseded entries, tombstones) outnumber them with some
+// slack, bounding the log at O(live entries) amortized.
+func (d *DiskStore) maybeCompactLocked() {
+	if d.log == nil || d.logLines <= 2*len(d.index)+64 {
+		return
+	}
+	if err := d.compactLocked(); err != nil {
+		d.errs++
+	}
+}
+
+// compactLocked writes the live index to a staging file in tmp/, fsyncs it
+// and renames it over index.log — the same atomic-replace protocol Put uses
+// for objects — then reopens the append handle.
+func (d *DiskStore) compactLocked() error {
+	tmp, err := os.CreateTemp(filepath.Join(d.root, "tmp"), "index-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	w := bufio.NewWriter(tmp)
+	lines := 0
+	for _, o := range d.order {
+		ent, ok := d.index[o.key]
+		if !ok || ent.seq != o.seq {
+			continue
+		}
+		fmt.Fprintf(w, "v1 %s %d %s\n", o.key, ent.size, ent.sum)
+		lines++
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	// The old handle is closed before the rename so a crash in between
+	// leaves the previous log intact and appendable on reopen.
+	if d.log != nil {
+		if err := d.log.Close(); err != nil {
+			d.log = nil
+			os.Remove(name)
+			return err
+		}
+		d.log = nil
+	}
+	idxPath := filepath.Join(d.root, "index.log")
+	if err := os.Rename(name, idxPath); err != nil {
+		os.Remove(name)
+		return err
+	}
+	log, err := os.OpenFile(idxPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	d.log = log
+	d.logLines = lines
+	// Drop the stale prefix of the order queue while preserving order.
+	live := d.order[:0]
+	for _, o := range d.order {
+		if ent, ok := d.index[o.key]; ok && ent.seq == o.seq {
+			live = append(live, o)
+		}
+	}
+	d.order = live
+	return nil
 }
 
 func (d *DiskStore) objectPath(key Key) string {
@@ -194,10 +362,15 @@ func (d *DiskStore) Put(key Key, blob []byte) {
 			d.errs++
 			return
 		}
+		d.logLines++
 	}
-	d.index[key] = diskEntry{size: int64(len(blob)), sum: sum}
+	d.seq++
+	d.index[key] = diskEntry{size: int64(len(blob)), sum: sum, seq: d.seq}
+	d.order = append(d.order, diskOrder{key: key, seq: d.seq})
 	d.bytes += int64(len(blob))
 	d.puts++
+	d.evictLocked()
+	d.maybeCompactLocked()
 }
 
 // writeObject stages blob in tmp/, fsyncs it and renames it into place.
@@ -239,12 +412,13 @@ func (d *DiskStore) Stats() StoreStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return StoreStats{
-		Gets:    d.gets,
-		Hits:    d.hits,
-		Puts:    d.puts,
-		Errors:  d.errs,
-		Entries: len(d.index),
-		Bytes:   d.bytes,
+		Gets:      d.gets,
+		Hits:      d.hits,
+		Puts:      d.puts,
+		Errors:    d.errs,
+		Evictions: d.evictions,
+		Entries:   len(d.index),
+		Bytes:     d.bytes,
 	}
 }
 

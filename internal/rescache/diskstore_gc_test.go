@@ -1,0 +1,277 @@
+package rescache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// gcKey and gcBlob build a deterministic keyed blob of a fixed size so byte
+// accounting in the tests is exact.
+func gcKey(i int) Key { return KeyOf("gc", fmt.Sprint(i)) }
+
+func gcBlob(i, size int) []byte {
+	b := []byte(strings.Repeat("x", size))
+	copy(b, fmt.Sprintf("blob-%d-", i))
+	return b
+}
+
+// TestDiskStoreEvictsOldestPastBudget fills a capped store past its budget
+// and checks the oldest entries are evicted — index, accounting, and object
+// files — while the newest survive.
+func TestDiskStoreEvictsOldestPastBudget(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskStoreCapped(dir, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 6; i++ { // 600 bytes into a 300-byte budget
+		d.Put(gcKey(i), gcBlob(i, 100))
+	}
+	st := d.Stats()
+	if st.Bytes > 300 {
+		t.Fatalf("bytes = %d, want <= 300", st.Bytes)
+	}
+	if st.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", st.Evictions)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := d.Get(gcKey(i)); ok {
+			t.Errorf("evicted key %d still served", i)
+		}
+		if _, err := os.Stat(d.objectPath(gcKey(i))); !os.IsNotExist(err) {
+			t.Errorf("evicted object %d still on disk (err=%v)", i, err)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if got, ok := d.Get(gcKey(i)); !ok || string(got) != string(gcBlob(i, 100)) {
+			t.Errorf("surviving key %d lost", i)
+		}
+	}
+}
+
+// TestDiskStoreOversizedBlobKept pins the budget floor: one blob larger
+// than the whole budget is served, not thrashed.
+func TestDiskStoreOversizedBlobKept(t *testing.T) {
+	d, err := OpenDiskStoreCapped(t.TempDir(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Put(gcKey(0), gcBlob(0, 200))
+	if _, ok := d.Get(gcKey(0)); !ok {
+		t.Fatal("single oversized blob was evicted")
+	}
+	// A second put makes the first evictable again.
+	d.Put(gcKey(1), gcBlob(1, 200))
+	if _, ok := d.Get(gcKey(0)); ok {
+		t.Fatal("oldest oversized blob survived a newer put")
+	}
+	if _, ok := d.Get(gcKey(1)); !ok {
+		t.Fatal("newest blob was evicted")
+	}
+}
+
+// TestDiskStoreEvictionSurvivesRestart checks tombstones replay: evicted
+// entries stay gone after reopen even though their original index lines are
+// still in the log, and the survivors' order is preserved so later
+// evictions keep dropping oldest-first.
+func TestDiskStoreEvictionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskStoreCapped(dir, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d.Put(gcKey(i), gcBlob(i, 100))
+	}
+	d.Close()
+
+	d2, err := OpenDiskStoreCapped(dir, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for i := 0; i < 2; i++ {
+		if _, ok := d2.Get(gcKey(i)); ok {
+			t.Errorf("tombstoned key %d resurrected by replay", i)
+		}
+	}
+	if st := d2.Stats(); st.Entries != 3 || st.Bytes != 300 {
+		t.Fatalf("after reopen: entries=%d bytes=%d, want 3/300", st.Entries, st.Bytes)
+	}
+	// The next eviction drops key 2 — the oldest survivor — not a newer one.
+	d2.Put(gcKey(5), gcBlob(5, 100))
+	if _, ok := d2.Get(gcKey(2)); ok {
+		t.Error("oldest survivor not evicted first after restart")
+	}
+	if _, ok := d2.Get(gcKey(3)); !ok {
+		t.Error("newer survivor evicted out of order")
+	}
+}
+
+// TestDiskStoreShrunkBudgetTrimsOnOpen reopens an unbounded store under a
+// smaller budget and expects the trim to happen immediately.
+func TestDiskStoreShrunkBudgetTrimsOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		d.Put(gcKey(i), gcBlob(i, 100))
+	}
+	d.Close()
+
+	d2, err := OpenDiskStoreCapped(dir, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	st := d2.Stats()
+	if st.Bytes > 250 || st.Entries != 2 {
+		t.Fatalf("after capped reopen: entries=%d bytes=%d, want 2/200", st.Entries, st.Bytes)
+	}
+	if _, ok := d2.Get(gcKey(5)); !ok {
+		t.Fatal("newest entry lost in the open-time trim")
+	}
+}
+
+// TestDiskStoreTornTombstoneIgnored simulates a crash mid-tombstone-append:
+// the torn "d1" line is skipped on replay and the entry stays served.
+func TestDiskStoreTornTombstoneIgnored(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := KeyOf("gc", "keep")
+	d.Put(keep, []byte("kept"))
+	d.Close()
+
+	f, err := os.OpenFile(filepath.Join(dir, "index.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(f, "d1 %s", string(keep)[:8]) // torn: truncated key, no newline
+	f.Close()
+
+	d2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tombstone: %v", err)
+	}
+	defer d2.Close()
+	if got, ok := d2.Get(keep); !ok || string(got) != "kept" {
+		t.Fatalf("entry lost to a torn tombstone: %q, %v", got, ok)
+	}
+}
+
+// TestDiskStoreCrashBetweenTombstoneAndUnlink simulates the documented
+// crash window: the tombstone is durable but the object file was never
+// removed. The entry must be invisible, and re-putting the key must make it
+// durable again.
+func TestDiskStoreCrashBetweenTombstoneAndUnlink(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("gc", "limbo")
+	d.Put(key, []byte("old-bytes"))
+	d.Close()
+
+	f, err := os.OpenFile(filepath.Join(dir, "index.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(f, "d1 %s\n", key)
+	f.Close()
+
+	d2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, ok := d2.Get(key); ok {
+		t.Fatal("tombstoned entry served despite surviving object file")
+	}
+	d2.Put(key, []byte("new-bytes"))
+	if got, ok := d2.Get(key); !ok || string(got) != "new-bytes" {
+		t.Fatalf("re-put after tombstone: %q, %v", got, ok)
+	}
+}
+
+// TestDiskStoreCompactionRewritesLog drives enough eviction traffic to
+// trigger compaction and checks the log shrinks to the live entries, stays
+// replayable, and keeps accepting appends afterwards.
+func TestDiskStoreCompactionRewritesLog(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskStoreCapped(dir, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each put past the budget evicts one entry, so the log accrues two
+	// lines per round; well past the 2*live+64 slack it must compact.
+	for i := 0; i < 200; i++ {
+		d.Put(gcKey(i), gcBlob(i, 100))
+	}
+	if d.Stats().Entries != 3 {
+		t.Fatalf("entries = %d, want 3", d.Stats().Entries)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "index.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines > 2*3+64 {
+		t.Fatalf("index.log holds %d lines after sustained eviction, want compaction to bound it", lines)
+	}
+	d.Close()
+
+	d2, err := OpenDiskStoreCapped(dir, 300)
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer d2.Close()
+	for i := 197; i < 200; i++ {
+		if got, ok := d2.Get(gcKey(i)); !ok || string(got) != string(gcBlob(i, 100)) {
+			t.Errorf("live key %d lost across compaction+reopen", i)
+		}
+	}
+	// The reopened log still accepts appends.
+	d2.Put(gcKey(200), gcBlob(200, 100))
+	if _, ok := d2.Get(gcKey(200)); !ok {
+		t.Fatal("put after compacted reopen not served")
+	}
+}
+
+// TestDiskStoreRePutAfterEvictionOrdering pins the seq guard: a key re-put
+// after eviction counts as newest, so the stale order entry for its first
+// life must not evict its second life early.
+func TestDiskStoreRePutAfterEvictionOrdering(t *testing.T) {
+	d, err := OpenDiskStoreCapped(t.TempDir(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 4; i++ { // evicts key 0
+		d.Put(gcKey(i), gcBlob(i, 100))
+	}
+	if _, ok := d.Get(gcKey(0)); ok {
+		t.Fatal("key 0 not evicted")
+	}
+	d.Put(gcKey(0), gcBlob(0, 100)) // re-put: now the newest, evicts key 1
+	if _, ok := d.Get(gcKey(1)); ok {
+		t.Fatal("key 1 not evicted by the re-put")
+	}
+	d.Put(gcKey(4), gcBlob(4, 100)) // evicts key 2 — NOT the re-put key 0
+	if _, ok := d.Get(gcKey(0)); !ok {
+		t.Fatal("re-put key evicted via its stale first-life order entry")
+	}
+	if _, ok := d.Get(gcKey(2)); ok {
+		t.Fatal("key 2 should have been the eviction victim")
+	}
+}

@@ -50,6 +50,8 @@ type StoreStats struct {
 	Puts uint64
 	// Errors counts swallowed backend failures (I/O, protocol).
 	Errors uint64
+	// Evictions counts blobs dropped to fit the backend's byte budget.
+	Evictions uint64
 	// Entries and Bytes describe the current contents where the backend
 	// can know them cheaply (remote stores report zero).
 	Entries int
@@ -78,14 +80,15 @@ type Codec struct {
 // It is the process-local stand-in for the durable backends — useful in
 // tests and as the coordinator default when no disk directory is given.
 type MemStore struct {
-	mu       sync.Mutex
-	maxBytes int64
-	bytes    int64
-	ll       *list.List // front = most recently used
-	items    map[Key]*list.Element
-	gets     uint64
-	hits     uint64
-	puts     uint64
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	items     map[Key]*list.Element
+	gets      uint64
+	hits      uint64
+	puts      uint64
+	evictions uint64
 }
 
 type memEntry struct {
@@ -139,6 +142,7 @@ func (m *MemStore) Put(key Key, blob []byte) {
 		m.ll.Remove(oldest)
 		delete(m.items, ent.key)
 		m.bytes -= int64(len(ent.blob))
+		m.evictions++
 	}
 }
 
@@ -150,11 +154,12 @@ func (m *MemStore) Stats() StoreStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return StoreStats{
-		Gets:    m.gets,
-		Hits:    m.hits,
-		Puts:    m.puts,
-		Entries: m.ll.Len(),
-		Bytes:   m.bytes,
+		Gets:      m.gets,
+		Hits:      m.hits,
+		Puts:      m.puts,
+		Evictions: m.evictions,
+		Entries:   m.ll.Len(),
+		Bytes:     m.bytes,
 	}
 }
 
