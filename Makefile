@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fuzz test test-race race race-fleet bench bench-incremental bench-pairing bench-fleet bench-confidence bench-frontend serve eval eval-json corpus trace-demo clean
+.PHONY: all build vet lint fuzz test test-race race race-fleet bench bench-incremental bench-pairing bench-fleet bench-confidence bench-frontend bench-treescale serve eval eval-json corpus trace-demo clean
 
 all: build lint test
 
@@ -78,6 +78,16 @@ bench-confidence:
 bench-frontend:
 	OFENCE_BENCH_FRONTEND_OUT=$(CURDIR)/BENCH_frontend.json \
 		$(GO) test ./internal/ofence/ -run '^TestWriteBenchFrontendJSON$$' -count=1 -v
+
+# Tree-scale headline number: cold full-run analysis of a generated
+# 2,048-file kernel tree (internal/sitegen GenerateTree) at Workers=8,
+# pre-PR sequential global phases vs the sharded/SCC-scheduled ones, JSON
+# asserted byte-identical to the sequential oracle at Workers 1 and 8
+# before recording. Refreshes BENCH_treescale.json via the harness in
+# internal/ofence/treescale_bench_test.go.
+bench-treescale:
+	OFENCE_BENCH_TREESCALE_OUT=$(CURDIR)/BENCH_treescale.json \
+		$(GO) test ./internal/ofence/ -run '^TestWriteBenchTreescaleJSON$$' -count=1 -v -timeout 30m
 
 # Race-detector gate for the fleet subsystem: coordinator lease juggling,
 # worker heartbeats, the shared artifact stores.

@@ -4,6 +4,14 @@
 // Usage:
 //
 //	ofence-corpus [-seed N] [-scale F] [-truth] <output-dir>
+//	ofence-corpus -tree 2048 [-seed N] [-truth] <output-dir>
+//
+// The default mode emits the flat pattern corpus (internal/corpus). With
+// -tree N it emits a kernel-tree-scale corpus instead (internal/sitegen's
+// tree generator): N files across kernel-ish subsystem directories with
+// per-directory headers, cross-file call chains, message-passing pairs and
+// config-gated #ifdef variance; -truth writes the per-file ground-truth
+// labels to labels.json and the config symbol list to configs.json.
 package main
 
 import (
@@ -14,13 +22,15 @@ import (
 	"path/filepath"
 
 	"ofence/internal/corpus"
+	"ofence/internal/sitegen"
 )
 
 func main() {
 	var (
 		seed  = flag.Int64("seed", 42, "generation seed")
-		scale = flag.Float64("scale", 1.0, "multiply pattern counts")
-		truth = flag.Bool("truth", false, "also write ground truth as truth.json")
+		scale = flag.Float64("scale", 1.0, "multiply pattern counts (flat mode)")
+		tree  = flag.Int("tree", 0, "emit a kernel-tree corpus with this many files instead of the flat corpus")
+		truth = flag.Bool("truth", false, "also write ground truth (truth.json; tree mode: labels.json + configs.json)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -29,6 +39,14 @@ func main() {
 		os.Exit(2)
 	}
 	dir := flag.Arg(0)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	if *tree > 0 {
+		writeTree(dir, *tree, *seed, *truth)
+		return
+	}
 
 	cfg := corpus.DefaultConfig(*seed)
 	if *scale != 1.0 {
@@ -38,9 +56,6 @@ func main() {
 	}
 	c := corpus.Generate(cfg)
 
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fatal(err)
-	}
 	for _, name := range c.Order {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(c.Files[name]), 0o644); err != nil {
 			fatal(err)
@@ -57,6 +72,47 @@ func main() {
 	}
 	fmt.Printf("ofence-corpus: wrote %d files (%d patterns, %d barrier sites) to %s\n",
 		len(c.Order), len(c.Truths), c.TotalBarriers(), dir)
+}
+
+// writeTree emits the kernel-tree corpus: sources and headers under their
+// subsystem directories, byte-stable for (files, seed).
+func writeTree(dir string, files int, seed int64, truth bool) {
+	tr := sitegen.GenerateTree(sitegen.DefaultTreeSpec(files, seed))
+	write := func(f sitegen.TreeFile) {
+		path := filepath.Join(dir, filepath.FromSlash(f.Name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(f.Src), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	for _, h := range tr.Headers {
+		write(h)
+	}
+	for _, f := range tr.Files {
+		write(f)
+	}
+	if truth {
+		for name, data := range map[string]any{
+			"labels.json":  tr.Labels,
+			"configs.json": tr.Configs,
+		} {
+			blob, err := json.MarshalIndent(data, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	labels := 0
+	for _, ls := range tr.Labels {
+		labels += len(ls)
+	}
+	fmt.Printf("ofence-corpus: wrote tree %s (%d files, %d headers, %d labels, %d configs) to %s\n",
+		tr.Hash()[:12], len(tr.Files), len(tr.Headers), labels, len(tr.Configs), dir)
 }
 
 func fatal(err error) {

@@ -31,7 +31,8 @@ import (
 func main() {
 	var (
 		coordinator = flag.String("coordinator", "http://localhost:8080", "coordinator base URL")
-		n           = flag.Int("n", 1, "worker loops to run in this process (each handles one task at a time)")
+		n           = flag.Int("n", 1, "worker loops to run in this process")
+		capacity    = flag.Int("capacity", 1, "tasks each worker runs concurrently (per-task goroutines and heartbeats)")
 		id          = flag.String("id", "", "worker ID prefix (default worker-<pid>)")
 		poll        = flag.Duration("poll", 0, "idle poll cadence override (0 = use the coordinator's)")
 		token       = flag.String("token", "", "shared fleet secret (must match the coordinator's -fleet-token)")
@@ -39,6 +40,9 @@ func main() {
 	flag.Parse()
 	if *n < 1 {
 		*n = 1
+	}
+	if *capacity < 1 {
+		*capacity = 1
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -50,6 +54,7 @@ func main() {
 			Coordinator:  *coordinator,
 			PollInterval: *poll,
 			Token:        *token,
+			Capacity:     *capacity,
 		}
 		if *id != "" {
 			cfg.ID = fmt.Sprintf("%s-%d", *id, i+1)

@@ -15,7 +15,10 @@
 //	                  semantics and inlines helpers across files (default 0,
 //	                  the paper's same-file analysis)
 //	-sarif            emit the diagnostics engine's findings as SARIF 2.1.0
-//	-stage-stats      print per-stage incremental cache statistics to stderr
+//	-stage-stats      print per-stage incremental cache and memory statistics
+//	                  to stderr
+//	-release-asts     drop each file's AST once extracted (bounds peak memory
+//	                  on tree-scale runs; byte-identical output)
 //	-trace            print the per-stage observability tree to stderr
 //	-trace-out FILE   write a Chrome trace_event JSON trace (Perfetto-loadable)
 //	-exit-code        exit 1 when findings are reported (CI gating)
@@ -66,7 +69,8 @@ func main() {
 		traceFlag    = flag.Bool("trace", false, "print the per-stage observability tree to stderr")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 		useExitCode  = flag.Bool("exit-code", false, "exit with status 1 when findings are reported (SARIF-tool convention for CI gates)")
-		stageStats   = flag.Bool("stage-stats", false, "print per-stage incremental cache statistics to stderr")
+		stageStats   = flag.Bool("stage-stats", false, "print per-stage incremental cache and memory statistics to stderr")
+		releaseASTs  = flag.Bool("release-asts", false, "drop each file's AST once extracted and bypass the front-end caches (bounds peak memory on tree-scale runs; identical output)")
 		writeWindow  = flag.Int("write-window", 5, "statements explored around write barriers")
 		readWindow   = flag.Int("read-window", 50, "statements explored around read barriers")
 		workers      = flag.Int("workers", 0, "parallel file workers (0 = GOMAXPROCS)")
@@ -97,15 +101,17 @@ func main() {
 	opts.CheckOnce = *checkOnce
 	opts.InterprocDepth = *interproc
 	opts.MinConfidence = *minConf
+	opts.ReleaseASTs = *releaseASTs
 
-	var srcs []ofence.SourceFile
+	var srcs, hdrs []ofence.SourceFile
 	for _, arg := range flag.Args() {
-		found, err := addPath(arg)
+		found, headers, err := addPath(arg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ofence: %v\n", err)
 			exit(1)
 		}
 		srcs = append(srcs, found...)
+		hdrs = append(hdrs, headers...)
 	}
 	files := len(srcs)
 	if files == 0 {
@@ -113,10 +119,15 @@ func main() {
 		exit(1)
 	}
 
-	ctx, tracer := traceContext(*traceFlag || *traceOut != "")
+	// -stage-stats wants the per-stage heap deltas, so it too enables the
+	// memstats-sampling tracer.
+	ctx, tracer := traceContext(*traceFlag || *traceOut != "" || *stageStats)
 
 	proj := ofence.NewProject()
 	kernelhdr.Register(proj)
+	for _, h := range hdrs {
+		proj.AddHeader(h.Name, h.Src)
+	}
 	// The fused pipelined schedule: each worker streams a file from
 	// preprocess through extraction instead of parsing everything to a
 	// barrier first. Output is byte-identical to the two-phase sequence.
@@ -133,7 +144,7 @@ func main() {
 			exit(1)
 		}
 		os.Stdout.Write(append(data, '\n'))
-		printStageStats(*stageStats, proj, res)
+		printStageStats(*stageStats, proj, res, tracer)
 		finishTrace(tracer, *traceFlag, *traceOut)
 		exit(exitStatus(*useExitCode, len(res.Findings)))
 	}
@@ -145,7 +156,7 @@ func main() {
 			exit(1)
 		}
 		os.Stdout.Write(append(data, '\n'))
-		printStageStats(*stageStats, proj, res)
+		printStageStats(*stageStats, proj, res, tracer)
 		finishTrace(tracer, *traceFlag, *traceOut)
 		exit(exitStatus(*useExitCode, nDiags))
 	}
@@ -175,6 +186,7 @@ func main() {
 
 	if len(res.Findings) == 0 {
 		fmt.Println("no deviations found")
+		printStageStats(*stageStats, proj, res, tracer)
 		finishTrace(tracer, *traceFlag, *traceOut)
 		return
 	}
@@ -204,7 +216,7 @@ func main() {
 	if n := len(res.ParseErrors); n > 0 {
 		fmt.Fprintf(os.Stderr, "ofence: %d parse diagnostics (files analyzed best-effort)\n", n)
 	}
-	printStageStats(*stageStats, proj, res)
+	printStageStats(*stageStats, proj, res, tracer)
 	finishTrace(tracer, *traceFlag, *traceOut)
 	exit(exitStatus(*useExitCode, len(res.Findings)))
 }
@@ -255,9 +267,11 @@ func startProfiles(cpu, mem string) func() {
 }
 
 // printStageStats implements -stage-stats: the incremental file counters of
-// this run plus the per-stage content-addressed cache counters, on stderr
-// so they never pollute -json/-sarif output.
-func printStageStats(enabled bool, proj *ofence.Project, res *ofence.Result) {
+// this run, the per-stage content-addressed cache counters, and the
+// per-phase memory report (heap-allocation deltas sampled at span
+// boundaries, plus the front end's AST arena footprint), on stderr so they
+// never pollute -json/-sarif output.
+func printStageStats(enabled bool, proj *ofence.Project, res *ofence.Result, tracer *obs.Tracer) {
 	if !enabled {
 		return
 	}
@@ -277,6 +291,74 @@ func printStageStats(enabled bool, proj *ofence.Project, res *ofence.Result) {
 		st := stats[name]
 		fmt.Fprintf(os.Stderr, "ofence: stage %-10s hits=%d misses=%d dedup=%d evictions=%d entries=%d\n",
 			name, st.Hits, st.Misses, st.Dedups, st.Evictions, st.Entries)
+	}
+	printMemStats(tracer)
+}
+
+// printMemStats prints the -stage-stats memory report: for the analysis
+// span and each phase under it (parse, callgraph, semprop, extract, pair,
+// check, rank), the heap bytes and allocations the phase performed — the
+// tracer samples runtime.ReadMemStats at span boundaries — plus the AST
+// arena footprint where a span recorded one. Same-name spans at one depth
+// (the per-file parses) are aggregated into a single line with a count.
+func printMemStats(tracer *obs.Tracer) {
+	if tracer == nil {
+		return
+	}
+	depth := func(sp *obs.Span) int {
+		d := 0
+		for p := sp.Parent(); p != nil; p = p.Parent() {
+			d++
+		}
+		return d
+	}
+	type agg struct {
+		label               string
+		spans               int
+		alloc, mallocs      uint64
+		arenaBytes          int64
+		hasArena, hasMemory bool
+	}
+	var order []string
+	byKey := map[string]*agg{}
+	for _, sp := range tracer.Spans() {
+		d := depth(sp)
+		if d > 1 {
+			continue
+		}
+		key := fmt.Sprintf("%d/%s", d, sp.Name())
+		a := byKey[key]
+		if a == nil {
+			a = &agg{label: strings.Repeat("  ", d) + sp.Name()}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.spans++
+		if alloc, mallocs, ok := sp.MemStats(); ok {
+			a.alloc += alloc
+			a.mallocs += mallocs
+			a.hasMemory = true
+		}
+		for _, c := range sp.Counters() {
+			if c.Name == "frontend.arena_bytes" {
+				a.arenaBytes += c.Value
+				a.hasArena = true
+			}
+		}
+	}
+	for _, key := range order {
+		a := byKey[key]
+		if !a.hasMemory {
+			continue
+		}
+		line := fmt.Sprintf("ofence: mem %-12s alloc_bytes=%d mallocs=%d", a.label, a.alloc, a.mallocs)
+		if a.spans > 1 {
+			line += fmt.Sprintf(" spans=%d", a.spans)
+		}
+		if a.hasArena {
+			line += fmt.Sprintf(" arena_bytes=%d", a.arenaBytes)
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 }
 
@@ -345,34 +427,50 @@ func sarifReport(ctx context.Context, res *ofence.Result, proj *ofence.Project, 
 	return data, len(ds), err
 }
 
-// addPath collects the .c sources under path in walk order.
-func addPath(path string) ([]ofence.SourceFile, error) {
+// addPath collects the .c sources under path in walk order, plus the .h
+// headers found alongside them. Headers are named by their path relative to
+// the walked root so a source's `#include "sub/dir/file.h"` resolves against
+// a tree rooted at the argument directory (as the corpus generator's tree
+// mode lays them out).
+func addPath(path string) (srcs, hdrs []ofence.SourceFile, err error) {
 	info, err := os.Stat(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !info.IsDir() {
 		fu, err := readSource(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []ofence.SourceFile{fu}, nil
+		return []ofence.SourceFile{fu}, nil, nil
 	}
-	var srcs []ofence.SourceFile
 	err = filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
-		if !d.IsDir() && strings.HasSuffix(p, ".c") {
+		if d.IsDir() {
+			return nil
+		}
+		switch {
+		case strings.HasSuffix(p, ".c"):
 			fu, err := readSource(p)
 			if err != nil {
 				return err
 			}
 			srcs = append(srcs, fu)
+		case strings.HasSuffix(p, ".h"):
+			fu, err := readSource(p)
+			if err != nil {
+				return err
+			}
+			if rel, rerr := filepath.Rel(path, p); rerr == nil {
+				fu.Name = filepath.ToSlash(rel)
+			}
+			hdrs = append(hdrs, fu)
 		}
 		return nil
 	})
-	return srcs, err
+	return srcs, hdrs, err
 }
 
 func readSource(path string) (ofence.SourceFile, error) {

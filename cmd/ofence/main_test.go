@@ -47,18 +47,21 @@ func writeTree(t *testing.T) string {
 
 func TestAddPathWalksTree(t *testing.T) {
 	dir := writeTree(t)
-	srcs, err := addPath(dir)
+	srcs, hdrs, err := addPath(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(srcs) != 2 {
 		t.Errorf("files = %d, want 2 (.txt skipped)", len(srcs))
 	}
+	if len(hdrs) != 0 {
+		t.Errorf("headers = %d, want 0 (no .h files in tree)", len(hdrs))
+	}
 }
 
 func TestAddPathSingleFile(t *testing.T) {
 	dir := writeTree(t)
-	srcs, err := addPath(filepath.Join(dir, "a.c"))
+	srcs, _, err := addPath(filepath.Join(dir, "a.c"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +89,7 @@ func TestAddPathSingleFile(t *testing.T) {
 }
 
 func TestAddPathMissing(t *testing.T) {
-	if _, err := addPath("/nonexistent/path.c"); err == nil {
+	if _, _, err := addPath("/nonexistent/path.c"); err == nil {
 		t.Error("expected error for missing path")
 	}
 }

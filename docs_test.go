@@ -284,8 +284,9 @@ func TestDocsBenchJSONSchema(t *testing.T) {
 	// losing the document silently would orphan the tuned constants that
 	// mirror it (rank.DefaultThreshold mirrors BENCH_confidence.json) or the
 	// acceptance bar measured against it (BENCH_frontend.json carries the
-	// frontend overhaul's >=3x bar).
-	required := []string{"BENCH_confidence.json", "BENCH_frontend.json"}
+	// frontend overhaul's >=3x bar, BENCH_treescale.json the tree-scale
+	// global-phase overhaul's >=2.5x bar).
+	required := []string{"BENCH_confidence.json", "BENCH_frontend.json", "BENCH_treescale.json"}
 	have := map[string]bool{}
 	for _, f := range files {
 		have[filepath.Base(f)] = true

@@ -1,0 +1,44 @@
+package access_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ofence/internal/access"
+	"ofence/internal/sitegen"
+)
+
+// TestInternSitesParallelQuickcheck asserts the two-phase sharded interner
+// assigns exactly the dense IDs the sequential interner assigns — same
+// object set, same canonical order — over randomized synthetic workloads
+// at the satellite's worker grid.
+func TestInternSitesParallelQuickcheck(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 17, 99} {
+		for _, n := range []int{0, 1, 7, 300, 1100} {
+			sites := sitegen.Generate(sitegen.DefaultConfig(n, seed))
+			seq := access.InternSites(sites)
+			for _, workers := range []int{1, 3, 8} {
+				par := access.InternSitesParallel(sites, workers)
+				label := fmt.Sprintf("seed=%d n=%d workers=%d", seed, n, workers)
+				if seq.Len() != par.Len() {
+					t.Fatalf("%s: Len %d vs %d", label, seq.Len(), par.Len())
+				}
+				for id := 0; id < seq.Len(); id++ {
+					if seq.Object(uint32(id)) != par.Object(uint32(id)) {
+						t.Fatalf("%s: ID %d bound to %v vs %v",
+							label, id, seq.Object(uint32(id)), par.Object(uint32(id)))
+					}
+				}
+				for _, s := range sites {
+					for o := range s.Objects() {
+						a, aok := seq.ID(o)
+						b, bok := par.ID(o)
+						if a != b || aok != bok {
+							t.Fatalf("%s: ID(%v) = %d,%t vs %d,%t", label, o, a, aok, b, bok)
+						}
+					}
+				}
+			}
+		}
+	}
+}

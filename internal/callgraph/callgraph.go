@@ -77,6 +77,10 @@ type Node struct {
 	// UnresolvedCalls counts call sites in this function that could not be
 	// resolved to any definition (external functions, unknown pointers).
 	UnresolvedCalls int
+	// allCalls caches cast.Calls(Fn.Body) when the sharded builder already
+	// paid for the walk, so FileDeps does not re-walk every body. The
+	// sequential Build leaves it nil (FileDeps falls back to walking).
+	allCalls []*cast.CallExpr
 }
 
 // Name returns the function name.
@@ -257,21 +261,38 @@ func slotName(e cast.Expr) string {
 
 // addCallEdges resolves one call site and appends the edges.
 func (g *Graph) addCallEdges(caller *Node, call *cast.CallExpr) {
+	edges, resolved := g.edgesFor(caller, call)
+	if !resolved {
+		caller.UnresolvedCalls++
+		return
+	}
+	for _, e := range edges {
+		caller.Calls = append(caller.Calls, e)
+		e.Callee.CalledBy = append(e.Callee.CalledBy, e)
+	}
+}
+
+// edgesFor resolves one call site to its edges without mutating the graph,
+// so the sequential and sharded builders share one resolution semantics. It
+// only reads the phase-1/phase-2 maps, which are frozen by the time edges
+// are resolved — safe to call concurrently from BuildParallel's workers.
+func (g *Graph) edgesFor(caller *Node, call *cast.CallExpr) (edges []*Edge, resolved bool) {
+	mk := func(callee *Node, kind EdgeKind) *Edge {
+		return &Edge{Caller: caller, Callee: callee, Call: call, Kind: kind}
+	}
 	if name := call.FunName(); name != "" {
 		if callee := g.funcNamed(caller.File, name); callee != nil {
-			g.link(caller, callee, call, Direct)
-			return
+			return []*Edge{mk(callee, Direct)}, true
 		}
 		// A bare identifier that is not a definition may still be a
 		// function-pointer variable: fp(...).
 		if cands := g.ptrTargets[name]; len(cands) > 0 {
 			for _, callee := range cands {
-				g.link(caller, callee, call, Pointer)
+				edges = append(edges, mk(callee, Pointer))
 			}
-			return
+			return edges, true
 		}
-		caller.UnresolvedCalls++
-		return
+		return nil, false
 	}
 	// Indirect call: p->op(...), (*fp)(...), ops[i].fn(...).
 	slot := slotName(call.Fun)
@@ -284,12 +305,12 @@ func (g *Graph) addCallEdges(caller *Node, call *cast.CallExpr) {
 		}
 	}
 	if len(cands) == 0 {
-		caller.UnresolvedCalls++
-		return
+		return nil, false
 	}
 	for _, callee := range cands {
-		g.link(caller, callee, call, Pointer)
+		edges = append(edges, mk(callee, Pointer))
 	}
+	return edges, true
 }
 
 func unwrapField(e cast.Expr) (*cast.FieldExpr, bool) {
@@ -307,12 +328,6 @@ func unwrapField(e cast.Expr) (*cast.FieldExpr, bool) {
 			return nil, false
 		}
 	}
-}
-
-func (g *Graph) link(caller, callee *Node, call *cast.CallExpr, kind EdgeKind) {
-	e := &Edge{Caller: caller, Callee: callee, Call: call, Kind: kind}
-	caller.Calls = append(caller.Calls, e)
-	callee.CalledBy = append(callee.CalledBy, e)
 }
 
 // Lookup returns every definition named name, in build order.
@@ -375,7 +390,11 @@ func (g *Graph) FileDeps() map[string][]string {
 		for _, e := range n.Calls {
 			add(n.File, e.Callee.File)
 		}
-		for _, call := range cast.Calls(n.Fn.Body) {
+		calls := n.allCalls
+		if calls == nil {
+			calls = cast.Calls(n.Fn.Body)
+		}
+		for _, call := range calls {
 			name := call.FunName()
 			if name == "" {
 				continue

@@ -69,6 +69,16 @@ func New(toks []ctoken.Token) *Parser {
 	return &Parser{toks: toks, arena: new(cast.Arena), base: true}
 }
 
+// NewNoArena returns the hot-path parser with per-node heap allocation
+// instead of arena slabs. ReleaseASTs mode parses with it: one live
+// pointer into a slab pins the whole slab, so a parse tree meant to be
+// dropped after extraction (while its barrier sites keep pointers to a
+// few of its nodes) must be individually collectable for the drop to
+// actually free memory.
+func NewNoArena(toks []ctoken.Token) *Parser {
+	return &Parser{toks: toks, base: true}
+}
+
 // NewLegacy returns a parser that heap-allocates every node individually —
 // the pre-arena behavior, kept as the differential and benchmark oracle.
 func NewLegacy(toks []ctoken.Token) *Parser {

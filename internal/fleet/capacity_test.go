@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"ofence/internal/service"
+)
+
+// TestWorkerCapacityByteIdentity pins the multi-task worker: one worker
+// with -capacity 4 (concurrent per-task goroutines and heartbeats) must
+// produce the exact bytes one capacity-1 worker produces, which in turn
+// match the single-process service. The job is large enough to shard into
+// stage tasks, so the capacity-4 run genuinely holds several leases at
+// once.
+func TestWorkerCapacityByteIdentity(t *testing.T) {
+	req := corpusRequest(t, 24)
+	spec := service.OptionsSpec{}
+	want := singleProcessResult(t, req, spec)
+
+	run := func(capacity int) []byte {
+		// Small shard chunks: 24 files → 6 stage tasks, so the capacity-4
+		// worker really holds several leases at once.
+		coord := NewCoordinator(Config{ShardFileThreshold: 8, ShardChunk: 4})
+		defer coord.Close(context.Background())
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		w := NewWorker(WorkerConfig{
+			Coordinator:  "http://fleet.local",
+			Transport:    localTransport{handler: coord.Handler()},
+			Token:        coord.cfg.AuthToken,
+			Capacity:     capacity,
+			PollInterval: 5 * time.Millisecond,
+		})
+		go w.Run(ctx)
+
+		j, err := coord.Submit(req, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := waitDone(t, coord, j, 60*time.Second)
+		if view.State != JobDone {
+			t.Fatalf("capacity=%d job state %s: %s", capacity, view.State, view.Error)
+		}
+		if w.TasksDone() == 0 {
+			t.Fatalf("capacity=%d worker completed no tasks", capacity)
+		}
+		if got := coord.met.get(metStageTasks); got == 0 {
+			t.Fatalf("capacity=%d: expected stage sharding, stage tasks = %d", capacity, got)
+		}
+		return []byte(view.Result)
+	}
+
+	one := run(1)
+	four := run(4)
+	if !bytes.Equal(one, four) {
+		t.Fatalf("capacity 4 diverged from capacity 1:\ncap4: %.200s\ncap1: %.200s", four, one)
+	}
+	if !bytes.Equal(one, want) {
+		t.Fatalf("fleet result diverged from single-process run:\nfleet:  %.200s\nsingle: %.200s", one, want)
+	}
+}

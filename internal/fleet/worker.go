@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +42,12 @@ type WorkerConfig struct {
 	// every wire-protocol and store request. Must match the coordinator's
 	// Config.AuthToken; leave empty against an open coordinator.
 	Token string
+	// Capacity is how many tasks the worker runs concurrently (default 1).
+	// Each in-flight task gets its own goroutine and heartbeat loop; the
+	// worker polls for more work only while a slot is free, so it never
+	// leases a task it cannot start. Results are byte-identical at any
+	// capacity — tasks share only the concurrency-safe stage caches.
+	Capacity int
 }
 
 // taskOutcome is everything a finished task reports.
@@ -53,8 +60,9 @@ type taskOutcome struct {
 }
 
 // Worker polls a coordinator for tasks and runs the analysis pipeline on
-// them, one task at a time (run N workers for parallelism — each is
-// cheap). Its per-file stage caches persist across tasks and publish
+// them, up to Capacity tasks concurrently (default one at a time; running
+// N workers is an equally cheap way to scale). Its per-file stage caches
+// persist across tasks and publish
 // serializable artifacts to the fleet store, so front-end work done for
 // one task is reused by every later task on any worker.
 type Worker struct {
@@ -76,6 +84,9 @@ type Worker struct {
 func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.ID == "" {
 		cfg.ID = fmt.Sprintf("worker-%d-%d", os.Getpid(), workerSeq.Add(1))
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
 	}
 	transport := cfg.Transport
 	if transport == nil {
@@ -152,13 +163,15 @@ func (w *Worker) post(path string, body, out any) error {
 var errNoTask = fmt.Errorf("no task ready")
 
 // Run registers with the coordinator and processes tasks until ctx is
-// canceled. A canceled context mid-task abandons the task without
-// reporting — exactly what a crashed worker looks like to the
-// coordinator, whose lease machinery re-dispatches the work.
+// canceled, keeping up to cfg.Capacity tasks in flight. A canceled context
+// mid-task abandons the task without reporting — exactly what a crashed
+// worker looks like to the coordinator, whose lease machinery re-dispatches
+// the work — but Run still waits for the abandoned goroutines to unwind
+// before returning.
 func (w *Worker) Run(ctx context.Context) error {
 	var reg registerResponse
 	for {
-		err := w.post("/v1/fleet/register", registerRequest{WorkerID: w.id, Capacity: 1}, &reg)
+		err := w.post("/v1/fleet/register", registerRequest{WorkerID: w.id, Capacity: w.cfg.Capacity}, &reg)
 		if err == nil {
 			break
 		}
@@ -176,13 +189,24 @@ func (w *Worker) Run(ctx context.Context) error {
 		poll = 100 * time.Millisecond
 	}
 
+	sem := make(chan struct{}, w.cfg.Capacity)
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
 		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// Take a slot before polling, so a lease is never acquired for a
+		// task the worker cannot start immediately.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
 			return ctx.Err()
 		}
 		var t Task
 		err := w.post("/v1/fleet/poll", pollRequest{WorkerID: w.id}, &t)
 		if err != nil || t.ID == "" {
+			<-sem
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
@@ -190,7 +214,12 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
-		w.runTask(ctx, &t)
+		wg.Add(1)
+		go func(t Task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			w.runTask(ctx, &t)
+		}(t)
 	}
 }
 

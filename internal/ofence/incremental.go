@@ -146,6 +146,46 @@ func sortedKeys(m map[string]string) []string {
 // recorded; on a preprocess miss both stages run under the classic
 // parse-wrapping-preprocess span topology of cparser.ParseSourceCtx.
 func (p *Project) frontend(ctx context.Context, name, src string, env projectEnv) *artifacts {
+	return p.frontendWith(ctx, name, src, env, false)
+}
+
+// frontendDirect is the uncached front-end used by ReleaseASTs mode: the
+// same preprocess+parse under the same span topology, but bypassing the
+// stage caches entirely so the LRU retains neither token streams nor parse
+// trees — the artifacts record is the only reference, and the pipeline
+// drops its ast as soon as extraction is done.
+func (p *Project) frontendDirect(ctx context.Context, name, src string, env projectEnv) *artifacts {
+	wrapCtx, wrapSpan := obs.Start(ctx, "parse")
+	wrapSpan.SetAttr("file", name)
+	copts := cpp.Options{Include: env.include, Defines: env.defines, Syms: p.syms}
+	if p.legacyFrontend {
+		copts.Syms, copts.LegacyLexer = nil, true
+	}
+	pre := cpp.PreprocessCtx(wrapCtx, name, src, copts)
+	// No arena: these trees are built to be dropped after extraction, and
+	// slab-batched nodes would stay pinned by the site records' pointers
+	// into them (see cparser.NewNoArena).
+	psr := cparser.NewNoArena(pre.Tokens)
+	if p.legacyFrontend {
+		psr = cparser.NewLegacy(pre.Tokens)
+	}
+	ast := psr.ParseFile(name)
+	errs := append(append([]error{}, pre.Errors...), psr.Errors()...)
+	wrapSpan.Add("tokens", int64(len(pre.Tokens)))
+	wrapSpan.Add("decls", int64(len(ast.Decls)))
+	wrapSpan.Add("errors", int64(len(errs)))
+	wrapSpan.End()
+	return &artifacts{
+		preHash: pre.Fingerprint(name), ast: ast, errs: errs,
+		tokens: len(pre.Tokens), arenaBytes: psr.ArenaBytes(),
+	}
+}
+
+// frontendWith routes to the cached or direct front-end.
+func (p *Project) frontendWith(ctx context.Context, name, src string, env projectEnv, direct bool) *artifacts {
+	if direct {
+		return p.frontendDirect(ctx, name, src, env)
+	}
 	preKey := rescache.KeyOf("preprocess-v1", env.hash, name, src)
 
 	// The "parse" span must start before preprocessing runs and end after
@@ -190,13 +230,16 @@ func (p *Project) frontend(ctx context.Context, name, src string, env projectEnv
 
 // refreshStale re-runs the front-end for units whose preprocessing
 // environment changed since their artifacts were built (Define/AddHeader
-// dirty every file). A unit whose preprocessed content is byte-identical
-// under the new environment keeps every artifact, including cached sites.
-func (p *Project) refreshStale(ctx context.Context, files []*FileUnit, env projectEnv, workers int) {
+// dirty every file) and for units whose AST a previous ReleaseASTs run
+// dropped — interprocedural analysis needs every parse tree. A unit whose
+// preprocessed content is byte-identical under the new environment keeps
+// every artifact, including cached sites; a released unit with unchanged
+// content gets the fresh AST grafted into its record, keeping cached sites.
+func (p *Project) refreshStale(ctx context.Context, files []*FileUnit, env projectEnv, workers int, direct bool) {
 	var stale []*FileUnit
 	p.mu.Lock()
 	for _, fu := range files {
-		if fu.envStale {
+		if fu.envStale || fu.art == nil || fu.art.ast == nil {
 			stale = append(stale, fu)
 		}
 	}
@@ -214,12 +257,17 @@ func (p *Project) refreshStale(ctx context.Context, files []*FileUnit, env proje
 			if ctx.Err() != nil {
 				return // canceled: stay stale, the next Analyze retries
 			}
-			art := p.frontend(ctx, fu.Name, fu.src, env)
+			art := p.frontendWith(ctx, fu.Name, fu.src, env, direct)
 			p.mu.Lock()
 			if fu.art == nil || fu.art.preHash != art.preHash {
 				fu.art = art
 				fu.AST, fu.Errs = art.ast, art.errs
 				fu.Table, fu.Sites = nil, nil
+			} else if fu.art.ast == nil {
+				next := *fu.art
+				next.ast = art.ast
+				fu.art = &next
+				fu.AST = art.ast
 			}
 			fu.envStale = false
 			p.mu.Unlock()
@@ -242,13 +290,33 @@ func (p *Project) pipelineFile(ectx context.Context, fu *FileUnit, env projectEn
 	art, stale, src := fu.art, fu.envStale, fu.src
 	p.mu.Unlock()
 
-	if art == nil || stale {
-		fresh := p.frontend(ectx, fu.Name, src, env)
+	// Reuse check before any front-end work: a clean unit whose sites match
+	// the wanted key needs neither tokens nor an AST — a unit released by a
+	// previous ReleaseASTs run is served without re-parsing.
+	if art != nil && !stale {
+		if want := extractKeyFor(fp, fu.Name, art.preHash, ""); art.sitesKey == want {
+			reused.Add(1)
+			p.mu.Lock()
+			fu.Table, fu.Sites = art.table, art.sites
+			p.mu.Unlock()
+			return
+		}
+	}
+
+	if art == nil || stale || art.ast == nil {
+		fresh := p.frontendWith(ectx, fu.Name, src, env, opts.ReleaseASTs)
 		p.mu.Lock()
 		if fu.art == nil || fu.art.preHash != fresh.preHash {
 			fu.art = fresh
 			fu.AST, fu.Errs = fresh.ast, fresh.errs
 			fu.Table, fu.Sites = nil, nil
+		} else if fu.art.ast == nil {
+			// Released unit, unchanged content: graft the fresh AST, keep
+			// every cached artifact (table, sites, key).
+			next := *fu.art
+			next.ast = fresh.ast
+			fu.art = &next
+			fu.AST = fresh.ast
 		}
 		fu.envStale = false
 		art = fu.art
@@ -278,8 +346,16 @@ func (p *Project) pipelineFile(ectx context.Context, fu *FileUnit, env projectEn
 	ea := v.(*extractArtifact)
 	next := *art
 	next.table, next.sites, next.sitesKey = ea.table, ea.sites, want
+	if opts.ReleaseASTs {
+		// Extraction is the AST's last consumer at depth 0: drop it so live
+		// parse trees never exceed the in-flight worker count.
+		next.ast = nil
+	}
 	p.mu.Lock()
 	fu.art = &next
+	if opts.ReleaseASTs {
+		fu.AST = nil
+	}
 	fu.Table, fu.Sites = ea.table, ea.sites
 	p.mu.Unlock()
 }
@@ -357,6 +433,134 @@ func interprocClosures(deps map[string][]string, files []*FileUnit) map[string]s
 			parts = append(parts, n, preOf[n])
 		}
 		out[fu.Name] = string(rescache.KeyOf("closure-v1", parts...))
+	}
+	return out
+}
+
+// interprocClosuresSCC computes what interprocClosures computes — a per-file
+// key that changes exactly when some file in the transitive dependency
+// closure changes content — in O(V+E) instead of one BFS per file. The
+// file-dependency graph is condensed into strongly connected components
+// (iterative Tarjan); each component's hash covers its members' sorted
+// (name, preHash) pairs plus its successor components' sorted hashes, and a
+// file's key is its component's hash. Tarjan emits a component only after
+// every component reachable from it, so one pass in emission order has all
+// successor hashes ready. The hashes are structural (everything sorted
+// before hashing), hence independent of traversal order.
+//
+// The literal key values differ from interprocClosures' closure-v1 keys —
+// harmless, they are private extract-cache addresses, never outputs — but
+// the invalidation behavior is identical (pinned by TestClosureSCCDifferential).
+func interprocClosuresSCC(deps map[string][]string, files []*FileUnit) map[string]string {
+	n := len(files)
+	names := make([]string, n)
+	preOf := make([]string, n)
+	idxOf := make(map[string]int, n)
+	for i, fu := range files {
+		names[i] = fu.Name
+		idxOf[fu.Name] = i
+		if fu.art != nil {
+			preOf[i] = fu.art.preHash
+		}
+	}
+	adj := make([][]int, n)
+	for i, nm := range names {
+		for _, d := range deps[nm] {
+			if j, ok := idxOf[d]; ok {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	comp := make([]int, n)
+	onstack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+	type frame struct{ v, ei int }
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onstack[root] = true
+		frames := []frame{{root, 0}}
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onstack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onstack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if pv := frames[len(frames)-1].v; low[v] < low[pv] {
+					low[pv] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var members []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onstack[w] = false
+					comp[w] = len(comps)
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, members)
+			}
+		}
+	}
+
+	hash := make([]string, len(comps))
+	for c, members := range comps {
+		mnames := make([]string, len(members))
+		for k, v := range members {
+			mnames[k] = names[v]
+		}
+		sort.Strings(mnames)
+		parts := make([]string, 0, 2*len(mnames))
+		for _, nm := range mnames {
+			parts = append(parts, nm, preOf[idxOf[nm]])
+		}
+		succSeen := map[int]bool{}
+		var succ []string
+		for _, v := range members {
+			for _, w := range adj[v] {
+				if comp[w] != c && !succSeen[comp[w]] {
+					succSeen[comp[w]] = true
+					succ = append(succ, hash[comp[w]])
+				}
+			}
+		}
+		sort.Strings(succ)
+		hash[c] = string(rescache.KeyOf("closure-v2", append(parts, succ...)...))
+	}
+	out := make(map[string]string, n)
+	for i, nm := range names {
+		out[nm] = hash[comp[i]]
 	}
 	return out
 }

@@ -1,0 +1,86 @@
+package ofence
+
+import (
+	"fmt"
+	"testing"
+)
+
+// closureUnits builds synthetic FileUnits whose preHash is derived from the
+// name, the way the differential needs — content identity per file.
+func closureUnits(names []string, bump map[string]int) []*FileUnit {
+	out := make([]*FileUnit, 0, len(names))
+	for _, n := range names {
+		out = append(out, &FileUnit{
+			Name: n,
+			art:  &artifacts{preHash: fmt.Sprintf("pre(%s)#%d", n, bump[n])},
+		})
+	}
+	return out
+}
+
+// TestClosureSCCDifferential pins interprocClosuresSCC to interprocClosures'
+// invalidation behavior: the literal key strings differ (closure-v1 vs
+// closure-v2), but two files must share a key under one scheme exactly when
+// they share it under the other, and editing one file must re-key exactly
+// the same set of files under both.
+func TestClosureSCCDifferential(t *testing.T) {
+	names := []string{"a.c", "b.c", "c.c", "d.c", "e.c", "f.c", "g.c"}
+	deps := map[string][]string{
+		// a → b → c → a is a cycle; d hangs off the cycle; e → f is a
+		// separate chain; g is isolated. "x.c" is a dangling dep (not a
+		// project file) that both schemes must ignore.
+		"a.c": {"b.c"},
+		"b.c": {"c.c"},
+		"c.c": {"a.c", "d.c"},
+		"e.c": {"f.c", "x.c"},
+	}
+
+	check := func(bump map[string]int) (map[string]string, map[string]string) {
+		units := closureUnits(names, bump)
+		v1 := interprocClosures(deps, units)
+		v2 := interprocClosuresSCC(deps, units)
+		for _, a := range names {
+			for _, b := range names {
+				if (v1[a] == v1[b]) != (v2[a] == v2[b]) {
+					t.Fatalf("bump=%v: key sharing disagrees for %s vs %s: v1 %t, v2 %t",
+						bump, a, b, v1[a] == v1[b], v2[a] == v2[b])
+				}
+			}
+		}
+		return v1, v2
+	}
+
+	base1, base2 := check(nil)
+	// Sanity on the base shape: the cycle members share one key.
+	if base2["a.c"] != base2["b.c"] || base2["b.c"] != base2["c.c"] {
+		t.Fatalf("cycle members should share a key: %v", base2)
+	}
+	if base2["g.c"] == base2["e.c"] {
+		t.Fatal("unrelated files share a key")
+	}
+
+	// Editing any one file must re-key the same file set under both schemes.
+	for _, edited := range names {
+		v1, v2 := check(map[string]int{edited: 1})
+		for _, n := range names {
+			c1 := v1[n] != base1[n]
+			c2 := v2[n] != base2[n]
+			if c1 != c2 {
+				t.Errorf("edit %s: %s invalidation disagrees: v1 changed %t, v2 changed %t",
+					edited, n, c1, c2)
+			}
+		}
+	}
+
+	// Editing a cycle member must re-key the whole cycle and its caller d's
+	// key stays (d is a dependency of the cycle, not a dependent).
+	v1, _ := check(map[string]int{"b.c": 1})
+	for _, n := range []string{"a.c", "b.c", "c.c"} {
+		if v1[n] == base1[n] {
+			t.Errorf("edit b.c: %s kept its key", n)
+		}
+	}
+	if v1["d.c"] != base1["d.c"] {
+		t.Error("edit b.c: d.c (a dependency, not a dependent) was re-keyed")
+	}
+}

@@ -56,6 +56,19 @@ type Options struct {
 	// is still scored. rank.DefaultThreshold is the tuned operating point
 	// recorded in BENCH_confidence.json.
 	MinConfidence float64
+	// ReleaseASTs bounds AST residency on tree-scale runs: the per-file
+	// pipeline bypasses the preprocess/parse stage caches and drops each
+	// file's AST as soon as its extraction is done, so at InterprocDepth 0
+	// the number of live ASTs never exceeds Workers. At interprocedural
+	// depth every AST must be live at once for the call-graph phase, so
+	// there the win is the resident project afterwards (a warm server
+	// retains no parse trees), not the cold peak. Trees are parsed without
+	// the AST arena in this mode — slab-batched nodes would stay pinned by
+	// the barrier sites' node pointers, defeating the drop. The trade is
+	// CPU for RSS — a later re-extraction must re-run the front-end. Excluded from
+	// Fingerprint (like Workers, it changes scheduling and residency, never
+	// results).
+	ReleaseASTs bool
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -124,6 +137,12 @@ type Project struct {
 	// differential tests and benchmarks use it as the oracle; it is never
 	// set in production paths.
 	legacyFrontend bool
+	// seqGlobal routes the interprocedural global phases through the
+	// sequential pre-sharding implementations (callgraph.Build, round-robin
+	// semprop, per-file closure BFS, unsharded dedup and census). The
+	// tree-scale overhaul's differential tests and benchmarks use it as the
+	// oracle; it is never set in production paths.
+	seqGlobal bool
 	// runMu serializes Analyze calls on this project: runs swap the
 	// per-unit artifact records, which concurrent runs would race on.
 	runMu sync.Mutex
@@ -274,6 +293,7 @@ func (p *Project) Clone() *Project {
 		syms:    p.syms,
 
 		legacyFrontend: p.legacyFrontend,
+		seqGlobal:      p.seqGlobal,
 	}
 	for k, v := range p.headers {
 		q.headers[k] = v
@@ -465,10 +485,11 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 		}
 		wg.Wait()
 	} else {
-		// Phase 0: re-run the front-end for units dirtied by Define/AddHeader,
-		// so every unit's artifacts are keyed by current content. A barrier
-		// here is required: the call graph below needs every AST.
-		p.refreshStale(ctx, files, env, workers)
+		// Phase 0: re-run the front-end for units dirtied by Define/AddHeader
+		// (or whose AST a previous ReleaseASTs run dropped), so every unit's
+		// artifacts are keyed by current content. A barrier here is required:
+		// the call graph below needs every AST.
+		p.refreshStale(ctx, files, env, workers, opts.ReleaseASTs)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -489,20 +510,37 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 				cgf = append(cgf, callgraph.File{Name: fu.Name, AST: fu.AST})
 			}
 			_, gsp := obs.Start(ctx, "callgraph")
-			g := callgraph.Build(cgf)
+			var g *callgraph.Graph
+			if p.seqGlobal {
+				g = callgraph.Build(cgf)
+			} else {
+				g = callgraph.BuildParallel(cgf, workers)
+			}
 			res.CallGraph = g.Stats()
 			gsp.Add("functions", int64(res.CallGraph.Functions))
 			gsp.Add("edges", int64(res.CallGraph.Edges))
 			gsp.Add("unresolved", int64(res.CallGraph.Unresolved))
 			gsp.End()
 			_, ssp := obs.Start(ctx, "semprop")
-			inf := semprop.Infer(g, semprop.Options{ExtraFull: opts.Access.ExtraBarrierSemantics})
+			sopts := semprop.Options{ExtraFull: opts.Access.ExtraBarrierSemantics}
+			if p.seqGlobal {
+				sopts.Sequential = true
+			} else {
+				sopts.Workers = workers
+			}
+			inf := semprop.Infer(g, sopts)
 			res.Inferred = inf.Functions()
 			ssp.Add("inferred", int64(len(res.Inferred)))
+			ssp.Add("sccs", int64(inf.Components))
+			ssp.Add("scc_levels", int64(inf.Levels))
 			ssp.End()
 			inferredNames = inf.NameKinds()
 			resolve = g.ResolverFor
-			closures = interprocClosures(g.FileDeps(), files)
+			if p.seqGlobal {
+				closures = interprocClosures(g.FileDeps(), files)
+			} else {
+				closures = interprocClosuresSCC(g.FileDeps(), files)
+			}
 		}
 
 		// Phase 1: per-file extraction, in parallel. A unit whose artifact
@@ -560,6 +598,22 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 			}(fu, art, want)
 		}
 		wg.Wait()
+		if opts.ReleaseASTs {
+			// Extraction is done and the call graph is built: drop every
+			// unit's top-level AST reference so steady-state residency is
+			// sites and tables, not parse trees. refreshStale re-frontends
+			// released units on the next interprocedural run.
+			p.mu.Lock()
+			for _, fu := range files {
+				if fu.art != nil && fu.art.ast != nil {
+					next := *fu.art
+					next.ast = nil
+					fu.art = &next
+				}
+				fu.AST = nil
+			}
+			p.mu.Unlock()
+		}
 	}
 	res.Timing.Extract = time.Since(phaseStart)
 	if err := ctx.Err(); err != nil {
@@ -595,7 +649,11 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 		// Cross-file inlining makes the same physical barrier visible from
 		// callers in other files; keep the richest view, as per-file
 		// extraction already does within one file.
-		res.Sites = dedupSites(res.Sites)
+		if p.seqGlobal {
+			res.Sites = dedupSites(res.Sites)
+		} else {
+			res.Sites = dedupSitesSharded(res.Sites, workers)
+		}
 	}
 	sortSites(res.Sites)
 
@@ -636,7 +694,7 @@ func (p *Project) analyze(ctx context.Context, opts Options) (*Result, error) {
 	// Phase 4: confidence ranking (internal/rank). Every finding is scored
 	// from the outlier census, pairing margins, site richness and semantics
 	// provenance; MinConfidence > 0 additionally gates the finding list.
-	rankFindings(ctx, res, opts)
+	p.rankFindings(ctx, res, opts, workers)
 	return res, nil
 }
 
@@ -660,6 +718,89 @@ func dedupSites(sites []*access.Site) []*access.Site {
 	out := make([]*access.Site, 0, len(order))
 	for _, id := range order {
 		out = append(out, best[id])
+	}
+	return out
+}
+
+// dedupSitesSharded is dedupSites sharded over the worker pool for
+// tree-scale site lists. Sites are sharded by a hash of their canonical
+// barrier identity, so every occurrence of one physical barrier lands in
+// one shard; each shard scans its sites in ascending input order keeping
+// the richest view (first seen wins ties — dedupSites' exact rule) along
+// with the input index of the identity's first occurrence, and the merge
+// re-sorts winners by that first index. The output is therefore the byte-
+// identical site list dedupSites produces, at any worker count.
+func dedupSitesSharded(sites []*access.Site, workers int) []*access.Site {
+	if workers > 16 {
+		workers = 16
+	}
+	if workers <= 1 || len(sites) < 64 {
+		return dedupSites(sites)
+	}
+	// Phase 1: canonical IDs and shard assignment, computed once per site
+	// (ID() canonicalization is the hot part of dedup at tree scale).
+	ids := make([]string, len(sites))
+	shard := make([]uint8, len(sites))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(sites); i += workers {
+				id := sites[i].ID()
+				h := uint32(2166136261)
+				for j := 0; j < len(id); j++ {
+					h ^= uint32(id[j])
+					h *= 16777619
+				}
+				ids[i] = id
+				shard[i] = uint8(h % uint32(workers))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 2: per-shard keep-richest over that shard's identities.
+	type kept struct {
+		site  *access.Site
+		first int
+	}
+	perShard := make([][]*kept, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			best := map[string]*kept{}
+			var order []*kept
+			for i, s := range sites {
+				if int(shard[i]) != w {
+					continue
+				}
+				cur, ok := best[ids[i]]
+				if !ok {
+					k := &kept{site: s, first: i}
+					best[ids[i]] = k
+					order = append(order, k)
+					continue
+				}
+				if s.Richness() > cur.site.Richness() {
+					cur.site = s
+				}
+			}
+			perShard[w] = order
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 3: merge by first-occurrence index — dedupSites' output order.
+	var all []*kept
+	for _, sh := range perShard {
+		all = append(all, sh...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].first < all[j].first })
+	out := make([]*access.Site, len(all))
+	for i, k := range all {
+		out[i] = k.site
 	}
 	return out
 }

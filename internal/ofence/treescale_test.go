@@ -1,0 +1,116 @@
+package ofence_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ofence/internal/kernelhdr"
+	"ofence/internal/ofence"
+	"ofence/internal/sitegen"
+)
+
+// treeProject loads a generated kernel-shaped tree into a fresh project:
+// the miniature kernel headers, the tree's per-directory headers, half the
+// tree's config symbols (so #ifdef variance is exercised in both states),
+// and every source file.
+func treeProject(tr *sitegen.Tree, oracle bool) *ofence.Project {
+	p := ofence.NewProject()
+	if oracle {
+		p.UseSequentialGlobalForTest()
+	}
+	kernelhdr.Register(p)
+	for _, h := range tr.Headers {
+		p.AddHeader(h.Name, h.Src)
+	}
+	for i, c := range tr.Configs {
+		if i%2 == 0 {
+			p.Define(c, "1")
+		}
+	}
+	srcs := make([]ofence.SourceFile, 0, len(tr.Files))
+	for _, f := range tr.Files {
+		srcs = append(srcs, ofence.SourceFile{Name: f.Name, Src: f.Src})
+	}
+	p.AddSources(srcs)
+	return p
+}
+
+// TestTreescaleByteIdentity is the correctness bar of the parallel global
+// phases on a small generated tree: the production path (sharded call
+// graph, SCC-scheduled semprop, sharded dedup and census) must serialize
+// byte-identically to the sequential oracle at every worker count, with and
+// without ReleaseASTs.
+func TestTreescaleByteIdentity(t *testing.T) {
+	tr := sitegen.GenerateTree(sitegen.DefaultTreeSpec(160, 7))
+	opts := ofence.DefaultOptions()
+	opts.InterprocDepth = 1
+
+	oracle := treeProject(tr, true)
+	oopts := opts
+	oopts.Workers = 1
+	ores := oracle.Analyze(oopts)
+	want := viewJSON(t, ores)
+	if len(ores.Sites) == 0 || len(ores.Pairings) == 0 || len(ores.Findings) == 0 {
+		t.Fatalf("oracle run is degenerate: %d sites, %d pairings, %d findings",
+			len(ores.Sites), len(ores.Pairings), len(ores.Findings))
+	}
+	if ores.CallGraph.Functions == 0 || len(ores.Inferred) == 0 {
+		t.Fatalf("oracle run has no interprocedural signal: %+v", ores.CallGraph)
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		for _, release := range []bool{false, true} {
+			t.Run(fmt.Sprintf("workers=%d release=%t", workers, release), func(t *testing.T) {
+				p := treeProject(tr, false)
+				ropts := opts
+				ropts.Workers = workers
+				ropts.ReleaseASTs = release
+				res := p.Analyze(ropts)
+				if got := viewJSON(t, res); got != want {
+					t.Errorf("parallel global phases diverge from sequential oracle")
+				}
+				if res.Inferred == nil || res.CallGraph != ores.CallGraph {
+					t.Errorf("call-graph stats diverge: %+v vs %+v", res.CallGraph, ores.CallGraph)
+				}
+			})
+		}
+	}
+}
+
+// TestTreescaleReleaseASTsWarmReuse asserts the depth-0 pipeline serves a
+// released project entirely from cached sites — no re-parse — and still
+// serializes identically.
+func TestTreescaleReleaseASTsWarmReuse(t *testing.T) {
+	tr := sitegen.GenerateTree(sitegen.DefaultTreeSpec(48, 11))
+	opts := ofence.DefaultOptions()
+	opts.ReleaseASTs = true
+
+	p := treeProject(tr, false)
+	cold := p.Analyze(opts)
+	coldJSON := viewJSON(t, cold)
+	for _, fu := range p.Files() {
+		if fu.AST != nil {
+			t.Fatalf("%s: AST retained after ReleaseASTs analysis", fu.Name)
+		}
+	}
+	warm := p.Analyze(opts)
+	if got := viewJSON(t, warm); got != coldJSON {
+		t.Error("warm ReleaseASTs run diverges from cold")
+	}
+	if warm.Incremental.FilesRecomputed != 0 {
+		t.Errorf("warm run recomputed %d files; want 0 (reuse must not need ASTs)",
+			warm.Incremental.FilesRecomputed)
+	}
+	// Flipping an option that re-keys extraction forces a re-parse of the
+	// released units — and must still produce a coherent result.
+	opts2 := opts
+	opts2.Access.WriteWindow += 2
+	re := p.Analyze(opts2)
+	if re.Incremental.FilesRecomputed != len(tr.Files) {
+		t.Errorf("re-keyed run recomputed %d files; want %d",
+			re.Incremental.FilesRecomputed, len(tr.Files))
+	}
+	if len(re.Sites) == 0 {
+		t.Error("re-keyed run lost every site")
+	}
+}

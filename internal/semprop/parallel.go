@@ -1,0 +1,246 @@
+// parallel.go schedules the interprocedural fixpoint over the call graph's
+// Tarjan condensation instead of round-robin over every node.
+//
+// Why this is sound: the per-function transfer is monotone in the callee
+// kinds over a finite lattice, so any fair chaotic iteration from ⊥
+// converges to the same unique least fixpoint — evaluation order changes
+// only how many evaluations are spent, never the answer (the differential
+// suite pins this against the legacy schedule).
+//
+// Why this is fast: a function's kind depends only on its callees' kinds.
+// g.SCCs() is already reverse-topological (callees before callers), so
+// processing components in that order means every non-recursive function is
+// evaluated EXACTLY once — its callees are final when it runs. The legacy
+// schedule instead pays a full pass over all N nodes per round, and needs
+// one round per link of the longest call chain whose callee appears later
+// in build order (a caller-in-earlier-file chain of depth D costs D·N
+// evaluations; kernel-style wrapper stacks make D hundreds deep).
+// Recursive components iterate locally to their own fixpoint — bounded by
+// 2·|component|+1 tiny rounds — without dragging the rest of the graph
+// along. Components that share a topological level cannot reach each other
+// in either direction, so they evaluate concurrently; kinds live in a
+// dense slice where distinct elements are distinct memory locations and
+// level barriers provide the cross-level happens-before.
+package semprop
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ofence/internal/callgraph"
+	"ofence/internal/memmodel"
+)
+
+// inferSCC runs the condensation-scheduled fixpoint, filling inf.
+func inferSCC(g *callgraph.Graph, opts Options, extra map[string]bool, inf *Inference) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(g.Nodes)
+	inf.Converged = true
+	if n == 0 {
+		return
+	}
+
+	idx := make(map[*callgraph.Node]int, n)
+	for i, nd := range g.Nodes {
+		idx[nd] = i
+	}
+
+	// Per-function precomputation (CFG build, block classification) is
+	// node-local; fan it out and translate each dynamic candidate list to
+	// dense indices so the hot evaluation loop never touches a map.
+	infos := make([]*fnInfo, n)
+	fanOut(n, workers, func(i int) {
+		info := precompute(g.Nodes[i], extra)
+		info.dynIdx = make([][][]int32, len(info.dynamic))
+		for bi, sites := range info.dynamic {
+			if len(sites) == 0 {
+				continue
+			}
+			out := make([][]int32, len(sites))
+			for si, cs := range sites {
+				ids := make([]int32, len(cs))
+				for ci, c := range cs {
+					ids[ci] = int32(idx[c])
+				}
+				out[si] = ids
+			}
+			info.dynIdx[bi] = out
+		}
+		infos[i] = info
+	})
+
+	// Condense and level the component DAG. SCCs() returns components in
+	// reverse topological order, so every cross-component callee has a
+	// smaller component index and one ascending pass computes levels.
+	comps := g.SCCs()
+	compOf := make([]int32, n)
+	for ci, comp := range comps {
+		for _, nd := range comp {
+			compOf[idx[nd]] = int32(ci)
+		}
+	}
+	level := make([]int32, len(comps))
+	var maxLevel int32
+	for ci, comp := range comps {
+		for _, nd := range comp {
+			for _, e := range nd.Calls {
+				cc := compOf[idx[e.Callee]]
+				if int(cc) != ci && level[cc]+1 > level[ci] {
+					level[ci] = level[cc] + 1
+				}
+			}
+		}
+		if level[ci] > maxLevel {
+			maxLevel = level[ci]
+		}
+	}
+	byLevel := make([][]int, maxLevel+1)
+	for ci := range comps {
+		byLevel[level[ci]] = append(byLevel[level[ci]], ci)
+	}
+
+	kinds := make([]memmodel.BarrierKind, n) // ⊥ = None
+	var maxRounds atomic.Int64
+	for _, compIDs := range byLevel {
+		fanOut(len(compIDs), workers, func(i int) {
+			r := int64(evalComp(comps[compIDs[i]], infos, idx, kinds))
+			for {
+				cur := maxRounds.Load()
+				if r <= cur || maxRounds.CompareAndSwap(cur, r) {
+					break
+				}
+			}
+		})
+	}
+
+	inf.Rounds = int(maxRounds.Load())
+	inf.Components = len(comps)
+	inf.Levels = int(maxLevel) + 1
+	for i, nd := range g.Nodes {
+		inf.kinds[nd] = kinds[i]
+	}
+}
+
+// evalComp evaluates one component to its local fixpoint, returning the
+// local round count. Callee kinds outside the component are final (lower
+// levels completed behind a barrier); kinds inside it are owned by this
+// goroutine only.
+func evalComp(comp []*callgraph.Node, infos []*fnInfo, idx map[*callgraph.Node]int, kinds []memmodel.BarrierKind) int {
+	if len(comp) == 1 && !callsSelf(comp[0]) {
+		i := idx[comp[0]]
+		kinds[i] = evaluateIdx(infos[i], kinds)
+		return 1
+	}
+	rounds := 0
+	for changed := true; changed; {
+		changed = false
+		rounds++
+		for _, nd := range comp {
+			i := idx[nd]
+			k := evaluateIdx(infos[i], kinds)
+			if k != kinds[i] {
+				kinds[i] = k
+				changed = true
+			}
+		}
+	}
+	return rounds
+}
+
+func callsSelf(n *callgraph.Node) bool {
+	for _, e := range n.Calls {
+		if e.Callee == n {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluateIdx is evaluate over the dense kind slice (info.dynIdx instead of
+// info.dynamic). Keep the dataflow in lockstep with evaluate — the
+// differential suite compares the two paths' results, not their code.
+func evaluateIdx(info *fnInfo, cur []memmodel.BarrierKind) memmodel.BarrierKind {
+	nb := len(info.graph.Blocks)
+	if nb == 0 || len(info.exits) == 0 {
+		return memmodel.None
+	}
+
+	blockKind := func(bi int) memmodel.BarrierKind {
+		k := info.static[bi]
+		for _, cs := range info.dynIdx[bi] {
+			ck := memmodel.FullBarrier
+			for _, c := range cs {
+				ck = meet(ck, cur[c])
+			}
+			k = join(k, ck)
+		}
+		return k
+	}
+
+	out := make([]memmodel.BarrierKind, nb)
+	for i := range out {
+		out[i] = memmodel.FullBarrier // top: optimistic for a must-analysis
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := 0; bi < nb; bi++ {
+			in := memmodel.None
+			if bi != 0 { // entry keeps in = none: nothing executed yet
+				if ps := info.preds[bi]; len(ps) > 0 {
+					in = memmodel.FullBarrier
+					for _, p := range ps {
+						in = meet(in, out[p])
+					}
+				}
+			}
+			o := join(in, blockKind(bi))
+			if o != out[bi] {
+				out[bi] = o
+				changed = true
+			}
+		}
+	}
+
+	k := memmodel.FullBarrier
+	for _, e := range info.exits {
+		k = meet(k, out[e])
+	}
+	return k
+}
+
+// fanOut runs f over [0, n) with at most workers goroutines and waits for
+// completion. Iterations must be independent.
+func fanOut(n, workers int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -87,8 +87,16 @@ type Options struct {
 	// access.Options.ExtraBarrierSemantics (user extensions of Table 2).
 	ExtraFull []string
 	// MaxRounds bounds the interprocedural fixpoint; 0 derives the
-	// theoretical bound 2*|functions|+1.
+	// theoretical bound 2*|functions|+1. Setting it forces the legacy
+	// global round-robin schedule (the SCC schedule has no meaningful
+	// global round count to bound).
 	MaxRounds int
+	// Workers bounds the SCC schedule's parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Sequential forces the legacy whole-graph round-robin fixpoint. The
+	// differential tests and the tree-scale benchmark use it as the
+	// oracle; production callers leave it false and get the SCC schedule.
+	Sequential bool
 }
 
 // InferredFn is one function with inferred barrier semantics.
@@ -111,6 +119,12 @@ type Inference struct {
 	// bound (always true for the derived bound; false only when a smaller
 	// MaxRounds cut iteration short).
 	Converged bool
+	// Components is the number of strongly connected components the SCC
+	// schedule processed; 0 when the legacy sequential loop ran.
+	Components int
+	// Levels is the depth of the condensation's topological levelling the
+	// SCC schedule walked; 0 when the legacy sequential loop ran.
+	Levels int
 
 	kinds map[*callgraph.Node]memmodel.BarrierKind
 }
@@ -191,21 +205,42 @@ type fnInfo struct {
 	// exits are the reachable no-successor block IDs.
 	exits []int
 	preds [][]int
+	// dynIdx mirrors dynamic with dense node indices into the SCC
+	// schedule's kind slice; nil on the legacy sequential path.
+	dynIdx [][][]int32
 }
 
-// Infer runs the interprocedural fixpoint over g.
+// Infer runs the interprocedural fixpoint over g. By default the fixpoint
+// is scheduled over the Tarjan condensation (see parallel.go): each
+// strongly connected component is evaluated to its local fixpoint exactly
+// once, in topological order, with independent components of a level
+// running concurrently. Setting Options.Sequential — or bounding
+// Options.MaxRounds, which only means something for global rounds — runs
+// the legacy whole-graph round-robin instead. Both reach the same least
+// fixpoint: the transfer function is monotone over a finite lattice, so
+// chaotic iteration converges to a unique result regardless of evaluation
+// order.
 func Infer(g *callgraph.Graph, opts Options) *Inference {
 	extra := map[string]bool{}
 	for _, name := range opts.ExtraFull {
 		extra[name] = true
 	}
+	inf := &Inference{Graph: g, kinds: map[*callgraph.Node]memmodel.BarrierKind{}}
+	if opts.Sequential || opts.MaxRounds > 0 {
+		inferRounds(g, opts, extra, inf)
+	} else {
+		inferSCC(g, opts, extra, inf)
+	}
+	return inf
+}
 
+// inferRounds is the legacy global round-robin fixpoint, kept verbatim as
+// the differential oracle and the MaxRounds-bounded mode.
+func inferRounds(g *callgraph.Graph, opts Options, extra map[string]bool, inf *Inference) {
 	infos := make([]*fnInfo, len(g.Nodes))
 	for i, n := range g.Nodes {
 		infos[i] = precompute(n, extra)
 	}
-
-	inf := &Inference{Graph: g, kinds: map[*callgraph.Node]memmodel.BarrierKind{}}
 	for _, n := range g.Nodes {
 		inf.kinds[n] = memmodel.None
 	}
@@ -227,7 +262,6 @@ func Infer(g *callgraph.Graph, opts Options) *Inference {
 		}
 	}
 	inf.Converged = !changed
-	return inf
 }
 
 // precompute builds the CFG and splits each block's barrier contribution

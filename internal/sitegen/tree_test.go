@@ -1,0 +1,85 @@
+package sitegen
+
+import "testing"
+
+// treeGoldenHash pins GenerateTree's exact output bytes for
+// DefaultTreeSpec(64, 1). Generation must be byte-stable for a fixed seed
+// across runs, GOMAXPROCS and Go releases: the generator feeds determinism
+// benchmarks whose oracle comparisons assume both sides analyzed the same
+// tree. If this changes, every change to tree.go must be deliberate —
+// update the constant only alongside a generator change, never to paper
+// over nondeterminism.
+const treeGoldenHash = "0bdf947be578e25968970cce5443f3c27df003de59df0e017bf49367618d460a"
+
+func TestTreeGoldenHash(t *testing.T) {
+	tr := GenerateTree(DefaultTreeSpec(64, 1))
+	if got := tr.Hash(); got != treeGoldenHash {
+		t.Errorf("tree hash drifted:\n got %s\nwant %s", got, treeGoldenHash)
+	}
+}
+
+// TestTreeByteStable regenerates the same spec and compares every byte, a
+// stronger (if same-process-only) check than the pinned hash.
+func TestTreeByteStable(t *testing.T) {
+	a := GenerateTree(DefaultTreeSpec(128, 7))
+	b := GenerateTree(DefaultTreeSpec(128, 7))
+	if a.Hash() != b.Hash() {
+		t.Fatal("same spec generated different trees")
+	}
+	if len(a.Files) != len(b.Files) {
+		t.Fatalf("file counts differ: %d vs %d", len(a.Files), len(b.Files))
+	}
+	for i := range a.Files {
+		if a.Files[i] != b.Files[i] {
+			t.Fatalf("file %d differs between generations (%s)", i, a.Files[i].Name)
+		}
+	}
+	if c := GenerateTree(DefaultTreeSpec(128, 8)); c.Hash() == a.Hash() {
+		t.Fatal("different seeds generated identical trees")
+	}
+}
+
+// TestTreeShape sanity-checks counts and ground-truth labels.
+func TestTreeShape(t *testing.T) {
+	spec := DefaultTreeSpec(64, 1)
+	tr := GenerateTree(spec)
+	if len(tr.Files) != 64 {
+		t.Fatalf("got %d files, want 64", len(tr.Files))
+	}
+	if len(tr.Headers) != len(spec.Dirs) {
+		t.Fatalf("got %d headers, want %d", len(tr.Headers), len(spec.Dirs))
+	}
+	if len(tr.Configs) != len(spec.Dirs) {
+		t.Fatalf("got %d configs, want %d", len(tr.Configs), len(spec.Dirs))
+	}
+	counts := map[string]int{}
+	for _, name := range treeFileNames(tr) {
+		for _, l := range tr.Labels[name] {
+			counts[l.Kind]++
+			if (l.Kind == "mp-writer" || l.Kind == "mp-writer-helper" || l.Kind == "mp-reader") &&
+				(l.Partner == "" || !l.ExpectPaired) {
+				t.Errorf("%s label %s missing partner/pairing expectation", l.Kind, l.Fn)
+			}
+		}
+	}
+	if counts["chain"] != 64 || counts["mp-reader"] != 64 || counts["noise"] != 64 || counts["config"] != 64 {
+		t.Errorf("per-file label counts off: %v", counts)
+	}
+	if counts["mp-writer"]+counts["mp-writer-helper"] != 64 {
+		t.Errorf("writer counts off: %v", counts)
+	}
+	if counts["core-chain"] != spec.CoreChain {
+		t.Errorf("got %d core-chain labels, want %d", counts["core-chain"], spec.CoreChain)
+	}
+	if counts["helper"] != counts["mp-writer-helper"] {
+		t.Errorf("helpers (%d) != helper-writers (%d)", counts["helper"], counts["mp-writer-helper"])
+	}
+}
+
+func treeFileNames(tr *Tree) []string {
+	names := make([]string, 0, len(tr.Files))
+	for _, f := range tr.Files {
+		names = append(names, f.Name)
+	}
+	return names
+}
